@@ -1,0 +1,71 @@
+"""Ablations of design choices DESIGN.md calls out.
+
+Not paper artifacts, but sanity anchors for the modelling decisions:
+
+* the tag-port contention model (the cost DAWB pays and DBI avoids),
+* the write-drain watermark ("drain when full" per [27] vs partial drains).
+"""
+
+import dataclasses
+
+from benchmarks.conftest import show
+from repro.analysis.report import format_table
+from repro.sim.system import run_system
+
+
+def test_port_occupancy_sensitivity(benchmark, scale):
+    """DAWB's deficit vs DBI+AWB grows with tag-port cost."""
+
+    def sweep():
+        trace = scale.benchmark_trace("lbm", refs=12_000)
+        rows = []
+        for occupancy in (1, 4):
+            ipcs = []
+            for mech in ("dawb", "dbi+awb"):
+                config = scale.system_config(mech)
+                llc = dataclasses.replace(
+                    config.resolve_llc(), port_occupancy=occupancy
+                )
+                config = dataclasses.replace(config, llc=llc)
+                ipcs.append(run_system(config, [trace]).ipc[0])
+            rows.append([f"occupancy={occupancy}", *ipcs,
+                         ipcs[1] / ipcs[0] - 1.0])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(format_table(
+        ["port", "dawb IPC", "dbi+awb IPC", "dbi advantage"],
+        rows, title="Ablation: LLC tag-port occupancy",
+    ))
+    # A slower port must not *shrink* DBI's relative advantage.
+    assert rows[1][3] >= rows[0][3] - 0.02
+
+
+def test_drain_watermark_ablation(benchmark, scale):
+    """Partial drains (stop early) vs the paper's drain-to-empty."""
+
+    def sweep():
+        trace = scale.benchmark_trace("GemsFDTD", refs=12_000)
+        rows = []
+        for low_watermark in (0, 32):
+            config = scale.system_config("dbi+awb")
+            dram = dataclasses.replace(
+                config.dram, drain_low_watermark=low_watermark
+            )
+            config = dataclasses.replace(config, dram=dram)
+            result = run_system(config, [trace])
+            rows.append([
+                f"drain to {low_watermark}",
+                result.ipc[0],
+                result.write_row_hit_rate,
+                result.stats.get("dram.write_drain_phases", 0),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(format_table(
+        ["policy", "IPC", "write RHR", "drain phases"],
+        rows, title="Ablation: write-buffer drain watermark",
+    ))
+    # Partial drains mean more, shorter drain phases.
+    assert rows[1][3] >= rows[0][3]

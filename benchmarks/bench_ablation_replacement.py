@@ -1,0 +1,21 @@
+"""Section 4.3/6.4 ablation: DBI replacement policies.
+
+Expected shape (paper): LRW performs comparably to or better than the
+other four practical policies (LRW-BIP, RWIP, Max-Dirty, Min-Dirty).
+"""
+
+from benchmarks.conftest import show
+from repro.analysis.experiments import run_dbi_replacement_study
+
+
+def test_dbi_replacement(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_dbi_replacement_study(scale, benchmarks=("lbm", "mcf")),
+        rounds=1, iterations=1,
+    )
+    show(result.to_text())
+
+    by_policy = {row[0]: row[1] for row in result.rows}
+    best = max(by_policy.values())
+    # LRW within a few percent of the best policy (paper: comparable-or-best).
+    assert by_policy["lrw"] >= best * 0.95

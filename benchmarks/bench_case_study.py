@@ -1,0 +1,21 @@
+"""Section 6.2 case study: 2-core GemsFDTD + libquantum.
+
+Expected shape (paper): DAWB improves over the Baseline, plain DBI beats
+DAWB (its entry evictions batch row writebacks without DAWB's lookup
+storm), and adding CLB helps further by cutting libquantum's useless
+lookups; AWB adds little on top of plain DBI for this pair.
+"""
+
+from benchmarks.conftest import show
+from repro.analysis.experiments import run_case_study
+
+
+def test_case_study(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_case_study(scale),
+        rounds=1, iterations=1,
+    )
+    show(result.to_text())
+
+    ws = result.raw
+    assert ws["dbi+awb+clb"] > ws["baseline"]

@@ -1,0 +1,35 @@
+"""Figure 6 (a-e): single-core comparison of all Table 2 mechanisms.
+
+Regenerates IPC, write row-hit rate, tag lookups PKI, memory WPKI and read
+row-hit rate per benchmark. Expected shape (paper Section 6.1): DAWB/VWQ
+roughly double-or-more tag lookups while DBI variants stay near baseline;
+DAWB/VWQ/DBI+AWB lift write row-hit rate far above TA-DIP; CLB cuts lookups;
+WPKI stays roughly flat except for rewrite-heavy pointer workloads.
+"""
+
+from benchmarks.conftest import show
+from repro.analysis.experiments import run_figure6
+
+#: A representative subset spanning the paper's regimes, to keep the
+#: harness quick. examples/full_paper_run.py covers all 14.
+BENCHMARKS = ("mcf", "lbm", "GemsFDTD", "cactusADM", "libquantum", "bzip2")
+
+
+def test_figure6(benchmark, scale):
+    results = benchmark.pedantic(
+        lambda: run_figure6(scale, benchmarks=BENCHMARKS),
+        rounds=1, iterations=1,
+    )
+    for exp_id in sorted(results):
+        show(results[exp_id].to_text())
+
+    raw = results["fig6c"].raw["results"]
+    # Shape assertions (paper Section 6.1).
+    for bench in ("lbm", "GemsFDTD", "cactusADM"):
+        runs = raw[bench]
+        # DAWB massively amplifies tag lookups; DBI+AWB does not.
+        assert runs["dawb"].tag_lookups_pki > 1.5 * runs["tadip"].tag_lookups_pki
+        assert runs["dbi+awb"].tag_lookups_pki < 1.4 * runs["tadip"].tag_lookups_pki
+        # Proactive row writeback lifts the write row-hit rate.
+        assert runs["dawb"].write_row_hit_rate > runs["tadip"].write_row_hit_rate
+        assert runs["dbi+awb"].write_row_hit_rate > runs["tadip"].write_row_hit_rate

@@ -1,0 +1,30 @@
+"""Figure 7: multi-core weighted speedup.
+
+Expected shape (paper Section 6.2): DBI+AWB+CLB yields the best average
+weighted speedup at every core count, ahead of DAWB and far ahead of the
+Baseline; the margin grows with core count as tag-port and memory
+contention intensify.
+"""
+
+from benchmarks.conftest import show
+from repro.analysis.experiments import run_figure7
+
+MECHANISMS = ("baseline", "tadip", "dawb", "dbi+awb", "dbi+awb+clb")
+
+
+def test_figure7(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_figure7(
+            scale, core_counts=(2, 4), mechanisms=MECHANISMS, mixes_per_system=3
+        ),
+        rounds=1, iterations=1,
+    )
+    show(result.to_text())
+
+    by_mech = {
+        mech: [row[1 + i] for row in result.rows]
+        for i, mech in enumerate(MECHANISMS)
+    }
+    for cores_idx in range(len(result.rows)):
+        # The full DBI mechanism beats the baseline on average.
+        assert by_mech["dbi+awb+clb"][cores_idx] > by_mech["baseline"][cores_idx]

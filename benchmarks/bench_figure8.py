@@ -1,0 +1,22 @@
+"""Figure 8: per-workload 4-core S-curve (normalized weighted speedup).
+
+Expected shape (paper Section 6.2): DBI+AWB+CLB consistently at-or-above
+DAWB across the workload population, with only a small minority of
+workloads degrading below the Baseline (7 of 259 in the paper).
+"""
+
+from benchmarks.conftest import show
+from repro.analysis.experiments import run_figure8
+
+
+def test_figure8(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_figure8(scale, num_mixes=6),
+        rounds=1, iterations=1,
+    )
+    show(result.to_text())
+
+    dbi_norm = result.raw["dbi+awb+clb"]
+    # The majority of workloads must not degrade under the full mechanism.
+    degrading = sum(1 for value in dbi_norm if value < 0.98)
+    assert degrading <= len(dbi_norm) // 2

@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the hot structures (true pytest-benchmark timing).
+
+These don't reproduce a paper artifact; they keep the simulator honest —
+the DBI and cache fast paths are what every experiment's wall-clock hangs
+on, and regressions here make the paper harness unusable.
+"""
+
+from fractions import Fraction
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.core.config import DbiConfig
+from repro.core.dbi import DirtyBlockIndex
+from repro.utils.events import EventQueue
+from repro.utils.rng import DeterministicRng
+
+
+def test_dbi_mark_dirty_throughput(benchmark):
+    config = DbiConfig(cache_blocks=32768, alpha=Fraction(1, 4),
+                       granularity=64, associativity=16)
+    rng = DeterministicRng(1)
+    addresses = [rng.randint(0, 1 << 20) for _ in range(4096)]
+
+    def workload():
+        dbi = DirtyBlockIndex(config)
+        for addr in addresses:
+            dbi.mark_dirty(addr)
+        return dbi.entry_count
+
+    assert benchmark(workload) > 0
+
+
+def test_dbi_query_throughput(benchmark):
+    config = DbiConfig(cache_blocks=32768, alpha=Fraction(1, 4),
+                       granularity=64, associativity=16)
+    dbi = DirtyBlockIndex(config)
+    rng = DeterministicRng(2)
+    for _ in range(2048):
+        dbi.mark_dirty(rng.randint(0, 1 << 18))
+    queries = [rng.randint(0, 1 << 18) for _ in range(8192)]
+
+    def workload():
+        return sum(dbi.is_dirty(addr) for addr in queries)
+
+    benchmark(workload)
+
+
+def test_cache_insert_evict_throughput(benchmark):
+    config = CacheConfig(name="llc", num_blocks=4096, associativity=16,
+                         tag_latency=10, data_latency=24)
+    rng = DeterministicRng(3)
+    addresses = [rng.randint(0, 1 << 16) for _ in range(8192)]
+
+    def workload():
+        cache = Cache(config)
+        evictions = 0
+        for addr in addresses:
+            if cache.insert(addr) is not None:
+                evictions += 1
+        return evictions
+
+    assert benchmark(workload) > 0
+
+
+def test_event_queue_throughput(benchmark):
+    def workload():
+        queue = EventQueue()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                queue.schedule_after(1, tick)
+
+        queue.schedule(0, tick)
+        queue.run()
+        return count[0]
+
+    assert benchmark(workload) == 10_000

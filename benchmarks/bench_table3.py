@@ -1,0 +1,24 @@
+"""Table 3: performance and fairness of DBI+AWB+CLB vs the Baseline.
+
+Expected shape (paper): weighted speedup, instruction throughput and
+harmonic speedup all improve, and maximum slowdown is reduced, at every
+core count (paper: +22-32% WS, 18-29% max-slowdown reduction).
+"""
+
+from benchmarks.conftest import show
+from repro.analysis.experiments import run_table3
+
+
+def test_table3(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_table3(scale, core_counts=(2, 4), mixes_per_system=3),
+        rounds=1, iterations=1,
+    )
+    show(result.to_text())
+
+    for cores, improvements in result.raw.items():
+        mean_ws = sum(improvements["weighted_speedup"]) / len(
+            improvements["weighted_speedup"]
+        )
+        # The full mechanism must not lose system throughput on average.
+        assert mean_ws > -0.02, f"{cores}-core WS regressed: {mean_ws:.1%}"

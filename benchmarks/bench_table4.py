@@ -1,0 +1,44 @@
+"""Table 4 + Section 6.3: storage and area arithmetic.
+
+These are closed-form computations, so the assertions pin them to the
+paper's published numbers (within a rounding point): α=1/4 with ECC cuts
+tag-store bits ~44% and whole-cache bits ~7%; the 16 MB ECC cache shrinks
+~8% (α=1/4) and ~5% (α=1/2) in area.
+"""
+
+from fractions import Fraction
+
+from benchmarks.conftest import show
+from repro.analysis.report import format_table
+from repro.area.ecc_model import area_reduction_with_ecc, compute_table4
+
+
+def test_table4(benchmark):
+    rows = benchmark(compute_table4)
+    show(format_table(
+        ["DBI size", "tag (no ECC)", "cache (no ECC)", "tag (ECC)",
+         "cache (ECC)"],
+        [
+            [f"alpha={r.alpha}", f"{r.tag_reduction_no_ecc:.1%}",
+             f"{r.cache_reduction_no_ecc:.2%}",
+             f"{r.tag_reduction_with_ecc:.1%}",
+             f"{r.cache_reduction_with_ecc:.1%}"]
+            for r in rows
+        ],
+        title="Table 4: bit storage cost reduction (paper: 2%/0.1%/44%/7%; "
+              "1%/0.0%/26%/4%)",
+    ))
+    quarter, half = rows
+    assert 0.38 <= quarter.tag_reduction_with_ecc <= 0.48
+    assert 0.05 <= quarter.cache_reduction_with_ecc <= 0.09
+    assert 0.22 <= half.tag_reduction_with_ecc <= 0.30
+    assert 0.03 <= half.cache_reduction_with_ecc <= 0.05
+
+
+def test_area_reduction(benchmark):
+    quarter = benchmark(lambda: area_reduction_with_ecc(alpha=Fraction(1, 4)))
+    half = area_reduction_with_ecc(alpha=Fraction(1, 2))
+    show(f"16MB ECC cache area reduction: alpha=1/4 {quarter:.1%} "
+         f"(paper 8%), alpha=1/2 {half:.1%} (paper 5%)")
+    assert 0.06 <= quarter <= 0.11
+    assert 0.03 <= half <= 0.07

@@ -1,0 +1,25 @@
+"""Table 5: DBI power as a fraction of total cache power.
+
+Expected shape (paper): static overhead well under 1% (0.12-0.22%),
+dynamic overhead a few percent (1-4%), across 2-16 MB caches.
+"""
+
+from benchmarks.conftest import show
+from repro.analysis.report import format_table
+from repro.area.ecc_model import compute_table5
+
+
+def test_table5(benchmark):
+    results = benchmark(compute_table5)
+    show(format_table(
+        ["cache", "DBI static", "DBI dynamic"],
+        [
+            [f"{size}MB", f"{vals['static_fraction']:.2%}",
+             f"{vals['dynamic_fraction']:.1%}"]
+            for size, vals in results.items()
+        ],
+        title="Table 5: DBI power (paper: 0.12-0.22% static, 1-4% dynamic)",
+    ))
+    for vals in results.values():
+        assert vals["static_fraction"] < 0.01
+        assert 0.005 < vals["dynamic_fraction"] < 0.06

@@ -1,0 +1,45 @@
+"""Table 6: AWB sensitivity to DBI size (α) and granularity.
+
+Expected shape (paper): the AWB IPC gain grows (weakly) with granularity
+and with α — larger entries batch more of a row; a larger DBI holds the
+write working set longer.
+"""
+
+from fractions import Fraction
+
+from benchmarks.conftest import show
+from repro.analysis.experiments import run_table6
+
+
+def test_table6(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_table6(scale, benchmarks=("lbm", "GemsFDTD")),
+        rounds=1, iterations=1,
+    )
+    show(result.to_text())
+
+    # Largest (alpha, granularity) must not do worse than the smallest.
+    gains = {
+        key: sum(values) / len(values) for key, values in result.raw.items()
+    }
+    alphas = sorted({a for a, _g in gains}, key=float)
+    grans = sorted({g for _a, g in gains})
+    small = gains[(alphas[0], grans[0])]
+    large = gains[(alphas[-1], grans[-1])]
+    assert large >= small - 0.03
+
+
+def test_table6_quarter_vs_half(benchmark, scale):
+    """α=1/2 tracks twice the blocks of α=1/4 at identical granularity."""
+    from repro.core.config import DbiConfig
+
+    def build():
+        quarter = DbiConfig(cache_blocks=32768, alpha=Fraction(1, 4),
+                            granularity=64, associativity=16)
+        half = DbiConfig(cache_blocks=32768, alpha=Fraction(1, 2),
+                         granularity=64, associativity=16)
+        return quarter, half
+
+    quarter, half = benchmark(build)
+    assert half.tracked_blocks == 2 * quarter.tracked_blocks
+    assert half.num_entries == 2 * quarter.num_entries

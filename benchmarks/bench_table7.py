@@ -1,0 +1,24 @@
+"""Table 7: sensitivity to LLC capacity (2 vs 4 MB/core).
+
+Expected shape (paper): DBI+AWB+CLB improves weighted speedup at both
+capacities, with smaller gains at 4 MB/core (memory bandwidth matters
+less when the cache absorbs more of the working set).
+"""
+
+from benchmarks.conftest import show
+from repro.analysis.experiments import run_table7
+
+
+def test_table7(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_table7(
+            scale, core_counts=(2,), mb_per_core_options=(2, 4),
+            mixes_per_system=3,
+        ),
+        rounds=1, iterations=1,
+    )
+    show(result.to_text())
+
+    gains_2mb = result.raw[(2, 2)]
+    mean = sum(gains_2mb) / len(gains_2mb)
+    assert mean > -0.02  # no average regression at the paper's default size

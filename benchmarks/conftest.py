@@ -1,0 +1,23 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures at the ``quick``
+scale (see ``repro.analysis.scaling``) and prints the resulting rows, so
+``pytest benchmarks/ --benchmark-only`` both times the harness and emits the
+paper-shaped output. Longer, closer-to-paper runs: ``examples/full_paper_run.py
+--scale default``.
+"""
+
+import pytest
+
+from repro.analysis.scaling import QUICK_SCALE
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return QUICK_SCALE
+
+
+def show(result_text: str) -> None:
+    """Print a regenerated artifact under the benchmark output."""
+    print()
+    print(result_text)

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Fast cache flushing with a DBI (paper Section 7, "Cache Flushing").
+
+Powering down a cache bank or committing a persistence epoch requires
+writing back every dirty block. A conventional cache must walk the whole
+tag store (one lookup per block) to find them; the DBI's compact dirty-bit
+organization names them directly.
+
+This example fills a cache with a realistic mixed working set two ways —
+tag-store dirty bits vs a DBI — and compares the *lookup cost* of a full
+flush, plus shows the row-batched order the DBI yields (row-batched flush
+writes drain as DRAM row hits).
+
+Run:  python examples/cache_flush.py
+"""
+
+from fractions import Fraction
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.core.config import DbiConfig
+from repro.core.dbi import DirtyBlockIndex
+from repro.utils.rng import DeterministicRng
+
+
+def build_conventional(num_blocks, traffic):
+    cache = Cache(CacheConfig(
+        name="llc", num_blocks=num_blocks, associativity=16,
+        tag_latency=10, data_latency=24,
+    ))
+    for addr, dirty in traffic:
+        cache.insert(addr, dirty=dirty)
+    return cache
+
+
+def build_dbi_cache(num_blocks, traffic):
+    cache = Cache(CacheConfig(
+        name="llc", num_blocks=num_blocks, associativity=16,
+        tag_latency=10, data_latency=24,
+    ))
+    dbi = DirtyBlockIndex(DbiConfig(
+        cache_blocks=num_blocks, alpha=Fraction(1, 4),
+        granularity=64, associativity=16,
+    ))
+    for addr, dirty in traffic:
+        evicted = cache.insert(addr, dirty=False)
+        if evicted is not None:
+            dbi.mark_clean(evicted.addr)
+        if dirty:
+            eviction = dbi.mark_dirty(addr)
+            if eviction is not None:
+                pass  # dirty blocks written back early; stay clean in cache
+    return cache, dbi
+
+
+def main() -> None:
+    num_blocks = 32768  # 2 MB
+    rng = DeterministicRng(7)
+    traffic = [
+        (rng.randint(0, 4 * num_blocks), rng.chance(0.3))
+        for _ in range(3 * num_blocks)
+    ]
+
+    conventional = build_conventional(num_blocks, traffic)
+    dirty_blocks = [b.addr for b in conventional.iter_valid_blocks() if b.dirty]
+    tag_walk_lookups = num_blocks  # must inspect every tag entry
+
+    cache, dbi = build_dbi_cache(num_blocks, traffic)
+    dbi_dirty = dbi.all_dirty_blocks()
+    dbi_lookups = len(dbi_dirty)  # one data-read lookup per dirty block only
+
+    print("Full-cache flush cost (tag lookups):")
+    print(f"  conventional tag walk : {tag_walk_lookups:>7d} lookups "
+          f"to find {len(dirty_blocks)} dirty blocks")
+    print(f"  DBI flush             : {dbi_lookups:>7d} lookups "
+          f"(exactly the dirty blocks)")
+    print(f"  lookup reduction      : {tag_walk_lookups / max(1, dbi_lookups):.1f}x")
+
+    # The DBI also yields dirty blocks row-batched: consecutive flush writes
+    # hit open DRAM rows.
+    rows = [addr // 128 for addr in dbi_dirty]
+    batched = sum(1 for a, b in zip(rows, rows[1:]) if a == b)
+    print(f"\nDBI flush order row locality: {batched / max(1, len(rows) - 1):.0%} "
+          f"of consecutive writebacks share a DRAM row")
+    print(f"(DBI tracks {dbi.tracked_dirty_blocks} dirty blocks; the rest "
+          f"were proactively written back when their entries were displaced)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation.
+
+Runs all experiment harnesses at the chosen scale and writes a combined
+report (the source material for EXPERIMENTS.md). At the default scale this
+takes tens of minutes; `--scale quick` finishes in a few minutes.
+
+Run:  python examples/full_paper_run.py --scale quick --out report.txt
+"""
+
+import argparse
+import sys
+import time
+
+from repro.analysis import experiments
+from repro.analysis.report import format_table
+from repro.analysis.scaling import SCALES
+from repro.area.ecc_model import (
+    area_reduction_with_ecc,
+    compute_table4,
+    compute_table5,
+)
+
+
+def analytic_sections() -> str:
+    """Tables 4/5 and the area claim (scale-independent arithmetic)."""
+    parts = []
+    rows = [
+        [f"alpha={r.alpha}", f"{r.tag_reduction_no_ecc:.1%}",
+         f"{r.cache_reduction_no_ecc:.2%}", f"{r.tag_reduction_with_ecc:.1%}",
+         f"{r.cache_reduction_with_ecc:.1%}"]
+        for r in compute_table4()
+    ]
+    parts.append(format_table(
+        ["DBI size", "tag (no ECC)", "cache (no ECC)", "tag (ECC)",
+         "cache (ECC)"],
+        rows, title="Table 4: bit storage reduction",
+    ))
+    from fractions import Fraction
+
+    parts.append(
+        "Section 6.3 area reduction (16MB, ECC): "
+        f"alpha=1/4 {area_reduction_with_ecc(alpha=Fraction(1, 4)):.1%}, "
+        f"alpha=1/2 {area_reduction_with_ecc(alpha=Fraction(1, 2)):.1%}"
+    )
+    rows = [
+        [f"{size}MB", f"{v['static_fraction']:.2%}", f"{v['dynamic_fraction']:.1%}"]
+        for size, v in compute_table5().items()
+    ]
+    parts.append(format_table(
+        ["cache", "DBI static", "DBI dynamic"], rows,
+        title="Table 5: DBI power fraction",
+    ))
+    return "\n\n".join(parts)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="quick", choices=sorted(SCALES))
+    parser.add_argument("--out", default=None, help="write the report here")
+    args = parser.parse_args()
+    scale = SCALES[args.scale]
+
+    sections = [analytic_sections()]
+    runners = [
+        ("Figure 6", lambda: "\n\n".join(
+            r.to_text() for _k, r in sorted(experiments.run_figure6(scale).items())
+        )),
+        ("Figure 7", lambda: experiments.run_figure7(scale).to_text()),
+        ("Figure 8", lambda: experiments.run_figure8(scale).to_text()),
+        ("Table 3", lambda: experiments.run_table3(scale).to_text()),
+        ("Table 6", lambda: experiments.run_table6(scale).to_text()),
+        ("Table 7", lambda: experiments.run_table7(scale).to_text()),
+        ("DBI replacement study",
+         lambda: experiments.run_dbi_replacement_study(scale).to_text()),
+        ("DRRIP study", lambda: experiments.run_drrip_study(scale).to_text()),
+        ("Case study", lambda: experiments.run_case_study(scale).to_text()),
+    ]
+    for label, runner in runners:
+        start = time.time()
+        print(f"running {label}...", file=sys.stderr)
+        sections.append(runner())
+        print(f"  done in {time.time() - start:.0f}s", file=sys.stderr)
+
+    report = "\n\n\n".join(sections) + "\n"
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"report written to {args.out}", file=sys.stderr)
+    else:
+        print(report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Generate the EXPERIMENTS.md measurement data.
+
+Single-core Figure 6 runs at the requested fig6 scale (default: the
+``default`` profile); multi-core artifacts share one run set at the multi
+scale (default: ``quick``) via :func:`run_multicore_suite`. Each artifact is
+written to its own file under ``--outdir`` as it completes, so a partial run
+still yields usable data.
+
+Run:  python examples/generate_report.py --outdir results
+"""
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.analysis import experiments
+from repro.analysis.scaling import SCALES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--outdir", default="results")
+    parser.add_argument("--fig6-scale", default="default", choices=sorted(SCALES))
+    parser.add_argument("--multi-scale", default="quick", choices=sorted(SCALES))
+    parser.add_argument("--mixes", type=int, default=6)
+    args = parser.parse_args()
+
+    outdir = pathlib.Path(args.outdir)
+    outdir.mkdir(exist_ok=True)
+    fig6_scale = SCALES[args.fig6_scale]
+    multi_scale = SCALES[args.multi_scale]
+
+    def emit(name: str, text: str) -> None:
+        (outdir / f"{name}.txt").write_text(text + "\n")
+        print(f"[{time.strftime('%H:%M:%S')}] wrote {name}", file=sys.stderr)
+
+    # Figure 6 (all benchmarks, all mechanisms).
+    results = experiments.run_figure6(fig6_scale)
+    for exp_id in sorted(results):
+        emit(exp_id, results[exp_id].to_text())
+
+    # Figures 7/8 + Table 3 from one shared multi-core run set.
+    suite = experiments.run_multicore_suite(
+        multi_scale, mixes_per_system=args.mixes
+    )
+    for exp_id in ("fig7", "fig8", "table3"):
+        emit(exp_id, suite[exp_id].to_text())
+
+    # Sensitivity tables and studies.
+    emit("table6", experiments.run_table6(multi_scale).to_text())
+    emit("table7", experiments.run_table7(
+        multi_scale, core_counts=(2, 4), mixes_per_system=args.mixes
+    ).to_text())
+    emit("replacement", experiments.run_dbi_replacement_study(
+        multi_scale).to_text())
+    emit("drrip", experiments.run_drrip_study(
+        multi_scale, core_count=4, mixes_per_system=args.mixes).to_text())
+    emit("case_study", experiments.run_case_study(multi_scale).to_text())
+    print("done", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

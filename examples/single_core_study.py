@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Single-core mechanism study (paper Figure 6, condensed).
+
+Runs a subset of the Figure 6 benchmarks under every Table 2 mechanism and
+prints the five sub-figures as tables: IPC, write row-hit rate, tag lookups
+per kilo-instruction, memory writes per kilo-instruction, read row-hit rate.
+
+Run:  python examples/single_core_study.py [--scale quick|default|full]
+      python examples/single_core_study.py --benchmarks lbm,mcf,bzip2
+"""
+
+import argparse
+
+from repro.analysis.experiments import run_figure6
+from repro.analysis.scaling import SCALES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="quick", choices=sorted(SCALES))
+    parser.add_argument(
+        "--benchmarks",
+        default="lbm,GemsFDTD,mcf,cactusADM,libquantum,bzip2",
+        help="comma-separated benchmark names (Figure 6 set)",
+    )
+    args = parser.parse_args()
+
+    benchmarks = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+    results = run_figure6(SCALES[args.scale], benchmarks=benchmarks)
+    for exp_id in sorted(results):
+        print(results[exp_id].to_text())
+        print()
+
+
+if __name__ == "__main__":
+    main()

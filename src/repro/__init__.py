@@ -1,0 +1,35 @@
+"""repro-dbi: a reproduction of "The Dirty-Block Index" (ISCA 2014).
+
+Public API map
+==============
+
+The contribution (paper Section 2):
+    :class:`repro.core.DirtyBlockIndex`, :class:`repro.core.DbiConfig`
+
+The evaluated mechanisms (paper Table 2):
+    :func:`repro.mechanisms.make_mechanism` with names ``baseline``,
+    ``tadip``, ``dawb``, ``vwq``, ``skipcache``, ``dbi``, ``dbi+awb``,
+    ``dbi+clb``, ``dbi+awb+clb``.
+
+Running systems:
+    :class:`repro.sim.SystemConfig`, :func:`repro.sim.run_system`,
+    :mod:`repro.workloads` for traces and mixes,
+    :mod:`repro.analysis` for per-figure experiment runners.
+
+Area/storage models (paper Tables 4-5):
+    :mod:`repro.area`.
+"""
+
+from repro.core import DbiConfig, DirtyBlockIndex
+from repro.sim import SimulationResult, SystemConfig, run_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DbiConfig",
+    "DirtyBlockIndex",
+    "SystemConfig",
+    "SimulationResult",
+    "run_system",
+    "__version__",
+]

@@ -1,0 +1,97 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+    list        — benchmarks, mechanisms and scale profiles available.
+    run         — simulate one benchmark under one mechanism, print metrics.
+    experiment  — regenerate one paper artifact (fig6 fig7 fig8 table3
+                  table6 table7 case-study replacement drrip).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(_args) -> int:
+    from repro.analysis.scaling import SCALES
+    from repro.mechanisms.registry import MECHANISM_NAMES
+    from repro.workloads.spec import profile_names
+
+    print("benchmarks: ", ", ".join(profile_names()))
+    print("mechanisms: ", ", ".join(MECHANISM_NAMES))
+    print("scales:     ", ", ".join(sorted(SCALES)))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.analysis.scaling import SCALES
+    from repro.sim.system import run_system
+
+    scale = SCALES[args.scale]
+    trace = scale.benchmark_trace(args.benchmark, refs=args.refs)
+    result = run_system(scale.system_config(args.mechanism), [trace])
+    print(f"benchmark          {args.benchmark}")
+    print(f"mechanism          {args.mechanism}")
+    print(f"IPC                {result.ipc[0]:.4f}")
+    print(f"write row hit rate {result.write_row_hit_rate:.2%}")
+    print(f"read row hit rate  {result.read_row_hit_rate:.2%}")
+    print(f"tag lookups / ki   {result.tag_lookups_pki:.1f}")
+    print(f"memory WPKI        {result.memory_wpki:.1f}")
+    print(f"LLC MPKI           {result.llc_mpki:.1f}")
+    print(f"events processed   {result.events_processed}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.analysis import experiments
+    from repro.analysis.scaling import SCALES
+
+    scale = SCALES[args.scale]
+    runners = {
+        "fig6": lambda: "\n\n".join(
+            r.to_text() for _k, r in sorted(experiments.run_figure6(scale).items())
+        ),
+        "fig7": lambda: experiments.run_figure7(scale).to_text(),
+        "fig8": lambda: experiments.run_figure8(scale).to_text(),
+        "table3": lambda: experiments.run_table3(scale).to_text(),
+        "table6": lambda: experiments.run_table6(scale).to_text(),
+        "table7": lambda: experiments.run_table7(scale).to_text(),
+        "case-study": lambda: experiments.run_case_study(scale).to_text(),
+        "replacement": lambda: experiments.run_dbi_replacement_study(scale).to_text(),
+        "drrip": lambda: experiments.run_drrip_study(scale).to_text(),
+    }
+    if args.name not in runners:
+        print(f"unknown experiment {args.name!r}; choose from {sorted(runners)}",
+              file=sys.stderr)
+        return 2
+    print(runners[args.name]())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show benchmarks/mechanisms/scales")
+
+    run_parser = sub.add_parser("run", help="simulate one benchmark")
+    run_parser.add_argument("benchmark")
+    run_parser.add_argument("mechanism")
+    run_parser.add_argument("--scale", default="quick")
+    run_parser.add_argument("--refs", type=int, default=None)
+
+    exp_parser = sub.add_parser("experiment", help="regenerate a paper artifact")
+    exp_parser.add_argument("name")
+    exp_parser.add_argument("--scale", default="quick")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_experiment(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

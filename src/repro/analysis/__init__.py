@@ -1,0 +1,50 @@
+"""Experiment harness: one runner per paper figure/table.
+
+* :mod:`repro.analysis.scaling` — quick/default/full scale profiles (the
+  Python simulator cannot run 500M-instruction SPEC traces, so the hierarchy
+  and footprints scale down together, keeping every ratio of Table 1).
+* :mod:`repro.analysis.experiments` — ``run_figure6``, ``run_figure7``, ...
+  each reproducing one evaluation artifact.
+* :mod:`repro.analysis.report` — plain-text table/CSV rendering.
+"""
+
+from repro.analysis.experiments import (
+    ExperimentResult,
+    run_case_study,
+    run_dbi_replacement_study,
+    run_drrip_study,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_table3,
+    run_table6,
+    run_table7,
+)
+from repro.analysis.report import format_table, to_csv
+from repro.analysis.scaling import (
+    DEFAULT_SCALE,
+    FULL_SCALE,
+    QUICK_SCALE,
+    SCALES,
+    ScaleProfile,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ScaleProfile",
+    "SCALES",
+    "QUICK_SCALE",
+    "DEFAULT_SCALE",
+    "FULL_SCALE",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_table3",
+    "run_table6",
+    "run_table7",
+    "run_case_study",
+    "run_dbi_replacement_study",
+    "run_drrip_study",
+    "format_table",
+    "to_csv",
+]

@@ -1,0 +1,52 @@
+"""Plain-text table and CSV rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Example:
+        >>> print(format_table(["a", "b"], [[1, 2.5]]))
+        a  b
+        -  -----
+        1  2.500
+    """
+    cells: List[List[str]] = [[_format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Minimal CSV export (values contain no commas by construction)."""
+    out = [",".join(headers)]
+    for row in rows:
+        out.append(",".join(_format_cell(v) for v in row))
+    return "\n".join(out)

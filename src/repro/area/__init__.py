@@ -1,0 +1,34 @@
+"""Analytical area, storage and power models.
+
+The paper uses CACTI 6.0 for area/latency/power and plain bit arithmetic for
+storage (Table 4). CACTI is not available offline, so:
+
+* :mod:`repro.area.bits` — exact bit-count arithmetic for tag stores, data
+  arrays, ECC/EDC and the DBI (reproduces Table 4 exactly — it is pure
+  arithmetic).
+* :mod:`repro.area.cacti_lite` — a calibrated analytical area/latency/power
+  model (bit counts × cell area × small-array peripheral overhead) that
+  reproduces the *shape* of the paper's CACTI results: the 8%/5% total-area
+  reductions for a 16 MB cache (Section 6.3) and Table 5's sub-1% static /
+  few-% dynamic DBI power.
+"""
+
+from repro.area.bits import CacheBitModel, DbiBitModel
+from repro.area.cacti_lite import ArrayModel, CactiLite
+from repro.area.ecc_model import (
+    Table4Row,
+    area_reduction_with_ecc,
+    compute_table4,
+    compute_table5,
+)
+
+__all__ = [
+    "CacheBitModel",
+    "DbiBitModel",
+    "ArrayModel",
+    "CactiLite",
+    "Table4Row",
+    "compute_table4",
+    "compute_table5",
+    "area_reduction_with_ecc",
+]

@@ -1,0 +1,182 @@
+"""Exact bit-count arithmetic for cache metadata storage (paper Table 4).
+
+Conventions follow the paper's setup:
+
+* physical addresses are 48 bits, blocks are 64 B;
+* a conventional tag entry holds tag + valid + dirty + replacement state;
+* SECDED ECC costs 8 bits per 64-bit word → 64 bits per block (12.5%);
+* parity EDC costs 1 bit per 64-bit word → 8 bits per block (~1.5%);
+* a DBI entry holds valid + row tag + a ``granularity``-wide bit vector
+  (Figure 1b) plus its replacement (LRW) state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.utils.bits import ceil_div, ilog2
+from repro.utils.validation import check_positive, check_power_of_two
+
+PHYSICAL_ADDRESS_BITS = 48
+BLOCK_BYTES = 64
+WORD_BITS = 64
+SECDED_BITS_PER_WORD = 8
+PARITY_BITS_PER_WORD = 1
+
+
+@dataclass(frozen=True)
+class CacheBitModel:
+    """Bit counts for a conventional set-associative cache.
+
+    Attributes:
+        cache_bytes: data capacity.
+        associativity: ways per set.
+        with_ecc: whether per-block SECDED ECC is stored in the tag store.
+    """
+
+    cache_bytes: int
+    associativity: int = 16
+    with_ecc: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive("cache_bytes", self.cache_bytes)
+        check_power_of_two("associativity", self.associativity)
+
+    @property
+    def num_blocks(self) -> int:
+        return self.cache_bytes // BLOCK_BYTES
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_blocks // self.associativity
+
+    @property
+    def tag_bits(self) -> int:
+        """Address bits minus block offset minus set index."""
+        block_bits = ilog2(BLOCK_BYTES)
+        set_bits = ilog2(self.num_sets)
+        return PHYSICAL_ADDRESS_BITS - block_bits - set_bits
+
+    @property
+    def replacement_bits_per_block(self) -> int:
+        """LRU stack position: log2(ways) bits per block."""
+        return max(1, ilog2(self.associativity))
+
+    @property
+    def ecc_bits_per_block(self) -> int:
+        words = BLOCK_BYTES * 8 // WORD_BITS
+        return words * SECDED_BITS_PER_WORD  # 64 bits per 64 B block
+
+    @property
+    def edc_bits_per_block(self) -> int:
+        words = BLOCK_BYTES * 8 // WORD_BITS
+        return words * PARITY_BITS_PER_WORD  # 8 bits per 64 B block
+
+    def tag_entry_bits(self, include_dirty: bool = True) -> int:
+        bits = self.tag_bits + 1 + self.replacement_bits_per_block  # +valid
+        if include_dirty:
+            bits += 1
+        if self.with_ecc:
+            bits += self.ecc_bits_per_block
+        return bits
+
+    @property
+    def tag_store_bits(self) -> int:
+        """Conventional organization: dirty bit (and ECC) in every entry."""
+        return self.num_blocks * self.tag_entry_bits(include_dirty=True)
+
+    @property
+    def data_store_bits(self) -> int:
+        return self.num_blocks * BLOCK_BYTES * 8
+
+    @property
+    def total_bits(self) -> int:
+        return self.tag_store_bits + self.data_store_bits
+
+
+@dataclass(frozen=True)
+class DbiBitModel:
+    """Bit counts for the same cache reorganized around a DBI.
+
+    The main tag store drops its dirty bits (and, with ECC, stores only
+    parity EDC per block); the DBI adds entries with row tags and bit
+    vectors, plus SECDED ECC for the α·N blocks it can track (Figure 5).
+    """
+
+    cache: CacheBitModel
+    alpha: Fraction = Fraction(1, 4)
+    granularity: int = 64
+    dram_rows: int = 1 << 24  # row-tag namespace (log2 # rows in DRAM)
+
+    def __post_init__(self) -> None:
+        check_power_of_two("granularity", self.granularity)
+        if self.alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {self.alpha}")
+
+    @property
+    def tracked_blocks(self) -> int:
+        return int(self.cache.num_blocks * self.alpha)
+
+    @property
+    def num_entries(self) -> int:
+        return max(1, self.tracked_blocks // self.granularity)
+
+    @property
+    def row_tag_bits(self) -> int:
+        """Figure 1b: log2(# rows in DRAM) minus the DBI set-index bits."""
+        dbi_sets = max(1, self.num_entries // 16)
+        return max(1, ceil_div(int(math.log2(self.dram_rows)), 1) - ilog2(dbi_sets))
+
+    @property
+    def lrw_bits_per_entry(self) -> int:
+        ways = min(16, self.num_entries)
+        return max(1, ilog2(ways))
+
+    @property
+    def entry_bits(self) -> int:
+        return 1 + self.row_tag_bits + self.granularity + self.lrw_bits_per_entry
+
+    @property
+    def dbi_bits(self) -> int:
+        """The index structure itself."""
+        return self.num_entries * self.entry_bits
+
+    @property
+    def dbi_ecc_bits(self) -> int:
+        """SECDED for only the blocks the DBI can track (with-ECC designs)."""
+        if not self.cache.with_ecc:
+            return 0
+        return self.tracked_blocks * self.cache.ecc_bits_per_block
+
+    @property
+    def main_tag_store_bits(self) -> int:
+        """Main tag store: no dirty bit; EDC-per-block replaces full ECC."""
+        per_entry = self.cache.tag_bits + 1 + self.cache.replacement_bits_per_block
+        if self.cache.with_ecc:
+            per_entry += self.cache.edc_bits_per_block
+        return self.cache.num_blocks * per_entry
+
+    @property
+    def tag_side_bits(self) -> int:
+        """Everything that is not data: main tags + DBI + DBI-side ECC."""
+        return self.main_tag_store_bits + self.dbi_bits + self.dbi_ecc_bits
+
+    @property
+    def total_bits(self) -> int:
+        return self.tag_side_bits + self.cache.data_store_bits
+
+    # -------------------------------------------------------- comparisons
+
+    @property
+    def tag_store_reduction(self) -> float:
+        """Fractional reduction vs the conventional tag store (Table 4)."""
+        baseline = self.cache.tag_store_bits
+        return (baseline - self.tag_side_bits) / baseline
+
+    @property
+    def cache_reduction(self) -> float:
+        """Fractional reduction of the whole cache's bits (Table 4)."""
+        baseline = self.cache.total_bits
+        return (baseline - self.total_bits) / baseline

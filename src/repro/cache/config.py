@@ -1,0 +1,136 @@
+"""Cache level configuration (paper Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.bits import ilog2
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level.
+
+    Sizes are expressed in *blocks* (the simulator is block-addressed
+    throughout; with the paper's 64 B blocks a 2 MB cache is 32768 blocks).
+
+    Attributes:
+        name: label used in stats ("l1", "l2", "llc").
+        num_blocks: total capacity in blocks.
+        associativity: ways per set.
+        tag_latency: cycles for a tag lookup.
+        data_latency: cycles for a data access.
+        serial_lookup: True = data access starts after the tag lookup
+            (paper's L3); False = tag and data probed in parallel (L1/L2),
+            so a hit costs max(tag, data) instead of tag + data.
+        mshr_entries: outstanding misses supported (0 = unlimited).
+        replacement: policy name understood by
+            :func:`repro.cache.replacement.make_policy`.
+        port_occupancy: cycles one tag lookup holds the tag port. The
+            default of 1 models a pipelined tag array (one lookup may start
+            per cycle even though each takes ``tag_latency`` to finish);
+            only the shared LLC attaches a :class:`TagPort` — private levels
+            are modelled latency-only.
+    """
+
+    name: str
+    num_blocks: int
+    associativity: int
+    tag_latency: int
+    data_latency: int
+    serial_lookup: bool = False
+    mshr_entries: int = 0
+    replacement: str = "lru"
+    port_occupancy: int = 1
+
+    def __post_init__(self) -> None:
+        check_power_of_two("num_blocks", self.num_blocks)
+        check_power_of_two("associativity", self.associativity)
+        if self.associativity > self.num_blocks:
+            raise ValueError(
+                f"associativity {self.associativity} exceeds capacity "
+                f"{self.num_blocks} blocks"
+            )
+        check_positive("tag_latency", self.tag_latency)
+        check_positive("data_latency", self.data_latency)
+        check_non_negative("mshr_entries", self.mshr_entries)
+        check_positive("port_occupancy", self.port_occupancy)
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_blocks // self.associativity
+
+    @property
+    def set_index_bits(self) -> int:
+        return ilog2(self.num_sets)
+
+    @property
+    def hit_latency(self) -> int:
+        """Latency of a hit, honouring serial vs parallel tag/data lookup."""
+        if self.serial_lookup:
+            return self.tag_latency + self.data_latency
+        return max(self.tag_latency, self.data_latency)
+
+    @property
+    def miss_detect_latency(self) -> int:
+        """Cycles before a miss is known (always one tag lookup)."""
+        return self.tag_latency
+
+    def set_index(self, block_addr: int) -> int:
+        """Set index for a block address (low-order index bits)."""
+        return block_addr & (self.num_sets - 1)
+
+
+def paper_l1_config() -> CacheConfig:
+    """Paper Table 1 L1: 32 KB, 2-way, 2-cycle, parallel lookup, 32 MSHRs."""
+    return CacheConfig(
+        name="l1",
+        num_blocks=512,
+        associativity=2,
+        tag_latency=2,
+        data_latency=2,
+        serial_lookup=False,
+        mshr_entries=32,
+    )
+
+
+def paper_l2_config() -> CacheConfig:
+    """Paper Table 1 L2: 256 KB, 8-way, 12/14-cycle, parallel lookup."""
+    return CacheConfig(
+        name="l2",
+        num_blocks=4096,
+        associativity=8,
+        tag_latency=12,
+        data_latency=14,
+        serial_lookup=False,
+    )
+
+
+def paper_llc_config(num_cores: int, mb_per_core: int = 2) -> CacheConfig:
+    """Paper Table 1 shared L3: 2 MB/core, 16/32-way, serial lookup.
+
+    Latencies scale with capacity the way Table 1's do (10/12/13/14 tag and
+    24/29/31/33 data for 1/2/4/8 cores at 2 MB/core).
+    """
+    check_positive("num_cores", num_cores)
+    tag_by_cores = {1: 10, 2: 12, 4: 13, 8: 14}
+    data_by_cores = {1: 24, 2: 29, 4: 31, 8: 33}
+    tag = tag_by_cores.get(num_cores, 14)
+    data = data_by_cores.get(num_cores, 33)
+    if mb_per_core >= 4:
+        tag += 1
+        data += 4
+    return CacheConfig(
+        name="llc",
+        num_blocks=num_cores * mb_per_core * (1024 * 1024 // 64),
+        associativity=16 if num_cores == 1 else 32,
+        tag_latency=tag,
+        data_latency=data,
+        serial_lookup=True,
+        replacement="tadip",
+    )

@@ -1,0 +1,86 @@
+"""Shared LLC tag-port contention model.
+
+The paper's central complexity argument (Sections 3.1, 6.1-6.2) is that
+DAWB/VWQ roughly double LLC tag lookups while the DBI probes only
+actually-dirty blocks — and in multi-core systems those extra lookups delay
+everyone's demand accesses. This module makes that contention concrete: each
+tag lookup occupies the port for ``occupancy`` cycles; demand lookups are
+granted before background (proactive-writeback) lookups, but an in-flight
+lookup is never preempted (paper footnote 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from repro.utils.events import Event, EventQueue
+from repro.utils.stats import StatGroup
+
+
+class PortPriority(enum.IntEnum):
+    """Grant classes, highest first."""
+
+    DEMAND = 0  # read accesses and L2 writeback requests
+    BACKGROUND = 1  # proactive-writeback probes (AWB/DAWB/VWQ/DBI evictions)
+
+
+class TagPort:
+    """A single non-preemptible port with two priority classes.
+
+    Clients call :meth:`request`; the callback fires when the port is granted,
+    and the port stays busy for ``occupancy`` cycles afterwards.
+    """
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        occupancy: int,
+        name: str = "llc_port",
+    ) -> None:
+        if occupancy <= 0:
+            raise ValueError(f"occupancy must be positive, got {occupancy}")
+        self.queue = queue
+        self.occupancy = occupancy
+        self.busy_until = 0
+        self.stats = StatGroup(name)
+        self._waiting: Tuple[Deque[Callable[[], None]], ...] = (deque(), deque())
+        self._grant_event: Optional[Event] = None
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiting[0]) + len(self._waiting[1])
+
+    def request(
+        self, callback: Callable[[], None], priority: PortPriority = PortPriority.DEMAND
+    ) -> None:
+        """Queue a lookup; ``callback`` runs when the port grants it."""
+        self.stats.counter(f"requests_{priority.name.lower()}").increment()
+        self._waiting[priority].append(callback)
+        self._pump()
+
+    def _pump(self) -> None:
+        if self._grant_event is not None and not self._grant_event.cancelled:
+            return  # a grant pass is already pending
+        grant_time = max(self.queue.now, self.busy_until)
+        self._grant_event = self.queue.schedule(grant_time, self._grant)
+
+    def _grant(self) -> None:
+        self._grant_event = None
+        if self.queue.now < self.busy_until:
+            self._pump()
+            return
+        callback = None
+        for priority_queue in self._waiting:
+            if priority_queue:
+                callback = priority_queue.popleft()
+                break
+        if callback is None:
+            return
+        self.busy_until = self.queue.now + self.occupancy
+        self.stats.counter("grants").increment()
+        self.stats.distribution("queue_depth").record(self.queued)
+        callback()
+        if self.queued:
+            self._pump()

@@ -1,0 +1,114 @@
+"""Adapting cache-coherence protocols to the DBI (paper Section 2.3).
+
+Many protocols encode dirtiness *implicitly* in coherence states: MESI's M
+(Modified) means exclusive-and-dirty; MOESI adds O (Owned) for shared-and-
+dirty. To move the dirty information into the DBI, the paper proposes
+splitting the state space into (dirty state, clean twin) pairs —
+MOESI → {(M, E), (O, S), (I,)} — storing only the *clean twin* in the tag
+entry and one bit (the pair selector) in the DBI.
+
+:class:`CoherenceAdapter` implements that mapping for MSI, MESI and MOESI:
+given a protocol state it yields the (stored state, dbi_dirty_bit) encoding
+and back. The invariant tests assert the round trip is lossless, i.e. the
+DBI can carry the dirty half of any of these protocols without widening the
+tag entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: state -> clean twin (states absent from the map are their own twin).
+_PROTOCOL_PAIRS: Dict[str, Dict[str, str]] = {
+    "msi": {"M": "S"},
+    "mesi": {"M": "E"},
+    "moesi": {"M": "E", "O": "S"},
+}
+
+_PROTOCOL_STATES: Dict[str, Tuple[str, ...]] = {
+    "msi": ("M", "S", "I"),
+    "mesi": ("M", "E", "S", "I"),
+    "moesi": ("M", "O", "E", "S", "I"),
+}
+
+
+@dataclass(frozen=True)
+class EncodedState:
+    """A coherence state with the dirty half factored out."""
+
+    stored_state: str  # what remains in the tag entry
+    dbi_dirty: bool  # the bit that lives in the DBI
+
+
+class CoherenceAdapter:
+    """Split a protocol's states into (dirty, clean-twin) pairs.
+
+    Example (MOESI, paper Section 2.3):
+        >>> adapter = CoherenceAdapter("moesi")
+        >>> adapter.encode("M")
+        EncodedState(stored_state='E', dbi_dirty=True)
+        >>> adapter.decode("E", dbi_dirty=False)
+        'E'
+    """
+
+    def __init__(self, protocol: str) -> None:
+        key = protocol.lower()
+        if key not in _PROTOCOL_PAIRS:
+            raise ValueError(
+                f"unknown protocol {protocol!r}; choose from "
+                f"{sorted(_PROTOCOL_PAIRS)}"
+            )
+        self.protocol = key
+        self.states = _PROTOCOL_STATES[key]
+        self._dirty_to_clean = _PROTOCOL_PAIRS[key]
+        self._clean_to_dirty = {v: k for k, v in self._dirty_to_clean.items()}
+
+    @property
+    def dirty_states(self) -> List[str]:
+        return list(self._dirty_to_clean)
+
+    @property
+    def stored_states(self) -> List[str]:
+        """The states a tag entry can hold after the split."""
+        return [s for s in self.states if s not in self._dirty_to_clean]
+
+    def is_dirty_state(self, state: str) -> bool:
+        self._check(state)
+        return state in self._dirty_to_clean
+
+    def encode(self, state: str) -> EncodedState:
+        """Full protocol state -> (tag-entry state, DBI bit)."""
+        self._check(state)
+        clean_twin = self._dirty_to_clean.get(state)
+        if clean_twin is None:
+            return EncodedState(stored_state=state, dbi_dirty=False)
+        return EncodedState(stored_state=clean_twin, dbi_dirty=True)
+
+    def decode(self, stored_state: str, dbi_dirty: bool) -> str:
+        """(tag-entry state, DBI bit) -> full protocol state."""
+        if stored_state not in self.stored_states:
+            raise ValueError(
+                f"{stored_state!r} is not a stored state of {self.protocol}"
+            )
+        if not dbi_dirty:
+            return stored_state
+        dirty_twin = self._clean_to_dirty.get(stored_state)
+        if dirty_twin is None:
+            raise ValueError(
+                f"state {stored_state!r} has no dirty twin in {self.protocol}; "
+                f"a set DBI bit is inconsistent"
+            )
+        return dirty_twin
+
+    def tag_state_bits_saved(self) -> int:
+        """Tag bits saved by the split: ceil(log2) of states vs stored states."""
+        import math
+
+        full = math.ceil(math.log2(len(self.states)))
+        stored = math.ceil(math.log2(len(self.stored_states)))
+        return full - stored
+
+    def _check(self, state: str) -> None:
+        if state not in self.states:
+            raise ValueError(f"{state!r} is not a {self.protocol} state")

@@ -1,0 +1,96 @@
+"""Dirty-Block Index configuration (paper Section 4).
+
+The design space has three key parameters:
+
+* **size** (α) — the ratio of blocks trackable by the DBI to blocks in the
+  cache (Section 4.1). Paper default: α = 1/4.
+* **granularity** — blocks tracked per entry (Section 4.2). Paper default 64,
+  i.e. half an 8 KB DRAM row of 64 B blocks.
+* **replacement policy** (Section 4.3). Paper default: LRW.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.utils.validation import check_positive, check_power_of_two
+
+
+@dataclass(frozen=True)
+class DbiConfig:
+    """Geometry, latency and policy of the DBI.
+
+    Attributes:
+        cache_blocks: blocks in the cache the DBI serves (sets its capacity
+            via ``alpha``).
+        alpha: DBI size as a fraction of cache blocks (paper's α).
+        granularity: blocks per DBI entry; must divide the DRAM row size and
+            be a power of two.
+        associativity: DBI set associativity (paper Table 1: 16).
+        latency: DBI access latency in cycles (paper Table 1: 4).
+        replacement: one of "lrw", "lrw-bip", "rwip", "max-dirty", "min-dirty".
+    """
+
+    cache_blocks: int
+    alpha: Fraction = Fraction(1, 4)
+    granularity: int = 64
+    associativity: int = 16
+    latency: int = 4
+    replacement: str = "lrw"
+
+    def __post_init__(self) -> None:
+        check_power_of_two("cache_blocks", self.cache_blocks)
+        check_power_of_two("granularity", self.granularity)
+        check_positive("associativity", self.associativity)
+        check_positive("latency", self.latency)
+        if not isinstance(self.alpha, Fraction):
+            object.__setattr__(self, "alpha", Fraction(self.alpha).limit_denominator(64))
+        if self.alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {self.alpha}")
+        if self.num_entries < 1:
+            raise ValueError(
+                f"DBI would have no entries: cache_blocks={self.cache_blocks}, "
+                f"alpha={self.alpha}, granularity={self.granularity}"
+            )
+        if self.num_entries < self.associativity:
+            raise ValueError(
+                f"DBI entries ({self.num_entries}) fewer than associativity "
+                f"({self.associativity}); shrink associativity"
+            )
+        if self.num_entries % self.associativity != 0:
+            raise ValueError(
+                f"associativity {self.associativity} must divide entry count "
+                f"{self.num_entries}"
+            )
+
+    @property
+    def tracked_blocks(self) -> int:
+        """Cumulative blocks trackable by all entries (α × cache blocks)."""
+        return int(self.cache_blocks * self.alpha)
+
+    @property
+    def num_entries(self) -> int:
+        return self.tracked_blocks // self.granularity
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_entries // self.associativity
+
+    def region_of(self, block_addr: int) -> int:
+        """Region id (the DBI's 'row tag' space) of a block address."""
+        return block_addr // self.granularity
+
+    def offset_of(self, block_addr: int) -> int:
+        """Bit position of a block inside its region's bit vector."""
+        return block_addr % self.granularity
+
+    def block_of(self, region_id: int, offset: int) -> int:
+        """Inverse mapping from (region, bit position) to block address."""
+        if not 0 <= offset < self.granularity:
+            raise ValueError(f"offset {offset} out of range 0..{self.granularity - 1}")
+        return region_id * self.granularity + offset
+
+    def set_of(self, region_id: int) -> int:
+        """DBI set index for a region id."""
+        return region_id % self.num_sets

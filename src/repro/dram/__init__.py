@@ -1,0 +1,33 @@
+"""DDR3-style main-memory model.
+
+The model captures the structure that matters for the Dirty-Block Index paper:
+
+* banks with open-row policy and row buffers (row hits are much cheaper than
+  row misses),
+* an FR-FCFS scheduler (row hits first, then oldest-first),
+* a write buffer with a drain-when-full policy — the memory controller
+  services reads until the write buffer fills, then switches to a write-drain
+  phase, which is when write row locality pays off.
+
+Addresses everywhere in the simulator are *block* addresses (byte address
+divided by the cache block size); :class:`AddressMapper` translates a block
+address into (bank, row, column) with row interleaving, so consecutive DRAM
+rows land on different banks while the blocks of one row share a bank.
+"""
+
+from repro.dram.address import AddressMapper
+from repro.dram.bank import Bank
+from repro.dram.config import DramConfig
+from repro.dram.controller import MemoryController, Phase
+from repro.dram.request import MemoryRequest
+from repro.dram.writebuffer import WriteBuffer
+
+__all__ = [
+    "AddressMapper",
+    "Bank",
+    "DramConfig",
+    "MemoryController",
+    "MemoryRequest",
+    "Phase",
+    "WriteBuffer",
+]

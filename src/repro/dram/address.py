@@ -1,0 +1,77 @@
+"""Block-address to DRAM-coordinate mapping with row interleaving.
+
+The paper's controller uses "open row, row interleaving" (Table 1): the
+blocks of one DRAM row are contiguous in the physical address space and sit in
+one bank, while consecutive rows rotate across banks. Because a cache set
+index is taken from the *low* bits of the block address, the blocks of one
+DRAM row scatter across many cache sets — the very property that makes
+DRAM-aware writeback hard without a DBI (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.config import DramConfig
+from repro.utils.bits import ilog2
+
+
+@dataclass(frozen=True)
+class DramCoordinates:
+    """Decoded location of one cache block in DRAM."""
+
+    bank: int
+    row: int  # row index within the bank
+    column: int  # block index within the row
+    global_row_id: int  # unique across banks; what DBI/row-locality key on
+
+
+class AddressMapper:
+    """Maps block addresses to (bank, row, column) and back."""
+
+    def __init__(self, config: DramConfig) -> None:
+        self._config = config
+        self._row_shift = ilog2(config.row_buffer_blocks)
+        self._bank_mask = config.num_banks - 1
+        self._bank_shift = ilog2(config.num_banks)
+        self._column_mask = config.row_buffer_blocks - 1
+
+    @property
+    def blocks_per_row(self) -> int:
+        return self._config.row_buffer_blocks
+
+    def global_row_id(self, block_addr: int) -> int:
+        """Unique id of the DRAM row containing ``block_addr``."""
+        return block_addr >> self._row_shift
+
+    def decode(self, block_addr: int) -> DramCoordinates:
+        """Full decode of a block address."""
+        row_seq = block_addr >> self._row_shift
+        return DramCoordinates(
+            bank=row_seq & self._bank_mask,
+            row=row_seq >> self._bank_shift,
+            column=block_addr & self._column_mask,
+            global_row_id=row_seq,
+        )
+
+    def bank_of(self, block_addr: int) -> int:
+        """Bank index only (hot path in the scheduler)."""
+        return (block_addr >> self._row_shift) & self._bank_mask
+
+    def row_of(self, block_addr: int) -> int:
+        """Per-bank row index only."""
+        return (block_addr >> self._row_shift) >> self._bank_shift
+
+    def block_of(self, global_row_id: int, column: int) -> int:
+        """Inverse mapping: block address of ``column`` within a global row."""
+        if not 0 <= column < self._config.row_buffer_blocks:
+            raise ValueError(
+                f"column {column} out of range for row of "
+                f"{self._config.row_buffer_blocks} blocks"
+            )
+        return (global_row_id << self._row_shift) | column
+
+    def row_span(self, block_addr: int):
+        """Iterate all block addresses sharing ``block_addr``'s DRAM row."""
+        base = (block_addr >> self._row_shift) << self._row_shift
+        return range(base, base + self._config.row_buffer_blocks)

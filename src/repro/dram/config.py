@@ -1,0 +1,94 @@
+"""DRAM configuration.
+
+Timings are expressed in **CPU cycles**. The paper's system runs a 2.67 GHz
+core against DDR3-1066 (533 MHz bus clock), a CPU:DRAM clock ratio of ~5, so
+typical 7-7-7 DDR3 timings become ~35 CPU cycles each and an 8-beat burst on
+an 8-byte bus (one 64 B cache block) occupies the data bus for ~20 CPU cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+    check_range,
+)
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Parameters of one memory channel (paper Table 1: 1 channel, 1 rank).
+
+    Attributes:
+        num_banks: banks per channel.
+        row_buffer_blocks: cache blocks per DRAM row (8 KB row / 64 B = 128).
+        t_rcd: ACTIVATE-to-READ delay, CPU cycles.
+        t_rp: PRECHARGE latency, CPU cycles.
+        t_cas: column access (CAS) latency, CPU cycles.
+        t_burst: data-bus occupancy of one block transfer, CPU cycles.
+        t_wr: write recovery — extra cycles a bank stays busy after a write
+            burst before it can precharge/activate (DDR3 tWR). This is what
+            makes row-miss-heavy write drains bank-bound and row-hit drains
+            cheap — the asymmetry DRAM-aware writeback exploits.
+        t_turnaround: data-bus penalty when switching between read and write
+            bursts (tWTR/tRTW); batching writes amortizes it.
+        t_rrd: minimum spacing between ACTIVATEs to different banks.
+        t_faw: four-activate window — at most four ACTIVATEs may issue per
+            ``t_faw`` cycles. Together with ``t_rrd`` this caps the row-miss
+            service rate, which is what makes row-miss-heavy write drains
+            slow and row-hit drains fast.
+        write_buffer_entries: memory-controller write buffer capacity.
+        drain_low_watermark: write-drain phase ends when buffer falls to this
+            level ("drain when full" from the paper drains to empty, i.e. 0).
+        bus_queue_latency: fixed queuing/propagation overhead per request.
+    """
+
+    num_banks: int = 8
+    row_buffer_blocks: int = 128
+    t_rcd: int = 35
+    t_rp: int = 35
+    t_cas: int = 35
+    t_burst: int = 20
+    t_wr: int = 40
+    t_turnaround: int = 14
+    t_rrd: int = 20
+    t_faw: int = 100
+    write_buffer_entries: int = 64
+    drain_low_watermark: int = 0
+    bus_queue_latency: int = 10
+
+    def __post_init__(self) -> None:
+        check_power_of_two("num_banks", self.num_banks)
+        check_power_of_two("row_buffer_blocks", self.row_buffer_blocks)
+        for field_name in ("t_rcd", "t_rp", "t_cas", "t_burst"):
+            check_positive(field_name, getattr(self, field_name))
+        check_non_negative("t_wr", self.t_wr)
+        check_non_negative("t_turnaround", self.t_turnaround)
+        check_non_negative("t_rrd", self.t_rrd)
+        check_non_negative("t_faw", self.t_faw)
+        check_positive("write_buffer_entries", self.write_buffer_entries)
+        check_non_negative("bus_queue_latency", self.bus_queue_latency)
+        check_range(
+            "drain_low_watermark",
+            self.drain_low_watermark,
+            0,
+            self.write_buffer_entries - 1,
+        )
+
+    @property
+    def row_hit_latency(self) -> int:
+        """Bank-side latency of a row-buffer hit (CAS + burst)."""
+        return self.t_cas + self.t_burst
+
+    @property
+    def row_miss_latency(self) -> int:
+        """Bank-side latency of a row conflict (precharge + activate + CAS + burst)."""
+        return self.t_rp + self.t_rcd + self.t_cas + self.t_burst
+
+    @property
+    def row_closed_latency(self) -> int:
+        """Bank-side latency when the bank has no open row (activate + CAS + burst)."""
+        return self.t_rcd + self.t_cas + self.t_burst

@@ -1,0 +1,244 @@
+"""Event-driven memory controller.
+
+Services a read queue and a write buffer over a set of banks sharing one data
+bus. Operates in two phases (paper Table 1, "drain when full" policy [27]):
+
+* ``READ``: demand reads are scheduled FR-FCFS; writes accumulate in the
+  write buffer. If the read queue is empty the controller opportunistically
+  drains writes so simulations always terminate.
+* ``WRITE_DRAIN``: entered when the write buffer fills; writes are scheduled
+  FR-FCFS until the buffer reaches the low watermark, then reads resume.
+  Reads arriving during a drain wait — this is the write-caused interference
+  that DRAM-aware writeback mitigates.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.dram.address import AddressMapper
+from repro.dram.bank import Bank
+from repro.dram.config import DramConfig
+from repro.dram.request import MemoryRequest
+from repro.dram.scheduler import select_fr_fcfs
+from repro.dram.writebuffer import WriteBuffer
+from repro.utils.events import Event, EventQueue
+from repro.utils.stats import StatGroup
+
+
+class Phase(enum.Enum):
+    """Controller scheduling phase."""
+
+    READ = "read"
+    WRITE_DRAIN = "write_drain"
+
+
+class MemoryController:
+    """One memory channel: banks + data bus + read queue + write buffer."""
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        config: DramConfig = None,
+        name: str = "dram",
+    ) -> None:
+        self.queue = queue
+        self.config = config or DramConfig()
+        self.mapper = AddressMapper(self.config)
+        self.banks: List[Bank] = [
+            Bank(i, self.config) for i in range(self.config.num_banks)
+        ]
+        self.read_queue: List[MemoryRequest] = []
+        self.write_buffer = WriteBuffer(self.config.write_buffer_entries)
+        self.phase = Phase.READ
+        self.bus_free_time = 0
+        self._last_was_write: Optional[bool] = None
+        # Recent ACTIVATE issue times, newest last (tRRD / tFAW windows).
+        self._recent_activates: List[int] = []
+        self.stats = StatGroup(name)
+        self._wake_event: Optional[Event] = None
+
+    # ------------------------------------------------------------------ API
+
+    def enqueue_read(self, request: MemoryRequest) -> None:
+        """Accept a demand read. Forwards from the write buffer when possible."""
+        request.arrival_time = self.queue.now
+        self.stats.counter("reads").increment()
+        if self.write_buffer.contains(request.block_addr):
+            # Data is newer in the write buffer than in DRAM; forward it.
+            self.stats.counter("reads_forwarded_from_write_buffer").increment()
+            self._complete_read(request, self.queue.now + self.config.t_burst)
+            return
+        self.read_queue.append(request)
+        self._kick()
+
+    def can_accept_write(self) -> bool:
+        """Whether a new (non-coalescing) write would fit in the buffer."""
+        return not self.write_buffer.is_full
+
+    def enqueue_write(self, request: MemoryRequest) -> bool:
+        """Accept a writeback into the write buffer.
+
+        Returns:
+            False if the buffer is full and the write does not coalesce; the
+            caller must retry later (back-pressure).
+        """
+        request.arrival_time = self.queue.now
+        if self.write_buffer.contains(request.block_addr):
+            self.write_buffer.add(request)  # coalesce
+            self.stats.counter("writes_coalesced").increment()
+            return True
+        if self.write_buffer.is_full:
+            self.stats.counter("writes_rejected").increment()
+            return False
+        self.write_buffer.add(request)
+        self.stats.counter("writes").increment()
+        self._update_phase()
+        self._kick()
+        return True
+
+    @property
+    def pending_reads(self) -> int:
+        return len(self.read_queue)
+
+    @property
+    def pending_writes(self) -> int:
+        return len(self.write_buffer)
+
+    def is_idle(self) -> bool:
+        """True when no work is queued or in flight (end-of-run check)."""
+        return not self.read_queue and self.write_buffer.is_empty
+
+    # ------------------------------------------------------------ scheduling
+
+    def _kick(self) -> None:
+        """Ensure a scheduling pass runs at the current cycle."""
+        self._schedule_wake(self.queue.now)
+
+    def _schedule_wake(self, time: int) -> None:
+        if self._wake_event is not None and not self._wake_event.cancelled:
+            if self._wake_event.time <= time:
+                return  # an earlier-or-equal wake is already pending
+            self._wake_event.cancel()
+        self._wake_event = self.queue.schedule(time, self._wake)
+
+    def _wake(self) -> None:
+        self._wake_event = None
+        self._dispatch()
+
+    def _update_phase(self) -> None:
+        if self.phase is Phase.READ and self.write_buffer.is_full:
+            self.phase = Phase.WRITE_DRAIN
+            self.stats.counter("write_drain_phases").increment()
+        elif (
+            self.phase is Phase.WRITE_DRAIN
+            and len(self.write_buffer) <= self.config.drain_low_watermark
+        ):
+            self.phase = Phase.READ
+
+    def _candidates(self) -> List[MemoryRequest]:
+        """Requests eligible for scheduling in the current phase."""
+        if self.phase is Phase.WRITE_DRAIN:
+            return self.write_buffer.peek_all()
+        if self.read_queue:
+            return self.read_queue
+        # Read phase with an empty read queue: drain writes opportunistically.
+        return self.write_buffer.peek_all()
+
+    def _dispatch(self) -> None:
+        """Issue as many requests as bank availability allows, then re-arm."""
+        issued = True
+        while issued:
+            issued = False
+            self._update_phase()
+            candidates = self._candidates()
+            if not candidates:
+                return
+            request = select_fr_fcfs(candidates, self.banks, self.mapper, self.queue.now)
+            if request is not None:
+                bank = self.banks[self.mapper.bank_of(request.block_addr)]
+                row = self.mapper.row_of(request.block_addr)
+                if not bank.would_hit(row):
+                    # Row miss: an ACTIVATE is needed; honour tRRD/tFAW.
+                    act_ready = self._activate_ready_time()
+                    if act_ready > self.queue.now:
+                        # Wake at the ACT window or when a bank frees (a row
+                        # hit may become issueable first), whichever is sooner.
+                        now = self.queue.now
+                        busy = [
+                            b.busy_until for b in self.banks if b.busy_until > now
+                        ]
+                        self._schedule_wake(min([act_ready] + busy))
+                        return
+                self._issue(request)
+                issued = True
+        # The banks we need are blocked: wake when the first candidate's
+        # bank becomes ready (command slot and write recovery considered).
+        now = self.queue.now
+        ready_times = []
+        for request in self._candidates():
+            bank = self.banks[self.mapper.bank_of(request.block_addr)]
+            ready_times.append(bank.ready_time(self.mapper.row_of(request.block_addr)))
+        future = [t for t in ready_times if t > now]
+        self._schedule_wake(min(future) if future else now + 1)
+
+    def _activate_ready_time(self) -> int:
+        """Earliest cycle the next ACTIVATE may issue (tRRD / tFAW)."""
+        ready = 0
+        if self._recent_activates:
+            ready = self._recent_activates[-1] + self.config.t_rrd
+        if len(self._recent_activates) >= 4:
+            ready = max(ready, self._recent_activates[-4] + self.config.t_faw)
+        return ready
+
+    def _record_activate(self, when: int) -> None:
+        self._recent_activates.append(when)
+        if len(self._recent_activates) > 4:
+            del self._recent_activates[0]
+        self.stats.counter("activates").increment()
+
+    def _issue(self, request: MemoryRequest) -> None:
+        now = self.queue.now
+        bank = self.banks[self.mapper.bank_of(request.block_addr)]
+        row = self.mapper.row_of(request.block_addr)
+        row_hit = bank.would_hit(row)
+        if not row_hit:
+            self._record_activate(now)
+
+        # Bank-side prep (precharge/activate/CAS) can overlap other banks'
+        # bursts; the burst itself serializes on the shared data bus, with a
+        # turnaround penalty when the bus switches direction.
+        data_ready = bank.perform_access(row, now)
+        bus_ready = self.bus_free_time
+        if self._last_was_write is not None and (
+            self._last_was_write != request.is_write
+        ):
+            bus_ready += self.config.t_turnaround
+            self.stats.counter("bus_turnarounds").increment()
+        burst_start = max(data_ready, bus_ready)
+        finish = burst_start + self.config.t_burst
+        self.bus_free_time = finish
+        self._last_was_write = request.is_write
+        if request.is_write:
+            # Write recovery: this bank cannot precharge (change rows) until
+            # tWR after the burst; same-row accesses stream unimpeded.
+            bank.write_recovery_until = finish + self.config.t_wr
+
+        request.issue_time = now
+        request.complete_time = finish
+        if request.is_write:
+            self.write_buffer.remove(request)
+            self.stats.rate("write_row_hit_rate").record(row_hit)
+            self.stats.counter("dram_writes_performed").increment()
+        else:
+            self.read_queue.remove(request)
+            self.stats.rate("read_row_hit_rate").record(row_hit)
+            self.stats.counter("dram_reads_performed").increment()
+            self._complete_read(request, finish + self.config.bus_queue_latency)
+
+    def _complete_read(self, request: MemoryRequest, when: int) -> None:
+        request.complete_time = when
+        self.stats.distribution("read_latency").record(when - request.arrival_time)
+        if request.on_complete is not None:
+            self.queue.schedule(when, lambda req=request: req.on_complete(req))

@@ -1,0 +1,39 @@
+"""Memory request record exchanged between the LLC and the memory controller."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass
+class MemoryRequest:
+    """One block-sized read or write issued to the memory controller.
+
+    Attributes:
+        block_addr: block address (byte address / block size).
+        is_write: True for a writeback, False for a demand/fill read.
+        core_id: originating core (for per-core stats); -1 for writebacks that
+            have no single originator.
+        arrival_time: cycle the request entered the controller queue.
+        on_complete: callback fired (with this request) when data returns;
+            writes typically pass None.
+        issue_time / complete_time: filled in by the controller for stats.
+    """
+
+    block_addr: int
+    is_write: bool
+    core_id: int = -1
+    arrival_time: int = 0
+    on_complete: Optional[Callable[["MemoryRequest"], None]] = field(
+        default=None, repr=False
+    )
+    issue_time: Optional[int] = None
+    complete_time: Optional[int] = None
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Queue-to-data latency once completed, else None."""
+        if self.complete_time is None:
+            return None
+        return self.complete_time - self.arrival_time

@@ -1,0 +1,51 @@
+"""FR-FCFS request selection.
+
+First-Ready, First-Come-First-Served [45, 60]: among requests whose bank is
+available, prefer row-buffer hits; break ties by arrival order. Implemented
+as a pure function over a candidate list so it can be unit-tested in
+isolation from the event-driven controller.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.dram.address import AddressMapper
+from repro.dram.bank import Bank
+from repro.dram.request import MemoryRequest
+
+
+def select_fr_fcfs(
+    candidates: Sequence[MemoryRequest],
+    banks: List[Bank],
+    mapper: AddressMapper,
+    now: int,
+) -> Optional[MemoryRequest]:
+    """Pick the next request to issue, or None if no bank is ready.
+
+    Args:
+        candidates: pending requests in arrival (FIFO) order.
+        banks: bank state; a request is schedulable only if its bank is free.
+        mapper: address decode.
+        now: current cycle.
+
+    Returns:
+        The first row-hit request whose bank is free, else the oldest request
+        whose bank is free, else None.
+    """
+    oldest_ready: Optional[MemoryRequest] = None
+    for request in candidates:
+        bank = banks[mapper.bank_of(request.block_addr)]
+        row = mapper.row_of(request.block_addr)
+        if not bank.is_ready(row, now):
+            continue
+        if bank.would_hit(row):
+            return request  # first-ready row hit wins immediately
+        if oldest_ready is None:
+            oldest_ready = request
+    return oldest_ready
+
+
+def earliest_bank_free(banks: List[Bank]) -> int:
+    """Earliest cycle at which any bank becomes free (for wake-up scheduling)."""
+    return min(bank.busy_until for bank in banks)

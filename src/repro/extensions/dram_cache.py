@@ -1,0 +1,153 @@
+"""Self-balancing DRAM-cache dispatch using a DBI (paper Section 7).
+
+Background (Sim et al. [49], "A mostly-clean DRAM cache for effective hit
+speculation and self-balancing dispatch"): a die-stacked DRAM cache is fast
+but bandwidth-limited; off-chip DRAM is slower but otherwise idle. A read
+that *might* hit a **dirty** line in the DRAM cache must be served by the
+cache; a read of a **clean-or-absent** line can be *dispatched to whichever
+memory is less loaded* — the stale-read risk vanishes because off-chip
+memory holds identical data for clean lines. The original mechanism needed
+a counting Bloom filter (to find heavily-written pages) plus a small
+dirty-page cache. The paper observes a DBI provides both functions
+directly: it is the authority on dirtiness, and its LRW stack *is* a
+recency-ordered list of written regions.
+
+This module models that system functionally: a DRAM cache with per-queue
+load tracking, a DBI shared with it, and a dispatcher that balances clean
+reads across the two memories.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.dbi import DirtyBlockIndex
+from repro.utils.stats import StatGroup
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class DispatchDecision(enum.Enum):
+    """Where a read was sent."""
+
+    DRAM_CACHE = "dram_cache"  # forced (dirty) or chosen (less loaded)
+    OFF_CHIP = "off_chip"
+
+
+@dataclass
+class DramCacheModel:
+    """A minimal die-stacked DRAM cache: presence set + dirty via DBI.
+
+    The data path is abstracted to queue-occupancy counters; what matters
+    for the dispatch study is *where* requests go, not their cycle timing.
+    """
+
+    dbi: DirtyBlockIndex
+    capacity_blocks: int = 1 << 16
+
+    def __post_init__(self) -> None:
+        check_positive("capacity_blocks", self.capacity_blocks)
+        self._present = set()
+        self.stats = StatGroup("dram_cache")
+
+    def contains(self, block_addr: int) -> bool:
+        return block_addr in self._present
+
+    def install(self, block_addr: int, dirty: bool = False) -> Optional[int]:
+        """Install a block; returns an evicted block address if one fell out.
+
+        Eviction policy is FIFO over the presence set — adequate for the
+        dispatch study, which cares about dirtiness, not reuse ordering.
+        """
+        if block_addr in self._present:
+            if dirty:
+                eviction = self.dbi.mark_dirty(block_addr)
+                self._writeback_eviction(eviction)
+            return None
+        victim = None
+        if len(self._present) >= self.capacity_blocks:
+            victim = next(iter(self._present))
+            self._present.discard(victim)
+            if self.dbi.mark_clean(victim):
+                self.stats.counter("dirty_evictions").increment()
+        self._present.add(block_addr)
+        if dirty:
+            eviction = self.dbi.mark_dirty(block_addr)
+            self._writeback_eviction(eviction)
+        return victim
+
+    def write(self, block_addr: int) -> None:
+        """A store to the DRAM cache: allocate + mark dirty."""
+        self.install(block_addr, dirty=True)
+        self.stats.counter("writes").increment()
+
+    def _writeback_eviction(self, eviction) -> None:
+        if eviction is None:
+            return
+        # Displaced DBI entry: its blocks become clean (written downstream).
+        self.stats.counter("dbi_forced_writebacks").increment(
+            len(eviction.dirty_blocks)
+        )
+
+
+class DramCacheDispatcher:
+    """Route reads between the DRAM cache and off-chip memory.
+
+    The decision rule of [49], with the DBI replacing its dedicated
+    structures:
+
+    1. If the block *might be dirty* in the DRAM cache (DBI bit set), the
+       read **must** go to the DRAM cache.
+    2. Otherwise the data is identical in both memories (clean or absent
+       with clean fill path), so send it to the shorter queue.
+    """
+
+    def __init__(
+        self,
+        cache: DramCacheModel,
+        queue_penalty_threshold: int = 4,
+    ) -> None:
+        check_non_negative("queue_penalty_threshold", queue_penalty_threshold)
+        self.cache = cache
+        self.threshold = queue_penalty_threshold
+        self.cache_queue = 0
+        self.off_chip_queue = 0
+        self.stats = StatGroup("dispatch")
+
+    def dispatch_read(self, block_addr: int) -> DispatchDecision:
+        """Decide where one read goes and account queue occupancy."""
+        self.stats.counter("reads").increment()
+        if self.cache.dbi.is_dirty(block_addr):
+            # Only the DRAM cache has the current data.
+            self.stats.counter("forced_to_cache").increment()
+            self.cache_queue += 1
+            return DispatchDecision.DRAM_CACHE
+
+        # Clean everywhere: balance load.
+        if self.cache_queue - self.off_chip_queue >= self.threshold:
+            self.stats.counter("balanced_to_off_chip").increment()
+            self.off_chip_queue += 1
+            return DispatchDecision.OFF_CHIP
+        self.cache_queue += 1
+        return DispatchDecision.DRAM_CACHE
+
+    def complete(self, decision: DispatchDecision) -> None:
+        """Retire one request from the chosen queue."""
+        if decision is DispatchDecision.DRAM_CACHE:
+            if self.cache_queue <= 0:
+                raise ValueError("DRAM cache queue underflow")
+            self.cache_queue -= 1
+        else:
+            if self.off_chip_queue <= 0:
+                raise ValueError("off-chip queue underflow")
+            self.off_chip_queue -= 1
+
+    @property
+    def off_chip_share(self) -> float:
+        """Fraction of reads the dispatcher managed to offload."""
+        flat = self.stats.as_dict()
+        reads = flat.get("dispatch.reads", 0)
+        if not reads:
+            return 0.0
+        return flat.get("dispatch.balanced_to_off_chip", 0) / reads

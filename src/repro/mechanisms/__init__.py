@@ -1,0 +1,44 @@
+"""LLC mechanisms evaluated in the paper (Table 2).
+
+Each mechanism plugs into the shared last-level cache and decides how dirty
+blocks are tracked and written back, and whether read lookups can be
+bypassed:
+
+=================  =====================================================
+``baseline``       LRU cache, dirty bits in the tag store
+``tadip``          Baseline + thread-aware DIP insertion [18, 42]
+``dawb``           DRAM-aware writeback [27]: probe a whole DRAM row on
+                   every dirty eviction (many wasted tag lookups)
+``vwq``            Virtual Write Queue [51]: Set State Vector filters
+                   probes down to sets with dirty LRU-half blocks
+``skipcache``      Skip Cache [44]: write-through LLC + miss-predictor
+                   lookup bypass
+``dbi``            Dirty-Block Index, no optimizations: DBI evictions
+                   already batch row writebacks
+``dbi+awb``        DBI + aggressive writeback (Section 3.1)
+``dbi+clb``        DBI + cache lookup bypass (Section 3.2)
+``dbi+awb+clb``    the paper's full mechanism
+=================  =====================================================
+"""
+
+from repro.mechanisms.base import LlcMechanism
+from repro.mechanisms.conventional import BaselineMechanism, TaDipMechanism
+from repro.mechanisms.dawb import DawbMechanism
+from repro.mechanisms.dbi_mech import DbiMechanism
+from repro.mechanisms.misspredictor import MissPredictor
+from repro.mechanisms.registry import MECHANISM_NAMES, make_mechanism
+from repro.mechanisms.skipcache import SkipCacheMechanism
+from repro.mechanisms.vwq import VwqMechanism
+
+__all__ = [
+    "LlcMechanism",
+    "BaselineMechanism",
+    "TaDipMechanism",
+    "DawbMechanism",
+    "VwqMechanism",
+    "SkipCacheMechanism",
+    "DbiMechanism",
+    "MissPredictor",
+    "MECHANISM_NAMES",
+    "make_mechanism",
+]

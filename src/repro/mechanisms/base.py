@@ -1,0 +1,220 @@
+"""Shared machinery for LLC mechanisms.
+
+:class:`LlcMechanism` implements the conventional read/writeback paths —
+tag-port arbitration, MSHR-style fill merging, dirty evictions, and
+back-pressured memory writebacks — and exposes the hooks the paper's
+mechanisms specialize:
+
+* how a block is *marked dirty* (in-tag bit vs. DBI entry),
+* how dirtiness of an *evicted* block is determined,
+* what happens *after* a dirty eviction (DAWB/VWQ/AWB row probing),
+* whether a read may *bypass* the tag lookup (Skip Cache / CLB).
+
+Every tag lookup — demand read, writeback request, or background row probe —
+goes through the tag port and increments ``tag_lookups``; Figure 6c's
+lookups-per-kilo-instruction comparison falls directly out of this counter.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List
+
+from repro.cache.cache import Cache, EvictedBlock
+from repro.cache.port import PortPriority, TagPort
+from repro.dram.address import AddressMapper
+from repro.dram.controller import MemoryController
+from repro.dram.request import MemoryRequest
+from repro.utils.events import EventQueue
+from repro.utils.stats import StatGroup
+
+#: Cycles between attempts to re-enqueue a writeback the controller rejected.
+WRITEBACK_RETRY_INTERVAL = 50
+
+
+class LlcMechanism:
+    """Conventional LLC behaviour (the paper's Baseline when LRU is used)."""
+
+    name = "baseline"
+    #: False for DBI mechanisms, which must never set in-tag dirty bits.
+    uses_tag_dirty_bits = True
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        llc: Cache,
+        port: TagPort,
+        memory: MemoryController,
+        mapper: AddressMapper,
+    ) -> None:
+        self.queue = queue
+        self.llc = llc
+        self.port = port
+        self.memory = memory
+        self.mapper = mapper
+        self.stats = StatGroup("mech")
+        self._pending_fills: Dict[int, List[Callable[[int], None]]] = {}
+        self._writeback_overflow: Deque[int] = deque()
+        self._retry_pending = False
+
+    # ------------------------------------------------------------ read path
+
+    def read(self, core_id: int, addr: int, on_data: Callable[[int], None]) -> None:
+        """Demand read from an L2 miss; ``on_data(addr)`` fires when served."""
+        self.stats.counter("read_requests").increment()
+        self._lookup_for_read(core_id, addr, on_data)
+
+    def _lookup_for_read(
+        self, core_id: int, addr: int, on_data: Callable[[int], None]
+    ) -> None:
+        self.port.request(
+            lambda: self._read_granted(core_id, addr, on_data), PortPriority.DEMAND
+        )
+
+    def _read_granted(
+        self, core_id: int, addr: int, on_data: Callable[[int], None]
+    ) -> None:
+        self._count_tag_lookup(core_id)
+        if self.llc.lookup(addr, core_id):
+            self.stats.counter("read_hits").increment()
+            self._train_predictor(core_id, addr, hit=True)
+            self.queue.schedule_after(
+                self.llc.config.hit_latency, lambda: on_data(addr)
+            )
+            return
+        self.stats.counter("read_misses").increment()
+        self._train_predictor(core_id, addr, hit=False)
+        self.queue.schedule_after(
+            self.llc.config.miss_detect_latency,
+            lambda: self._fetch_block(core_id, addr, on_data),
+        )
+
+    def _fetch_block(
+        self, core_id: int, addr: int, on_data: Callable[[int], None]
+    ) -> None:
+        """Read ``addr`` from memory and fill the LLC, merging duplicates."""
+        waiters = self._pending_fills.get(addr)
+        if waiters is not None:
+            waiters.append(on_data)
+            self.stats.counter("fill_merges").increment()
+            return
+        self._pending_fills[addr] = [on_data]
+        self.memory.enqueue_read(
+            MemoryRequest(
+                block_addr=addr,
+                is_write=False,
+                core_id=core_id,
+                on_complete=lambda req: self._fill_arrived(core_id, req.block_addr),
+            )
+        )
+
+    def _fill_arrived(self, core_id: int, addr: int) -> None:
+        waiters = self._pending_fills.pop(addr, [])
+        evicted = self.llc.insert(addr, core_id=core_id, dirty=False)
+        if evicted is not None:
+            self._handle_cache_eviction(evicted)
+        for on_data in waiters:
+            on_data(addr)
+
+    def _fetch_without_fill(
+        self, core_id: int, addr: int, on_data: Callable[[int], None]
+    ) -> None:
+        """Serve a bypassed read straight from memory, without LLC pollution."""
+        self.memory.enqueue_read(
+            MemoryRequest(
+                block_addr=addr,
+                is_write=False,
+                core_id=core_id,
+                on_complete=lambda req: on_data(req.block_addr),
+            )
+        )
+
+    # ------------------------------------------------------- writeback path
+
+    def writeback(self, core_id: int, addr: int) -> None:
+        """Writeback request from the previous cache level (L2 dirty evict)."""
+        self.stats.counter("writeback_requests").increment()
+        self.port.request(
+            lambda: self._writeback_granted(core_id, addr), PortPriority.DEMAND
+        )
+
+    def _writeback_granted(self, core_id: int, addr: int) -> None:
+        self._count_tag_lookup(core_id)
+        if self.llc.contains(addr):
+            self.llc.touch(addr, core_id)
+            self._mark_dirty(addr)
+            return
+        evicted = self._insert_dirty(addr, core_id)
+        if evicted is not None:
+            self._handle_cache_eviction(evicted)
+
+    # ------------------------------------------- hooks mechanisms specialize
+
+    def _mark_dirty(self, addr: int) -> None:
+        """Record that a cached block now holds modified data."""
+        self.llc.mark_dirty(addr)
+
+    def _insert_dirty(self, addr: int, core_id: int):
+        """Install a written-back block that was absent from the LLC."""
+        return self.llc.insert(addr, core_id=core_id, dirty=True)
+
+    def _handle_cache_eviction(self, evicted: EvictedBlock) -> None:
+        """A block fell out of the LLC; write it back if dirty."""
+        if evicted.dirty:
+            self._send_memory_write(evicted.addr)
+            self._after_dirty_eviction(evicted.addr)
+
+    def _after_dirty_eviction(self, addr: int) -> None:
+        """Hook for proactive row writeback (DAWB/VWQ/AWB). Default: none."""
+
+    def _train_predictor(self, core_id: int, addr: int, hit: bool) -> None:
+        """Hook for miss-predictor training (Skip Cache / CLB)."""
+
+    # ------------------------------------------------------- memory writes
+
+    def _send_memory_write(self, addr: int) -> None:
+        """Queue a block writeback to memory, retrying under back-pressure."""
+        self.stats.counter("memory_writebacks").increment()
+        accepted = self.memory.enqueue_write(
+            MemoryRequest(block_addr=addr, is_write=True)
+        )
+        if not accepted:
+            self._writeback_overflow.append(addr)
+            self._schedule_writeback_retry()
+
+    def _schedule_writeback_retry(self) -> None:
+        if self._retry_pending:
+            return
+        self._retry_pending = True
+        self.queue.schedule_after(WRITEBACK_RETRY_INTERVAL, self._retry_writebacks)
+
+    def _retry_writebacks(self) -> None:
+        self._retry_pending = False
+        while self._writeback_overflow:
+            addr = self._writeback_overflow[0]
+            if self.memory.enqueue_write(MemoryRequest(block_addr=addr, is_write=True)):
+                self._writeback_overflow.popleft()
+            else:
+                self._schedule_writeback_retry()
+                return
+
+    # -------------------------------------------------------------- stats
+
+    def _count_tag_lookup(self, core_id: int) -> None:
+        self.stats.counter("tag_lookups").increment()
+        if core_id >= 0:
+            self.stats.counter(f"tag_lookups_core{core_id}").increment()
+
+    def is_idle(self) -> bool:
+        """No fills in flight and no writebacks waiting (end-of-run check)."""
+        return (
+            not self._pending_fills
+            and not self._writeback_overflow
+            and self.port.queued == 0
+        )
+
+    # ------------------------------------------------- invariant inspection
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError on internal inconsistency (used by tests)."""
+        # Conventional caches: nothing beyond cache-internal consistency.

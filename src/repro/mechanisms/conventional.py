@@ -1,0 +1,23 @@
+"""Baseline and TA-DIP mechanisms.
+
+Both use the conventional in-tag dirty-bit organization; they differ only in
+the LLC insertion policy, which is selected by the cache's replacement policy
+(``lru`` for Baseline, ``tadip`` for TA-DIP). These classes exist so every
+row of paper Table 2 has a named mechanism with its own defaults.
+"""
+
+from __future__ import annotations
+
+from repro.mechanisms.base import LlcMechanism
+
+
+class BaselineMechanism(LlcMechanism):
+    """Paper's Baseline: LRU cache, dirty bits in the tag store."""
+
+    name = "baseline"
+
+
+class TaDipMechanism(LlcMechanism):
+    """Thread-aware DIP [18, 42]; identical datapath to Baseline."""
+
+    name = "tadip"

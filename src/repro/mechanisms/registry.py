@@ -1,0 +1,125 @@
+"""Mechanism factory.
+
+Builds any Table 2 mechanism from its name plus the shared LLC substrate
+(cache, tag port, memory controller, address mapper). Used by the system
+builder and by the experiment harness, so every figure/table script selects
+mechanisms by the same names the paper uses.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from repro.cache.cache import Cache
+from repro.cache.port import TagPort
+from repro.core.config import DbiConfig
+from repro.core.dbi import DirtyBlockIndex
+from repro.dram.address import AddressMapper
+from repro.dram.controller import MemoryController
+from repro.mechanisms.base import LlcMechanism
+from repro.mechanisms.conventional import BaselineMechanism, TaDipMechanism
+from repro.mechanisms.dawb import DawbMechanism
+from repro.mechanisms.dbi_mech import DbiMechanism
+from repro.mechanisms.misspredictor import MissPredictor
+from repro.mechanisms.skipcache import SkipCacheMechanism
+from repro.mechanisms.vwq import VwqMechanism
+from repro.utils.events import EventQueue
+from repro.utils.rng import DeterministicRng
+
+#: Every mechanism evaluated in the paper, by its Table 2 label.
+MECHANISM_NAMES = (
+    "baseline",
+    "tadip",
+    "dawb",
+    "vwq",
+    "skipcache",
+    "dbi",
+    "dbi+awb",
+    "dbi+clb",
+    "dbi+awb+clb",
+)
+
+#: Mechanisms that need the LLC to use TA-DIP insertion (all but Baseline).
+TADIP_MECHANISMS = frozenset(MECHANISM_NAMES) - {"baseline"}
+
+
+def llc_replacement_for(mechanism_name: str, override: Optional[str] = None) -> str:
+    """The cache replacement policy a mechanism expects (Table 2)."""
+    if override is not None:
+        return override
+    return "lru" if mechanism_name == "baseline" else "tadip"
+
+
+def make_mechanism(
+    name: str,
+    queue: EventQueue,
+    llc: Cache,
+    port: TagPort,
+    memory: MemoryController,
+    mapper: AddressMapper,
+    num_cores: int = 1,
+    dbi_config: Optional[DbiConfig] = None,
+    dbi_alpha: Fraction = Fraction(1, 4),
+    dbi_granularity: int = 64,
+    dbi_replacement: str = "lrw",
+    predictor: Optional[MissPredictor] = None,
+    predictor_epoch_cycles: int = 250_000,
+    predictor_threshold: float = 0.95,
+    rng: Optional[DeterministicRng] = None,
+) -> LlcMechanism:
+    """Construct the named mechanism over a shared LLC substrate.
+
+    Args:
+        name: one of :data:`MECHANISM_NAMES`.
+        dbi_config: full DBI configuration; if omitted, one is derived from
+            ``dbi_alpha`` / ``dbi_granularity`` / ``dbi_replacement`` and the
+            cache's size with the paper's defaults (Table 1).
+        predictor: shared miss predictor; built on demand for mechanisms
+            that bypass lookups (skipcache, dbi+clb variants).
+    """
+    key = name.lower()
+    if key not in MECHANISM_NAMES:
+        raise ValueError(f"unknown mechanism {name!r}; choose from {MECHANISM_NAMES}")
+
+    common = dict(queue=queue, llc=llc, port=port, memory=memory, mapper=mapper)
+
+    if key == "baseline":
+        return BaselineMechanism(**common)
+    if key == "tadip":
+        return TaDipMechanism(**common)
+    if key == "dawb":
+        return DawbMechanism(**common)
+    if key == "vwq":
+        return VwqMechanism(**common)
+
+    needs_predictor = key in ("skipcache", "dbi+clb", "dbi+awb+clb")
+    if needs_predictor and predictor is None:
+        predictor = MissPredictor(
+            num_cores=num_cores,
+            num_sets=llc.config.num_sets,
+            threshold=predictor_threshold,
+            epoch_cycles=predictor_epoch_cycles,
+        )
+
+    if key == "skipcache":
+        return SkipCacheMechanism(predictor=predictor, **common)
+
+    if dbi_config is None:
+        associativity = min(16, max(1, llc.config.num_blocks * dbi_alpha
+                                    // dbi_granularity))
+        dbi_config = DbiConfig(
+            cache_blocks=llc.config.num_blocks,
+            alpha=dbi_alpha,
+            granularity=dbi_granularity,
+            associativity=int(associativity),
+            replacement=dbi_replacement,
+        )
+    dbi = DirtyBlockIndex(dbi_config, rng=rng)
+    return DbiMechanism(
+        dbi=dbi,
+        enable_awb="awb" in key,
+        enable_clb="clb" in key,
+        predictor=predictor,
+        **common,
+    )

@@ -1,0 +1,42 @@
+"""Event-driven timing simulator.
+
+Ties the substrates together into the paper's system (Table 1): per-core
+out-of-order cores and private L1/L2 caches, a shared LLC driven by a
+pluggable mechanism (`repro.mechanisms`), and a DDR3 memory controller
+(`repro.dram`).
+
+The core model is approximate out-of-order: single-issue, a 128-entry
+instruction window, loads overlap freely (memory-level parallelism) until
+the window or the L1 MSHRs fill, in-order retirement. This reproduces how
+write-induced memory interference translates into core stalls without
+simulating a full pipeline.
+"""
+
+from repro.sim.core_model import OooCore
+from repro.sim.hierarchy import Hierarchy
+from repro.sim.metrics import (
+    harmonic_speedup,
+    instruction_throughput,
+    maximum_slowdown,
+    weighted_speedup,
+)
+from repro.sim.system import SimulationResult, System, SystemConfig, run_system
+from repro.sim.trace import Trace, TraceRecord
+from repro.sim.tracefile import load_trace, save_trace
+
+__all__ = [
+    "OooCore",
+    "Hierarchy",
+    "System",
+    "SystemConfig",
+    "SimulationResult",
+    "run_system",
+    "Trace",
+    "TraceRecord",
+    "load_trace",
+    "save_trace",
+    "weighted_speedup",
+    "harmonic_speedup",
+    "instruction_throughput",
+    "maximum_slowdown",
+]

@@ -1,0 +1,201 @@
+"""Approximate out-of-order core model.
+
+Single issue (paper Table 1), a ``window``-entry instruction window and
+out-of-order completion with in-order retirement, approximated as:
+
+* non-memory instructions issue 1/cycle and never stall;
+* loads issue without blocking and complete whenever the hierarchy answers —
+  independent loads overlap (memory-level parallelism);
+* issue stalls when a load older than ``window`` instructions is still
+  outstanding (the window is full of unretired work), or when
+  ``max_outstanding_loads`` (the L1 MSHRs) are in flight;
+* stores retire through a store buffer: they never stall issue, but they do
+  send real write-allocate traffic into the hierarchy.
+
+IPC is recorded the first time the core commits ``instruction_limit``
+instructions; afterwards the core keeps replaying its trace so a multi-core
+simulation retains its memory contention until every core has been measured
+(the standard multi-programmed methodology).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.sim.trace import Trace
+from repro.utils.events import EventQueue
+from repro.utils.stats import StatGroup
+
+
+class OooCore:
+    """Trace-driven core front-end attached to a cache hierarchy."""
+
+    def __init__(
+        self,
+        core_id: int,
+        queue: EventQueue,
+        hierarchy,
+        trace: Trace,
+        instruction_limit: int,
+        window: int = 128,
+        max_outstanding_loads: int = 32,
+        on_measured: Optional[Callable[["OooCore"], None]] = None,
+        warmup_instructions: int = 0,
+        on_warmed: Optional[Callable[["OooCore"], None]] = None,
+    ) -> None:
+        if instruction_limit <= 0:
+            raise ValueError("instruction_limit must be positive")
+        if not 0 <= warmup_instructions < instruction_limit:
+            raise ValueError(
+                "warmup_instructions must be in [0, instruction_limit)"
+            )
+        if not trace.records:
+            raise ValueError(f"trace {trace.name!r} is empty")
+        self.core_id = core_id
+        self.queue = queue
+        self.hierarchy = hierarchy
+        self.trace = trace
+        self.instruction_limit = instruction_limit
+        self.window = window
+        self.max_outstanding_loads = max_outstanding_loads
+        self.on_measured = on_measured
+        self.warmup_instructions = warmup_instructions
+        self.on_warmed = on_warmed
+        self.warmed = warmup_instructions == 0
+        self._measure_start_cycle = 0
+        self.stats = StatGroup(f"core{core_id}")
+
+        self._records = trace.records
+        self._pos = 0
+        self._issue_time = 0  # cycle the next instruction may issue
+        self._instr_count = 0  # instructions issued so far
+        self._outstanding: Dict[int, int] = {}  # instr index -> issue cycle
+        self._waiting = False  # blocked on a load completion
+        self._advance_scheduled = False
+        self.keep_running = True  # cleared by the System once all measured
+
+        self.measured_ipc: Optional[float] = None
+        self.measured_cycles: Optional[int] = None
+        self.finished = False  # stopped issuing entirely
+
+    # ------------------------------------------------------------- control
+
+    def start(self) -> None:
+        self._schedule_advance(self.queue.now)
+
+    def stop(self) -> None:
+        """Stop issuing new work (in-flight loads still drain)."""
+        self.keep_running = False
+        self.finished = True
+
+    # ------------------------------------------------------------ mainloop
+
+    def _schedule_advance(self, when: int) -> None:
+        if self._advance_scheduled or self.finished:
+            return
+        self._advance_scheduled = True
+        self.queue.schedule(max(when, self.queue.now), self._advance_event)
+
+    def _advance_event(self) -> None:
+        self._advance_scheduled = False
+        self._advance()
+
+    def _advance(self) -> None:
+        while not self.finished:
+            gap, is_write, addr = self._records[self._pos]
+            mem_instr_index = self._instr_count + gap
+            issue_at = self._issue_time + gap
+
+            # Window full: the oldest unfinished load blocks retirement of
+            # everything behind it, so issue must wait for it.
+            if self._outstanding:
+                oldest = min(self._outstanding)
+                if oldest <= mem_instr_index - self.window:
+                    self._waiting = True
+                    self.stats.counter("window_stalls").increment()
+                    return
+            if (
+                not is_write
+                and len(self._outstanding) >= self.max_outstanding_loads
+            ):
+                self._waiting = True
+                self.stats.counter("mshr_stalls").increment()
+                return
+
+            if issue_at > self.queue.now:
+                self._schedule_advance(issue_at)
+                return
+
+            # Issue the memory operation now.
+            issue_cycle = max(issue_at, self.queue.now)
+            self._pos += 1
+            if self._pos >= len(self._records):
+                self._pos = 0  # replay the trace
+            self._instr_count = mem_instr_index + 1
+            self._issue_time = issue_cycle + 1
+
+            if is_write:
+                self.stats.counter("stores").increment()
+                self.hierarchy.store(self.core_id, addr)
+            else:
+                self.stats.counter("loads").increment()
+                index = mem_instr_index
+                hit = self.hierarchy.load(
+                    self.core_id, addr, lambda a, index=index: self._load_done(index)
+                )
+                if not hit:
+                    self._outstanding[index] = issue_cycle
+
+            if not self.warmed and self._instr_count >= self.warmup_instructions:
+                self.warmed = True
+                self._measure_start_cycle = self.queue.now
+                if self.on_warmed is not None:
+                    self.on_warmed(self)
+
+            if self._instr_count >= self.instruction_limit:
+                self._maybe_record()
+                if self.finished:
+                    return
+
+    # --------------------------------------------------------- completions
+
+    def _load_done(self, instr_index: int) -> None:
+        issue_cycle = self._outstanding.pop(instr_index, None)
+        if issue_cycle is not None:
+            self.stats.distribution("load_latency").record(
+                self.queue.now - issue_cycle
+            )
+        if self.measured_ipc is None and self._instr_count >= self.instruction_limit:
+            self._maybe_record()
+        if self._waiting and not self.finished:
+            self._waiting = False
+            self._schedule_advance(self.queue.now)
+
+    def _maybe_record(self) -> None:
+        """Record IPC once every pre-limit instruction has retired.
+
+        Loads issued beyond the limit (the core runs ahead out-of-order and,
+        in multi-core runs, keeps replaying for contention) must not delay
+        the measurement.
+        """
+        if self.measured_ipc is not None:
+            return
+        if any(index < self.instruction_limit for index in self._outstanding):
+            return  # retirement of measured instructions still pending
+        finish_time = max(self.queue.now, self._issue_time)
+        measured_instructions = self.instruction_limit - self.warmup_instructions
+        self.measured_cycles = max(1, finish_time - self._measure_start_cycle)
+        self.measured_ipc = measured_instructions / self.measured_cycles
+        self.stats.counter("instructions_measured").increment(measured_instructions)
+        if self.on_measured is not None:
+            self.on_measured(self)
+        if not self.keep_running:
+            self.finished = True
+
+    @property
+    def instructions_issued(self) -> int:
+        return self._instr_count
+
+    @property
+    def outstanding_loads(self) -> int:
+        return len(self._outstanding)

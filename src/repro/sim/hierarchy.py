@@ -1,0 +1,158 @@
+"""Three-level cache hierarchy plumbing (paper Table 1).
+
+Private L1 and L2 caches per core are modelled latency-only (the paper's
+contention story plays out at the shared LLC); the LLC is driven by a
+pluggable mechanism that owns the tag port and the memory interface.
+
+Data-flow rules:
+
+* loads: L1 → L2 → LLC mechanism → memory; fills propagate back and wake the
+  core. L1 hits complete synchronously (returned as ``True``) so the common
+  case does not cost simulator events.
+* stores: write-allocate at the L1; a store miss fetches the block through
+  the normal path and dirties it on fill. Store latency never blocks the
+  core (store buffer), but the traffic is real.
+* writebacks cascade: a dirty L1 victim updates/installs in the L2; a dirty
+  L2 victim becomes a *writeback request* to the LLC mechanism — which is
+  exactly the event the paper's DBI observes (Section 2.2.2).
+
+The hierarchy is non-inclusive, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.cache.mshr import MshrFile
+from repro.utils.events import EventQueue
+from repro.utils.stats import StatGroup
+
+
+class Hierarchy:
+    """Private L1/L2 levels in front of a shared, mechanism-driven LLC."""
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        num_cores: int,
+        l1_config: CacheConfig,
+        l2_config: CacheConfig,
+        mechanism,
+    ) -> None:
+        self.queue = queue
+        self.num_cores = num_cores
+        self.mechanism = mechanism
+        self.l1s: List[Cache] = []
+        self.l2s: List[Cache] = []
+        self.l1_mshrs: List[MshrFile] = []
+        self.core_stats: List[StatGroup] = []
+        for core in range(num_cores):
+            self.l1s.append(Cache(l1_config))
+            self.l2s.append(Cache(l2_config))
+            # Same-block merging; capacity is enforced at the core model
+            # (max_outstanding_loads), keeping the two coupled but deadlock-free.
+            self.l1_mshrs.append(MshrFile(capacity=0, name=f"l1mshr{core}"))
+            self.core_stats.append(StatGroup(f"hier_core{core}"))
+        self._l1_config = l1_config
+        self._l2_config = l2_config
+
+    # ------------------------------------------------------------- loads
+
+    def load(self, core_id: int, addr: int, on_complete: Callable[[int], None]) -> bool:
+        """Issue a load. Returns True iff it hit in the L1 (synchronous)."""
+        stats = self.core_stats[core_id]
+        l1 = self.l1s[core_id]
+        if l1.lookup(addr, core_id):
+            stats.counter("l1_hits").increment()
+            return True
+        stats.counter("l1_misses").increment()
+        self._miss_to_l2(core_id, addr, on_complete)
+        return False
+
+    def _miss_to_l2(
+        self, core_id: int, addr: int, on_fill: Callable[[int], None]
+    ) -> None:
+        mshr = self.l1_mshrs[core_id]
+        is_new_miss = mshr.allocate(addr, on_fill)
+        if not is_new_miss:
+            return  # merged with an in-flight miss to the same block
+        self.queue.schedule_after(
+            self._l1_config.miss_detect_latency,
+            lambda: self._access_l2(core_id, addr),
+        )
+
+    def _access_l2(self, core_id: int, addr: int) -> None:
+        stats = self.core_stats[core_id]
+        l2 = self.l2s[core_id]
+        if l2.lookup(addr, core_id):
+            stats.counter("l2_hits").increment()
+            self.queue.schedule_after(
+                self._l2_config.hit_latency,
+                lambda: self._fill_l1(core_id, addr),
+            )
+            return
+        stats.counter("l2_misses").increment()
+        self.queue.schedule_after(
+            self._l2_config.miss_detect_latency,
+            lambda: self._read_llc(core_id, addr),
+        )
+
+    def _read_llc(self, core_id: int, addr: int) -> None:
+        self.core_stats[core_id].counter("llc_reads").increment()
+        self.mechanism.read(core_id, addr, lambda a: self._llc_data(core_id, a))
+
+    def _llc_data(self, core_id: int, addr: int) -> None:
+        self._fill_l2(core_id, addr)
+        self._fill_l1(core_id, addr)
+
+    # -------------------------------------------------------------- fills
+
+    def _fill_l2(self, core_id: int, addr: int) -> None:
+        evicted = self.l2s[core_id].insert(addr, core_id=core_id, dirty=False)
+        if evicted is not None and evicted.dirty:
+            self.core_stats[core_id].counter("l2_writebacks").increment()
+            self.mechanism.writeback(core_id, evicted.addr)
+
+    def _fill_l1(self, core_id: int, addr: int) -> None:
+        evicted = self.l1s[core_id].insert(addr, core_id=core_id, dirty=False)
+        if evicted is not None and evicted.dirty:
+            self._writeback_to_l2(core_id, evicted.addr)
+        mshr = self.l1_mshrs[core_id]
+        if mshr.outstanding(addr):
+            mshr.complete(addr)
+
+    def _writeback_to_l2(self, core_id: int, addr: int) -> None:
+        """A dirty L1 victim lands in the L2 (writeback-allocate)."""
+        self.core_stats[core_id].counter("l1_writebacks").increment()
+        l2 = self.l2s[core_id]
+        if l2.contains(addr):
+            l2.mark_dirty(addr)
+            l2.touch(addr, core_id)
+            return
+        evicted = l2.insert(addr, core_id=core_id, dirty=True)
+        if evicted is not None and evicted.dirty:
+            self.core_stats[core_id].counter("l2_writebacks").increment()
+            self.mechanism.writeback(core_id, evicted.addr)
+
+    # -------------------------------------------------------------- stores
+
+    def store(self, core_id: int, addr: int) -> None:
+        """Write-allocate store; never blocks the core (store buffer)."""
+        stats = self.core_stats[core_id]
+        l1 = self.l1s[core_id]
+        if l1.lookup(addr, core_id):
+            stats.counter("store_hits").increment()
+            l1.mark_dirty(addr)
+            return
+        stats.counter("store_misses").increment()
+        self._miss_to_l2(
+            core_id, addr, lambda a: self.l1s[core_id].mark_dirty(a)
+        )
+
+    # ---------------------------------------------------------- inspection
+
+    def is_idle(self) -> bool:
+        """No fills in flight anywhere (end-of-run check)."""
+        return all(len(mshr) == 0 for mshr in self.l1_mshrs) and self.mechanism.is_idle()

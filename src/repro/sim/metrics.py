@@ -1,0 +1,62 @@
+"""Multi-programmed performance and fairness metrics (paper Section 5).
+
+All metrics compare each application's IPC in the shared run against its IPC
+running alone on the same machine:
+
+* weighted speedup [50] — system throughput,
+* instruction throughput — plain IPC sum,
+* harmonic speedup [32] — balances throughput and fairness,
+* maximum slowdown [14, 24] — worst-case per-application slowdown.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _check(shared: Sequence[float], alone: Sequence[float]) -> None:
+    if len(shared) != len(alone):
+        raise ValueError(
+            f"length mismatch: {len(shared)} shared vs {len(alone)} alone IPCs"
+        )
+    if not shared:
+        raise ValueError("need at least one application")
+    if any(ipc <= 0 for ipc in list(shared) + list(alone)):
+        raise ValueError("IPCs must be positive")
+
+
+def weighted_speedup(shared: Sequence[float], alone: Sequence[float]) -> float:
+    """Sum over apps of IPC_shared / IPC_alone."""
+    _check(shared, alone)
+    return sum(s / a for s, a in zip(shared, alone))
+
+
+def instruction_throughput(shared: Sequence[float]) -> float:
+    """Sum of shared-mode IPCs."""
+    if not shared:
+        raise ValueError("need at least one application")
+    return sum(shared)
+
+
+def harmonic_speedup(shared: Sequence[float], alone: Sequence[float]) -> float:
+    """N / sum(IPC_alone / IPC_shared) — harmonic mean of speedups."""
+    _check(shared, alone)
+    return len(shared) / sum(a / s for s, a in zip(shared, alone))
+
+
+def maximum_slowdown(shared: Sequence[float], alone: Sequence[float]) -> float:
+    """max over apps of IPC_alone / IPC_shared (lower is fairer)."""
+    _check(shared, alone)
+    return max(a / s for s, a in zip(shared, alone))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (used for Figure 6's gmean column)."""
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v <= 0 for v in values):
+        raise ValueError("values must be positive")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

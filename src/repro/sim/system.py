@@ -1,0 +1,303 @@
+"""Full-system builder and run loop.
+
+:class:`SystemConfig` captures every knob of paper Table 1 plus the scaled
+run length; :class:`System` wires cores, hierarchy, mechanism and memory to
+one event queue and runs until every core has been measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence
+
+from repro.cache.cache import Cache
+from repro.cache.config import (
+    CacheConfig,
+    paper_l1_config,
+    paper_l2_config,
+    paper_llc_config,
+)
+from repro.cache.port import TagPort
+from repro.core.config import DbiConfig
+from repro.dram.config import DramConfig
+from repro.dram.controller import MemoryController
+from repro.mechanisms.registry import llc_replacement_for, make_mechanism
+from repro.sim.core_model import OooCore
+from repro.sim.hierarchy import Hierarchy
+from repro.sim.trace import Trace
+from repro.utils.events import EventQueue
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Knobs of one simulation (defaults follow paper Table 1).
+
+    ``instruction_limit`` is per core; ``None`` measures each core over one
+    full pass of its trace.
+    """
+
+    num_cores: int = 1
+    mechanism: str = "baseline"
+    mb_per_core: int = 2
+    llc_replacement: Optional[str] = None  # None = Table 2 default
+    dbi_alpha: Fraction = Fraction(1, 4)
+    dbi_granularity: int = 64
+    dbi_replacement: str = "lrw"
+    dbi_config: Optional[DbiConfig] = None
+    dram: DramConfig = field(default_factory=DramConfig)
+    l1: CacheConfig = field(default_factory=paper_l1_config)
+    l2: CacheConfig = field(default_factory=paper_l2_config)
+    llc: Optional[CacheConfig] = None
+    window: int = 128
+    max_outstanding_loads: int = 32
+    predictor_epoch_cycles: int = 250_000
+    instruction_limit: Optional[int] = None
+    #: Fraction of each core's instructions run before statistics reset and
+    #: IPC measurement begins (the paper warms 200M of 500M instructions).
+    warmup_fraction: float = 0.4
+    seed: int = 0xDB1
+
+    def resolve_llc(self) -> CacheConfig:
+        """The LLC config, derived from core count if not given explicitly."""
+        base = self.llc or paper_llc_config(self.num_cores, self.mb_per_core)
+        replacement = llc_replacement_for(self.mechanism, self.llc_replacement)
+        if base.replacement == replacement:
+            return base
+        import dataclasses
+
+        return dataclasses.replace(base, replacement=replacement)
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one run: per-core IPCs plus flattened component stats."""
+
+    mechanism: str
+    trace_names: List[str]
+    ipc: List[float]
+    cycles: List[int]
+    instructions: List[int]
+    total_instructions_issued: int
+    stats: Dict[str, float]
+    events_processed: int
+
+    def _per_kilo_instruction(self, count: float) -> float:
+        if self.total_instructions_issued == 0:
+            return 0.0
+        return 1000.0 * count / self.total_instructions_issued
+
+    @property
+    def tag_lookups_pki(self) -> float:
+        """Figure 6c's metric: LLC tag lookups per kilo-instruction."""
+        return self._per_kilo_instruction(self.stats.get("mech.tag_lookups", 0))
+
+    @property
+    def memory_wpki(self) -> float:
+        """Figure 6d's metric: DRAM writes per kilo-instruction."""
+        return self._per_kilo_instruction(
+            self.stats.get("dram.dram_writes_performed", 0)
+        )
+
+    @property
+    def llc_mpki(self) -> float:
+        """LLC read misses (including bypasses) per kilo-instruction."""
+        misses = self.stats.get("mech.read_misses", 0) + self.stats.get(
+            "mech.bypassed_lookups", 0
+        )
+        return self._per_kilo_instruction(misses)
+
+    @property
+    def write_row_hit_rate(self) -> float:
+        """Figure 6b's metric."""
+        return self.stats.get("dram.write_row_hit_rate", 0.0)
+
+    def to_json(self) -> str:
+        """Full result as JSON (stats flattened; derived metrics included)."""
+        import json
+
+        return json.dumps(
+            {
+                "mechanism": self.mechanism,
+                "trace_names": self.trace_names,
+                "ipc": self.ipc,
+                "cycles": self.cycles,
+                "instructions": self.instructions,
+                "total_instructions_issued": self.total_instructions_issued,
+                "events_processed": self.events_processed,
+                "derived": {
+                    "tag_lookups_pki": self.tag_lookups_pki,
+                    "memory_wpki": self.memory_wpki,
+                    "llc_mpki": self.llc_mpki,
+                    "write_row_hit_rate": self.write_row_hit_rate,
+                    "read_row_hit_rate": self.read_row_hit_rate,
+                },
+                "stats": self.stats,
+            },
+            indent=2,
+        )
+
+    @property
+    def read_row_hit_rate(self) -> float:
+        """Figure 6e's metric."""
+        return self.stats.get("dram.read_row_hit_rate", 0.0)
+
+
+class System:
+    """One simulated machine: N cores over a shared LLC and one DRAM channel."""
+
+    def __init__(self, config: SystemConfig, traces: Sequence[Trace]) -> None:
+        if len(traces) != config.num_cores:
+            raise ValueError(
+                f"{config.num_cores} cores need {config.num_cores} traces, "
+                f"got {len(traces)}"
+            )
+        self.config = config
+        self.traces = list(traces)
+        self.queue = EventQueue()
+        rng = DeterministicRng(config.seed)
+
+        self.memory = MemoryController(self.queue, config.dram)
+        llc_config = config.resolve_llc()
+        self.llc = Cache(
+            llc_config,
+            num_threads=config.num_cores,
+            rng=rng.derive("llc-policy"),
+        )
+        self.port = TagPort(self.queue, occupancy=llc_config.port_occupancy)
+        self.mechanism = make_mechanism(
+            config.mechanism,
+            queue=self.queue,
+            llc=self.llc,
+            port=self.port,
+            memory=self.memory,
+            mapper=self.memory.mapper,
+            num_cores=config.num_cores,
+            dbi_config=config.dbi_config,
+            dbi_alpha=config.dbi_alpha,
+            dbi_granularity=config.dbi_granularity,
+            dbi_replacement=config.dbi_replacement,
+            predictor_epoch_cycles=config.predictor_epoch_cycles,
+            rng=rng.derive("dbi-policy"),
+        )
+        self.hierarchy = Hierarchy(
+            self.queue, config.num_cores, config.l1, config.l2, self.mechanism
+        )
+
+        if not 0.0 <= config.warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        self._measured = 0
+        self._warmed = 0
+        self._issued_at_reset = 0
+        self.cores: List[OooCore] = []
+        for core_id, trace in enumerate(self.traces):
+            limit = config.instruction_limit or trace.total_instructions
+            self.cores.append(
+                OooCore(
+                    core_id=core_id,
+                    queue=self.queue,
+                    hierarchy=self.hierarchy,
+                    trace=trace,
+                    instruction_limit=limit,
+                    window=config.window,
+                    max_outstanding_loads=config.max_outstanding_loads,
+                    on_measured=self._core_measured,
+                    warmup_instructions=int(limit * config.warmup_fraction),
+                    on_warmed=self._core_warmed,
+                )
+            )
+        self._warmed = sum(1 for core in self.cores if core.warmed)
+
+    def _all_stat_groups(self):
+        groups = [
+            self.mechanism.stats,
+            self.memory.stats,
+            self.port.stats,
+            self.llc.stats,
+        ]
+        dbi = getattr(self.mechanism, "dbi", None)
+        if dbi is not None:
+            groups.append(dbi.stats)
+        predictor = getattr(self.mechanism, "predictor", None)
+        if predictor is not None:
+            groups.append(predictor.stats)
+        groups.extend(self.hierarchy.core_stats)
+        groups.extend(cache.stats for cache in self.hierarchy.l1s)
+        groups.extend(cache.stats for cache in self.hierarchy.l2s)
+        groups.extend(mshr.stats for mshr in self.hierarchy.l1_mshrs)
+        groups.extend(core.stats for core in self.cores)
+        return groups
+
+    def _core_warmed(self, _core: OooCore) -> None:
+        self._warmed += 1
+        if self._warmed == len(self.cores):
+            # Measurement window begins: drop all warm-up statistics.
+            for group in self._all_stat_groups():
+                group.reset()
+            self._issued_at_reset = sum(
+                core.instructions_issued for core in self.cores
+            )
+
+    def _core_measured(self, core: OooCore) -> None:
+        self._measured += 1
+        if self._measured >= len(self.cores):
+            for other in self.cores:
+                other.stop()
+
+    def run(self, max_events: Optional[int] = None) -> SimulationResult:
+        """Run to completion and collect results.
+
+        Args:
+            max_events: optional hard event budget (guards runaway configs).
+
+        Raises:
+            RuntimeError: if the budget is exhausted before every core is
+                measured, or the queue drains with cores unmeasured.
+        """
+        for core in self.cores:
+            core.start()
+        self.queue.run(max_events=max_events)
+        if self._measured < len(self.cores):
+            raise RuntimeError(
+                f"simulation ended with {self._measured}/{len(self.cores)} "
+                f"cores measured (event budget too small or deadlock)"
+            )
+        return self._collect()
+
+    def _collect(self) -> SimulationResult:
+        stats: Dict[str, float] = {}
+        stats.update(self.mechanism.stats.as_dict())
+        stats.update(self.memory.stats.as_dict())
+        stats.update(self.port.stats.as_dict())
+        stats.update(self.llc.stats.as_dict())
+        for group in self.hierarchy.core_stats:
+            stats.update(group.as_dict())
+        for core in self.cores:
+            stats.update(core.stats.as_dict())
+        return SimulationResult(
+            mechanism=self.config.mechanism,
+            trace_names=[trace.name for trace in self.traces],
+            ipc=[core.measured_ipc for core in self.cores],
+            cycles=[core.measured_cycles for core in self.cores],
+            instructions=[
+                core.instruction_limit - core.warmup_instructions
+                for core in self.cores
+            ],
+            total_instructions_issued=max(
+                1,
+                sum(core.instructions_issued for core in self.cores)
+                - self._issued_at_reset,
+            ),
+            stats=stats,
+            events_processed=self.queue.events_processed,
+        )
+
+
+def run_system(
+    config: SystemConfig,
+    traces: Sequence[Trace],
+    max_events: Optional[int] = None,
+) -> SimulationResult:
+    """Convenience one-shot: build a System and run it."""
+    return System(config, traces).run(max_events=max_events)

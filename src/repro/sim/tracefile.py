@@ -1,0 +1,108 @@
+"""Compact on-disk trace format.
+
+Traces regenerate deterministically from profiles, but saving them is useful
+for sharing exact workloads, diffing runs, or importing externally collected
+(Pin-style) traces. The format is a small binary container:
+
+* header: magic ``DBITRACE``, version, name, record count;
+* records: per-record varints — gap, flags (bit 0 = write), address delta
+  (zig-zag encoded against the previous address). Delta + varint coding
+  shrinks streaming traces to ~3 bytes/record.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+from typing import BinaryIO, Union
+
+from repro.sim.trace import Trace
+
+MAGIC = b"DBITRACE"
+VERSION = 1
+
+
+def _write_varint(out: BinaryIO, value: int) -> None:
+    if value < 0:
+        raise ValueError(f"varint must be non-negative, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.write(bytes((byte | 0x80,)))
+        else:
+            out.write(bytes((byte,)))
+            return
+
+
+def _read_varint(data: BinaryIO) -> int:
+    shift = 0
+    result = 0
+    while True:
+        raw = data.read(1)
+        if not raw:
+            raise ValueError("truncated varint")
+        byte = raw[0]
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result
+        shift += 7
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> int:
+    """Write ``trace`` to ``path``; returns the byte size written."""
+    buffer = io.BytesIO()
+    buffer.write(MAGIC)
+    buffer.write(struct.pack("<H", VERSION))
+    name_bytes = trace.name.encode("utf-8")
+    buffer.write(struct.pack("<H", len(name_bytes)))
+    buffer.write(name_bytes)
+    buffer.write(struct.pack("<Q", len(trace.records)))
+    previous_addr = 0
+    for gap, is_write, addr in trace.records:
+        _write_varint(buffer, gap)
+        buffer.write(bytes((1 if is_write else 0,)))
+        _write_varint(buffer, _zigzag(addr - previous_addr))
+        previous_addr = addr
+    blob = buffer.getvalue()
+    Path(path).write_bytes(blob)
+    return len(blob)
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises:
+        ValueError: on a bad magic number, version, or truncated stream.
+    """
+    data = io.BytesIO(Path(path).read_bytes())
+    if data.read(len(MAGIC)) != MAGIC:
+        raise ValueError(f"{path}: not a DBITRACE file")
+    (version,) = struct.unpack("<H", data.read(2))
+    if version != VERSION:
+        raise ValueError(f"{path}: unsupported version {version}")
+    (name_len,) = struct.unpack("<H", data.read(2))
+    name = data.read(name_len).decode("utf-8")
+    (count,) = struct.unpack("<Q", data.read(8))
+    records = []
+    previous_addr = 0
+    for _ in range(count):
+        gap = _read_varint(data)
+        flag = data.read(1)
+        if not flag:
+            raise ValueError(f"{path}: truncated record stream")
+        addr = previous_addr + _unzigzag(_read_varint(data))
+        if addr < 0:
+            raise ValueError(f"{path}: negative address after delta decode")
+        records.append((gap, bool(flag[0] & 1), addr))
+        previous_addr = addr
+    return Trace(name=name, records=records)

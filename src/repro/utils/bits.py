@@ -1,0 +1,69 @@
+"""Small integer/bit-manipulation helpers used across the simulator.
+
+Addresses, set indices, DRAM row ids and DBI bit vectors are all plain Python
+integers; these helpers keep the bit twiddling in one audited place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True iff ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ilog2(value: int) -> int:
+    """Integer log2 of a power of two.
+
+    Raises:
+        ValueError: if ``value`` is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"ilog2 requires a positive power of two, got {value!r}")
+    return value.bit_length() - 1
+
+
+def mask(num_bits: int) -> int:
+    """Return an integer with the low ``num_bits`` bits set."""
+    if num_bits < 0:
+        raise ValueError(f"mask width must be non-negative, got {num_bits}")
+    return (1 << num_bits) - 1
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in a non-negative integer."""
+    if value < 0:
+        raise ValueError(f"popcount requires a non-negative value, got {value}")
+    return bin(value).count("1")
+
+
+def iter_set_bits(value: int) -> Iterator[int]:
+    """Yield the positions of set bits in ``value``, lowest first.
+
+    This is the hot path used to enumerate dirty blocks in a DBI entry's bit
+    vector, so it strips one bit at a time with ``value & -value``.
+    """
+    if value < 0:
+        raise ValueError(f"iter_set_bits requires a non-negative value, got {value}")
+    while value:
+        low = value & -value
+        yield low.bit_length() - 1
+        value ^= low
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Ceiling integer division for non-negative numerators."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    return -(-numerator // denominator)
+
+
+def bit_length_of(num_values: int) -> int:
+    """Bits needed to address ``num_values`` distinct values (at least 1)."""
+    if num_values <= 0:
+        raise ValueError(f"num_values must be positive, got {num_values}")
+    if num_values == 1:
+        return 1
+    return (num_values - 1).bit_length()

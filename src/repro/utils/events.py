@@ -1,0 +1,106 @@
+"""Discrete-event simulation kernel.
+
+A single :class:`EventQueue` drives the whole system: cores, caches and the
+DRAM controller all schedule callbacks on it. Events at the same timestamp
+fire in scheduling order (FIFO), which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Ordered by (time, sequence number)."""
+
+    time: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Priority queue of timed callbacks with a monotonically advancing clock.
+
+    Example:
+        >>> q = EventQueue()
+        >>> fired = []
+        >>> _ = q.schedule(5, lambda: fired.append(q.now))
+        >>> q.run()
+        >>> fired
+        [5]
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+        self.now = 0
+        self._events_processed = 0
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks fired so far."""
+        return self._events_processed
+
+    def schedule(self, time: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to fire at absolute ``time``.
+
+        Raises:
+            ValueError: if ``time`` is in the past.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot schedule at t={time} before now={self.now}")
+        event = Event(time, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(self, delay: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to fire ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self.now + delay, callback)
+
+    def step(self) -> bool:
+        """Fire the next non-cancelled event. Returns False if queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: int = None, max_events: int = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or event budget ends.
+
+        Args:
+            until: stop once the clock would pass this timestamp (inclusive).
+            max_events: safety valve against runaway simulations.
+        """
+        fired = 0
+        while self._heap:
+            if max_events is not None and fired >= max_events:
+                return
+            next_event = self._heap[0]
+            if next_event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and next_event.time > until:
+                self.now = until
+                return
+            if not self.step():
+                return
+            fired += 1

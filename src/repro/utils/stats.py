@@ -1,0 +1,149 @@
+"""Lightweight statistics primitives.
+
+Components expose a :class:`StatGroup` of named counters/rates/distributions;
+the experiment harness flattens them into report rows. Keeping the stat
+machinery trivial (plain attribute access, no magic) keeps the hot paths fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class RateStat:
+    """A numerator/denominator pair reported as a ratio (e.g. row hit rate)."""
+
+    __slots__ = ("name", "hits", "total")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.hits = 0
+        self.total = 0
+
+    def record(self, hit: bool) -> None:
+        self.total += 1
+        if hit:
+            self.hits += 1
+
+    @property
+    def rate(self) -> float:
+        """Hit fraction; 0.0 when nothing has been recorded."""
+        return self.hits / self.total if self.total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.total = 0
+
+    def __repr__(self) -> str:
+        return f"RateStat({self.name}={self.rate:.3f} over {self.total})"
+
+
+class Distribution:
+    """Streaming mean/min/max/sum over observed samples."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.minimum = None
+        self.maximum = None
+
+    def record(self, sample) -> None:
+        self.count += 1
+        self.total += sample
+        if self.minimum is None or sample < self.minimum:
+            self.minimum = sample
+        if self.maximum is None or sample > self.maximum:
+            self.maximum = sample
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.minimum = None
+        self.maximum = None
+
+    def __repr__(self) -> str:
+        return f"Distribution({self.name}: n={self.count}, mean={self.mean:.2f})"
+
+
+class StatGroup:
+    """A named collection of statistics with a flat dict export.
+
+    Example:
+        >>> stats = StatGroup("llc")
+        >>> lookups = stats.counter("tag_lookups")
+        >>> lookups.increment()
+        >>> stats.as_dict()["llc.tag_lookups"]
+        1
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._rates: Dict[str, RateStat] = {}
+        self._distributions: Dict[str, Distribution] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def rate(self, name: str) -> RateStat:
+        if name not in self._rates:
+            self._rates[name] = RateStat(name)
+        return self._rates[name]
+
+    def distribution(self, name: str) -> Distribution:
+        if name not in self._distributions:
+            self._distributions[name] = Distribution(name)
+        return self._distributions[name]
+
+    def reset(self) -> None:
+        for stat in self._all_stats():
+            stat.reset()
+
+    def _all_stats(self) -> List:
+        return (
+            list(self._counters.values())
+            + list(self._rates.values())
+            + list(self._distributions.values())
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to ``{"group.stat": value}``; rates export hits/total too."""
+        out: Dict[str, float] = {}
+        for counter in self._counters.values():
+            out[f"{self.name}.{counter.name}"] = counter.value
+        for rate in self._rates.values():
+            out[f"{self.name}.{rate.name}"] = rate.rate
+            out[f"{self.name}.{rate.name}.hits"] = rate.hits
+            out[f"{self.name}.{rate.name}.total"] = rate.total
+        for dist in self._distributions.values():
+            out[f"{self.name}.{dist.name}.mean"] = dist.mean
+            out[f"{self.name}.{dist.name}.count"] = dist.count
+        return out

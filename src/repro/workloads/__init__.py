@@ -1,0 +1,39 @@
+"""Synthetic workload generation.
+
+The paper evaluates SPEC CPU2006 + STREAM traces collected with Pinpoints.
+Neither the binaries nor the traces are available offline, so this package
+generates deterministic synthetic traces whose *profiles* (footprint, write
+fraction, access pattern, compute density) put each named workload in the
+same qualitative regime the paper's Figure 6 shows — see DESIGN.md for the
+substitution rationale.
+
+* :mod:`repro.workloads.synthetic` — address-pattern primitives
+  (streaming, random, hot/cold, cyclic scans, region bursts).
+* :mod:`repro.workloads.spec` — named profiles ("mcf", "lbm", ...) and
+  :func:`spec_trace` to render one into a trace.
+* :mod:`repro.workloads.mix` — multi-programmed mixes balanced over the
+  paper's read-intensity × write-intensity categories (Section 5).
+"""
+
+from repro.workloads.mix import WorkloadMix, category_mixes, make_mix
+from repro.workloads.spec import (
+    SPEC_PROFILES,
+    BenchmarkProfile,
+    generate_trace,
+    profile_names,
+    spec_trace,
+)
+from repro.workloads.synthetic import AddressPattern, make_pattern
+
+__all__ = [
+    "AddressPattern",
+    "make_pattern",
+    "BenchmarkProfile",
+    "SPEC_PROFILES",
+    "generate_trace",
+    "profile_names",
+    "spec_trace",
+    "WorkloadMix",
+    "make_mix",
+    "category_mixes",
+]

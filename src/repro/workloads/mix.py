@@ -1,0 +1,134 @@
+"""Multi-programmed workload mixes (paper Section 5).
+
+The paper classifies benchmarks into nine categories (read intensity ×
+write intensity, each low/medium/high) and builds 102 2-core, 259 4-core and
+120 8-core mixes spanning them. We reproduce the construction: mixes cycle
+through the category grid, and each core samples a benchmark biased towards
+the mix's target category. Each core gets a private address-space offset so
+the mix is multi-programmed, not multi-threaded.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.sim.trace import Trace
+from repro.utils.rng import DeterministicRng
+from repro.utils.validation import check_positive
+from repro.workloads.spec import SPEC_PROFILES, BenchmarkProfile, generate_trace
+
+#: Block-address offset between cores: 1<<26 blocks = 4 GB of address space.
+CORE_ADDRESS_STRIDE = 1 << 26
+
+INTENSITIES = ("low", "medium", "high")
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """One multi-programmed workload: a trace per core."""
+
+    name: str
+    traces: tuple
+    benchmark_names: tuple
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.traces)
+
+
+def _profiles_matching(read_intensity: str, write_intensity: str):
+    """Profiles in (or nearest to) a target category.
+
+    Write intensity is the first-class axis of this paper (it determines how
+    much interference a workload *causes*), so when no benchmark matches the
+    category exactly, candidates matching the write intensity are preferred
+    over ones matching only the read intensity.
+    """
+    exact = [
+        p
+        for p in SPEC_PROFILES.values()
+        if p.read_intensity == read_intensity
+        and p.write_intensity == write_intensity
+    ]
+    if exact:
+        return exact
+    by_write = [
+        p for p in SPEC_PROFILES.values()
+        if p.write_intensity == write_intensity
+    ]
+    if by_write:
+        return by_write
+    by_read = [
+        p for p in SPEC_PROFILES.values()
+        if p.read_intensity == read_intensity
+    ]
+    return by_read or list(SPEC_PROFILES.values())
+
+
+def make_mix(
+    name: str,
+    profiles: Sequence[BenchmarkProfile],
+    refs_per_core: int,
+    seed: int = 0xDB1,
+    footprint_divisor: int = 1,
+) -> WorkloadMix:
+    """Build a mix from explicit profiles, one per core."""
+    check_positive("refs_per_core", refs_per_core)
+    traces: List[Trace] = []
+    for core, profile in enumerate(profiles):
+        traces.append(
+            generate_trace(
+                profile,
+                refs_per_core,
+                # Distinct seeds per core avoid lock-step address streams
+                # when the same benchmark appears twice in a mix.
+                seed=seed + core * 7919,
+                base_addr=core * CORE_ADDRESS_STRIDE,
+                footprint_divisor=footprint_divisor,
+            )
+        )
+    return WorkloadMix(
+        name=name,
+        traces=tuple(traces),
+        benchmark_names=tuple(p.name for p in profiles),
+    )
+
+
+def category_mixes(
+    num_cores: int,
+    count: int,
+    refs_per_core: int,
+    seed: int = 0xDB1,
+    footprint_divisor: int = 1,
+) -> List[WorkloadMix]:
+    """Generate ``count`` mixes cycling over the 9 intensity categories.
+
+    Within a mix, each core draws a benchmark biased to the mix's target
+    (read, write) intensity, so the returned set spans interference-light
+    through interference-heavy combinations, as in the paper's methodology.
+    """
+    check_positive("num_cores", num_cores)
+    check_positive("count", count)
+    rng = DeterministicRng(seed).derive(f"mixes:{num_cores}")
+    grid = list(itertools.product(INTENSITIES, INTENSITIES))
+    mixes: List[WorkloadMix] = []
+    for index in range(count):
+        read_intensity, write_intensity = grid[index % len(grid)]
+        pool = _profiles_matching(read_intensity, write_intensity)
+        profiles = [rng.choice(pool) for _ in range(num_cores)]
+        name = (
+            f"{num_cores}c_r{read_intensity[0].upper()}"
+            f"_w{write_intensity[0].upper()}_{index:03d}"
+        )
+        mixes.append(
+            make_mix(
+                name,
+                profiles,
+                refs_per_core,
+                seed=seed + index,
+                footprint_divisor=footprint_divisor,
+            )
+        )
+    return mixes

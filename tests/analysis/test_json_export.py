@@ -1,0 +1,30 @@
+"""Tests for JSON serialization of results."""
+
+import json
+
+from repro.analysis.experiments import ExperimentResult
+from repro.sim.system import run_system
+from tests.sim.conftest import small_config, streaming_trace
+
+
+class TestExperimentResultJson:
+    def test_round_trip_fields(self):
+        result = ExperimentResult(
+            experiment_id="fig0", title="T", headers=["a", "b"],
+            rows=[["x", 1.5]], notes="n", raw={"not": "serialized"},
+        )
+        data = json.loads(result.to_json())
+        assert data["experiment_id"] == "fig0"
+        assert data["rows"] == [["x", 1.5]]
+        assert "raw" not in data
+
+
+class TestSimulationResultJson:
+    def test_serializes_full_run(self):
+        result = run_system(small_config(), [streaming_trace(refs=150)])
+        data = json.loads(result.to_json())
+        assert data["mechanism"] == "baseline"
+        assert data["ipc"][0] > 0
+        assert "tag_lookups_pki" in data["derived"]
+        assert isinstance(data["stats"], dict)
+        assert data["events_processed"] == result.events_processed

@@ -1,0 +1,39 @@
+"""Unit tests for report rendering."""
+
+import pytest
+
+from repro.analysis.report import format_table, to_csv
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "x"], [["a", 1], ["long-name", 2]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert all(len(line) >= len("long-name") for line in lines[2:])
+
+    def test_floats_formatted(self):
+        text = format_table(["v"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "========"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestToCsv:
+    def test_csv_structure(self):
+        csv = to_csv(["x", "y"], [[1, 2.5], ["s", 3]])
+        lines = csv.splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1,2.500"
+        assert lines[2] == "s,3"

@@ -1,0 +1,100 @@
+"""Unit tests for the bit-count model (paper Table 4 arithmetic)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.area.bits import CacheBitModel, DbiBitModel
+
+
+def cache_16mb(with_ecc=False):
+    return CacheBitModel(
+        cache_bytes=16 * 1024 * 1024, associativity=16, with_ecc=with_ecc
+    )
+
+
+class TestCacheBitModel:
+    def test_block_and_set_counts(self):
+        cache = cache_16mb()
+        assert cache.num_blocks == 262144
+        assert cache.num_sets == 16384
+
+    def test_tag_bits(self):
+        cache = cache_16mb()
+        # 48 - 6 (block offset) - 14 (set index) = 28.
+        assert cache.tag_bits == 28
+
+    def test_ecc_overhead_is_12_5_percent(self):
+        cache = cache_16mb(with_ecc=True)
+        assert cache.ecc_bits_per_block / (64 * 8) == 0.125
+
+    def test_edc_overhead_about_1_5_percent(self):
+        cache = cache_16mb()
+        assert abs(cache.edc_bits_per_block / (64 * 8) - 0.015) < 0.002
+
+    def test_ecc_grows_tag_entry(self):
+        no_ecc = cache_16mb(with_ecc=False).tag_entry_bits()
+        with_ecc = cache_16mb(with_ecc=True).tag_entry_bits()
+        assert with_ecc - no_ecc == 64
+
+    def test_dirty_bit_costs_one(self):
+        cache = cache_16mb()
+        assert cache.tag_entry_bits(True) - cache.tag_entry_bits(False) == 1
+
+    def test_data_store_dominates(self):
+        cache = cache_16mb()
+        assert cache.data_store_bits > 10 * cache.tag_store_bits
+
+
+class TestDbiBitModel:
+    def test_entry_count_matches_paper(self):
+        # Paper Table 1: 2MB cache, alpha 1/4, granularity 64 -> 128 entries.
+        cache = CacheBitModel(cache_bytes=2 * 1024 * 1024, associativity=16)
+        dbi = DbiBitModel(cache, alpha=Fraction(1, 4), granularity=64)
+        assert dbi.tracked_blocks == 8192
+        assert dbi.num_entries == 128
+
+    def test_dbi_is_much_smaller_than_tag_store(self):
+        cache = cache_16mb()
+        dbi = DbiBitModel(cache)
+        assert dbi.dbi_bits < cache.tag_store_bits / 10
+
+    def test_bigger_alpha_bigger_dbi(self):
+        cache = cache_16mb()
+        quarter = DbiBitModel(cache, alpha=Fraction(1, 4))
+        half = DbiBitModel(cache, alpha=Fraction(1, 2))
+        assert half.dbi_bits > quarter.dbi_bits
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            DbiBitModel(cache_16mb(), alpha=Fraction(0))
+
+
+class TestTable4Numbers:
+    """The paper's Table 4, within a point of rounding."""
+
+    def test_without_ecc(self):
+        cache = cache_16mb(with_ecc=False)
+        quarter = DbiBitModel(cache, alpha=Fraction(1, 4))
+        half = DbiBitModel(cache, alpha=Fraction(1, 2))
+        assert 0.01 <= quarter.tag_store_reduction <= 0.03  # paper: 2%
+        assert 0.005 <= half.tag_store_reduction <= 0.02  # paper: 1%
+        assert 0.0 <= quarter.cache_reduction <= 0.003  # paper: 0.1%
+
+    def test_with_ecc(self):
+        cache = cache_16mb(with_ecc=True)
+        quarter = DbiBitModel(cache, alpha=Fraction(1, 4))
+        half = DbiBitModel(cache, alpha=Fraction(1, 2))
+        assert 0.38 <= quarter.tag_store_reduction <= 0.48  # paper: 44%
+        assert 0.22 <= half.tag_store_reduction <= 0.30  # paper: 26%
+        assert 0.05 <= quarter.cache_reduction <= 0.09  # paper: 7%
+        assert 0.03 <= half.cache_reduction <= 0.05  # paper: 4%
+
+    def test_reduction_roughly_size_independent(self):
+        """Paper: savings ratio roughly independent of cache size."""
+        reductions = []
+        for mb in (2, 4, 8, 16):
+            cache = CacheBitModel(cache_bytes=mb * 1024 * 1024,
+                                  associativity=16, with_ecc=True)
+            reductions.append(DbiBitModel(cache).tag_store_reduction)
+        assert max(reductions) - min(reductions) < 0.05

@@ -1,0 +1,74 @@
+"""Unit tests for the analytical area/latency/power model."""
+
+import pytest
+
+from repro.area.cacti_lite import ArrayModel, CactiLite
+
+
+class TestArrayModel:
+    def test_area_scales_superlinearly_below_linear(self):
+        small = ArrayModel("a", bits=1024 * 1024)
+        large = ArrayModel("b", bits=4 * 1024 * 1024)
+        assert large.area_mm2 > small.area_mm2
+        # Peripheral overhead shrinks with size: 4x bits < 4x area overheads.
+        assert large.area_mm2 < 4 * small.area_mm2 * 1.01
+
+    def test_small_arrays_pay_peripheral_overhead(self):
+        tiny = ArrayModel("t", bits=8 * 1024)
+        big = ArrayModel("b", bits=8 * 1024 * 1024)
+        assert tiny.peripheral_overhead > big.peripheral_overhead
+
+    def test_tag_arrays_less_dense(self):
+        data = ArrayModel("d", bits=1024 * 1024, is_tag=False)
+        tag = ArrayModel("t", bits=1024 * 1024, is_tag=True)
+        assert tag.area_mm2 > data.area_mm2
+
+    def test_latency_grows_with_size(self):
+        small = ArrayModel("s", bits=16 * 1024)
+        large = ArrayModel("l", bits=16 * 1024 * 1024)
+        assert large.access_latency_cycles > small.access_latency_cycles
+
+    def test_latency_calibration_dbi_vs_llc_tag(self):
+        # Paper Table 1: DBI ~4 cycles; a 2MB LLC tag store ~10 cycles.
+        dbi = ArrayModel("dbi", bits=128 * 90, is_tag=True)
+        llc_tag = ArrayModel("tag", bits=32768 * 40, is_tag=True)
+        assert dbi.access_latency_cycles <= 5
+        assert 8 <= llc_tag.access_latency_cycles <= 13
+
+    def test_dynamic_energy_grows_sublinearly(self):
+        small = ArrayModel("s", bits=64 * 1024)
+        large = ArrayModel("l", bits=64 * 64 * 1024)
+        ratio = large.dynamic_energy_pj() / small.dynamic_energy_pj()
+        assert 1 < ratio < 64
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayModel("x", bits=0)
+
+
+class TestCactiLite:
+    def make(self):
+        return CactiLite(arrays=(
+            ArrayModel("data", bits=16 * 1024 * 1024 * 8),
+            ArrayModel("tag", bits=1024 * 1024, is_tag=True),
+        ))
+
+    def test_rollup_sums_arrays(self):
+        model = self.make()
+        assert model.area_mm2 == pytest.approx(
+            sum(a.area_mm2 for a in model.arrays)
+        )
+        assert model.static_power_mw == pytest.approx(
+            sum(a.static_power_mw for a in model.arrays)
+        )
+
+    def test_dynamic_power_by_access_rate(self):
+        model = self.make()
+        low = model.dynamic_power_mw({"data": 0.01})
+        high = model.dynamic_power_mw({"data": 0.02})
+        assert high == pytest.approx(2 * low)
+
+    def test_unknown_array_rejected(self):
+        model = self.make()
+        with pytest.raises(KeyError):
+            model.dynamic_power_mw({"dbi": 0.1})

@@ -1,0 +1,57 @@
+"""Tests for Table 4/5 and the Section 6.3 area computations."""
+
+from fractions import Fraction
+
+from repro.area.ecc_model import (
+    area_reduction_with_ecc,
+    compute_table4,
+    compute_table5,
+)
+
+
+class TestTable4:
+    def test_two_rows(self):
+        rows = compute_table4()
+        assert [row.alpha for row in rows] == [Fraction(1, 4), Fraction(1, 2)]
+
+    def test_paper_bands_with_ecc(self):
+        quarter, half = compute_table4()
+        assert 0.38 <= quarter.tag_reduction_with_ecc <= 0.48  # paper 44%
+        assert 0.05 <= quarter.cache_reduction_with_ecc <= 0.09  # paper 7%
+        assert 0.22 <= half.tag_reduction_with_ecc <= 0.30  # paper 26%
+        assert 0.03 <= half.cache_reduction_with_ecc <= 0.05  # paper 4%
+
+    def test_paper_bands_without_ecc(self):
+        quarter, half = compute_table4()
+        assert 0.01 <= quarter.tag_reduction_no_ecc <= 0.03  # paper 2%
+        assert quarter.cache_reduction_no_ecc <= 0.005  # paper 0.1%
+        assert half.tag_reduction_no_ecc <= quarter.tag_reduction_no_ecc
+
+    def test_smaller_caches_same_shape(self):
+        rows = compute_table4(cache_bytes=2 * 1024 * 1024)
+        assert 0.3 <= rows[0].tag_reduction_with_ecc <= 0.5
+
+
+class TestAreaReduction:
+    def test_paper_section_6_3(self):
+        quarter = area_reduction_with_ecc(alpha=Fraction(1, 4))
+        half = area_reduction_with_ecc(alpha=Fraction(1, 2))
+        assert 0.06 <= quarter <= 0.11  # paper: 8%
+        assert 0.03 <= half <= 0.07  # paper: 5%
+        assert quarter > half  # smaller DBI saves more ECC area
+
+
+class TestTable5:
+    def test_all_sizes_reported(self):
+        results = compute_table5()
+        assert sorted(results) == [2, 4, 8, 16]
+
+    def test_paper_bands(self):
+        for vals in compute_table5().values():
+            assert vals["static_fraction"] < 0.01  # paper 0.12-0.22%
+            assert 0.005 < vals["dynamic_fraction"] < 0.06  # paper 1-4%
+
+    def test_dynamic_scales_with_access_ratio(self):
+        low = compute_table5(dbi_accesses_per_cache_access=0.5)
+        high = compute_table5(dbi_accesses_per_cache_access=2.0)
+        assert high[16]["dynamic_fraction"] > low[16]["dynamic_fraction"]

@@ -1,0 +1,99 @@
+"""Unit tests for cache configuration."""
+
+import pytest
+
+from repro.cache.config import (
+    CacheConfig,
+    paper_l1_config,
+    paper_l2_config,
+    paper_llc_config,
+)
+
+
+def small(**overrides):
+    params = dict(
+        name="test", num_blocks=64, associativity=4, tag_latency=2, data_latency=3
+    )
+    params.update(overrides)
+    return CacheConfig(**params)
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        assert small().num_sets == 16
+
+    def test_set_index_uses_low_bits(self):
+        config = small()
+        assert config.set_index(0) == 0
+        assert config.set_index(15) == 15
+        assert config.set_index(16) == 0
+        assert config.set_index(17) == 1
+
+    def test_set_index_bits(self):
+        assert small().set_index_bits == 4
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            small(num_blocks=60)
+        with pytest.raises(ValueError):
+            small(associativity=3)
+
+    def test_associativity_cannot_exceed_capacity(self):
+        with pytest.raises(ValueError):
+            small(num_blocks=4, associativity=8)
+
+    def test_fully_associative_allowed(self):
+        config = small(num_blocks=16, associativity=16)
+        assert config.num_sets == 1
+
+
+class TestLatencies:
+    def test_parallel_lookup_hit_latency(self):
+        config = small(tag_latency=2, data_latency=3, serial_lookup=False)
+        assert config.hit_latency == 3
+
+    def test_serial_lookup_hit_latency(self):
+        config = small(tag_latency=10, data_latency=24, serial_lookup=True)
+        assert config.hit_latency == 34
+
+    def test_miss_detect_is_tag_latency(self):
+        assert small(tag_latency=7).miss_detect_latency == 7
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(ValueError):
+            small(tag_latency=0)
+
+
+class TestPaperConfigs:
+    def test_l1_is_32kb_2way(self):
+        config = paper_l1_config()
+        assert config.num_blocks * 64 == 32 * 1024
+        assert config.associativity == 2
+        assert config.mshr_entries == 32
+
+    def test_l2_is_256kb_8way(self):
+        config = paper_l2_config()
+        assert config.num_blocks * 64 == 256 * 1024
+        assert config.associativity == 8
+
+    def test_llc_scales_with_cores(self):
+        for cores in (1, 2, 4, 8):
+            config = paper_llc_config(cores)
+            assert config.num_blocks * 64 == cores * 2 * 1024 * 1024
+            assert config.serial_lookup
+        assert paper_llc_config(1).associativity == 16
+        assert paper_llc_config(8).associativity == 32
+
+    def test_llc_latency_table(self):
+        # Paper Table 1: tag 10/12/13/14, data 24/29/31/33.
+        assert paper_llc_config(1).tag_latency == 10
+        assert paper_llc_config(2).tag_latency == 12
+        assert paper_llc_config(4).tag_latency == 13
+        assert paper_llc_config(8).tag_latency == 14
+        assert paper_llc_config(1).data_latency == 24
+        assert paper_llc_config(8).data_latency == 33
+
+    def test_llc_4mb_per_core(self):
+        config = paper_llc_config(4, mb_per_core=4)
+        assert config.num_blocks * 64 == 16 * 1024 * 1024
+        assert config.tag_latency == 14  # slightly slower than the 2MB/core L3

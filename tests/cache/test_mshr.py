@@ -1,0 +1,69 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.cache.mshr import MshrFile
+
+
+class TestAllocation:
+    def test_new_miss_returns_true(self):
+        mshr = MshrFile(capacity=2)
+        assert mshr.allocate(5, lambda addr: None)
+        assert mshr.outstanding(5)
+
+    def test_merge_returns_false(self):
+        mshr = MshrFile(capacity=2)
+        mshr.allocate(5, lambda addr: None)
+        assert not mshr.allocate(5, lambda addr: None)
+        assert len(mshr) == 1
+
+    def test_capacity_enforced(self):
+        mshr = MshrFile(capacity=2)
+        mshr.allocate(1, lambda addr: None)
+        mshr.allocate(2, lambda addr: None)
+        assert mshr.is_full
+        assert not mshr.can_allocate(3)
+        assert mshr.can_allocate(1)  # merge always allowed
+        with pytest.raises(RuntimeError):
+            mshr.allocate(3, lambda addr: None)
+
+    def test_unlimited_capacity(self):
+        mshr = MshrFile(capacity=0)
+        for addr in range(1000):
+            mshr.allocate(addr, lambda a: None)
+        assert not mshr.is_full
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MshrFile(capacity=-1)
+
+
+class TestCompletion:
+    def test_all_waiters_fire(self):
+        mshr = MshrFile(capacity=4)
+        woken = []
+        mshr.allocate(7, woken.append)
+        mshr.allocate(7, woken.append)
+        mshr.allocate(7, woken.append)
+        count = mshr.complete(7)
+        assert count == 3
+        assert woken == [7, 7, 7]
+        assert not mshr.outstanding(7)
+
+    def test_completion_frees_register(self):
+        mshr = MshrFile(capacity=1)
+        mshr.allocate(7, lambda a: None)
+        mshr.complete(7)
+        assert mshr.allocate(8, lambda a: None)
+
+    def test_unknown_completion_rejected(self):
+        mshr = MshrFile(capacity=1)
+        with pytest.raises(KeyError):
+            mshr.complete(9)
+
+    def test_merge_counter(self):
+        mshr = MshrFile(capacity=4)
+        mshr.allocate(7, lambda a: None)
+        mshr.allocate(7, lambda a: None)
+        assert mshr.stats.as_dict()["mshr.merged"] == 1
+        assert mshr.stats.as_dict()["mshr.allocated"] == 1

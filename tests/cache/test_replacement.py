@@ -1,0 +1,267 @@
+"""Unit tests for replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import (
+    BipPolicy,
+    BrripPolicy,
+    DipPolicy,
+    DrripPolicy,
+    DuelingMap,
+    LruPolicy,
+    PolicySelector,
+    RandomPolicy,
+    SrripPolicy,
+    make_policy,
+)
+from repro.utils.rng import DeterministicRng
+
+
+class TestLru:
+    def test_initial_victim_is_way_zero(self):
+        policy = LruPolicy(num_sets=2, num_ways=4)
+        assert policy.victim_way(0) == 0
+
+    def test_hit_promotes_to_mru(self):
+        policy = LruPolicy(num_sets=1, num_ways=4)
+        policy.on_hit(0, 0)
+        assert policy.victim_way(0) == 1
+
+    def test_insert_promotes_to_mru(self):
+        policy = LruPolicy(num_sets=1, num_ways=2)
+        policy.on_insert(0, 0)
+        assert policy.victim_way(0) == 1
+        policy.on_insert(0, 1)
+        assert policy.victim_way(0) == 0
+
+    def test_classic_sequence(self):
+        policy = LruPolicy(num_sets=1, num_ways=3)
+        for way in (0, 1, 2):
+            policy.on_insert(0, way)
+        policy.on_hit(0, 0)  # order now: 1, 2, 0
+        assert policy.victim_way(0) == 1
+
+    def test_sets_are_independent(self):
+        policy = LruPolicy(num_sets=2, num_ways=2)
+        policy.on_hit(0, 0)
+        assert policy.victim_way(1) == 0
+
+    def test_invalidate_demotes_to_lru(self):
+        policy = LruPolicy(num_sets=1, num_ways=3)
+        for way in (0, 1, 2):
+            policy.on_insert(0, way)
+        policy.on_invalidate(0, 2)
+        assert policy.victim_way(0) == 2
+
+    def test_recency_position(self):
+        policy = LruPolicy(num_sets=1, num_ways=4)
+        for way in (0, 1, 2, 3):
+            policy.on_insert(0, way)
+        assert policy.recency_position(0, 0) == 0
+        assert policy.recency_position(0, 3) == 3
+
+    def test_lru_half_ways(self):
+        policy = LruPolicy(num_sets=1, num_ways=4)
+        for way in (0, 1, 2, 3):
+            policy.on_insert(0, way)
+        assert policy.lru_half_ways(0) == [0, 1]
+
+
+class TestBip:
+    def test_mostly_inserts_at_lru(self):
+        policy = BipPolicy(num_sets=1, num_ways=4, rng=DeterministicRng(1))
+        lru_inserts = 0
+        for _ in range(640):
+            policy.on_insert(0, 2)
+            if policy.victim_way(0) == 2:
+                lru_inserts += 1
+        # epsilon = 1/64, so ~98% of inserts stay at the LRU position.
+        assert lru_inserts > 600
+
+    def test_epsilon_one_behaves_like_lru(self):
+        policy = BipPolicy(num_sets=1, num_ways=2, rng=DeterministicRng(1), epsilon=1.0)
+        policy.on_insert(0, 0)
+        assert policy.victim_way(0) == 1
+
+
+class TestPolicySelector:
+    def test_starts_undecided(self):
+        selector = PolicySelector(bits=4)
+        assert selector.value == 8
+        assert selector.prefers_second
+
+    def test_saturates(self):
+        selector = PolicySelector(bits=2)
+        for _ in range(10):
+            selector.vote_up()
+        assert selector.value == 3
+        for _ in range(10):
+            selector.vote_down()
+        assert selector.value == 0
+        assert not selector.prefers_second
+
+
+class TestDuelingMap:
+    def test_leader_sets_disjoint_and_present(self):
+        dueling = DuelingMap(num_sets=256, num_threads=2, leaders_per_policy=8)
+        roles = [dueling.role(s) for s in range(256)]
+        a_leaders = [i for i, (r, _t) in enumerate(roles) if r == DuelingMap.LEADER_A]
+        b_leaders = [i for i, (r, _t) in enumerate(roles) if r == DuelingMap.LEADER_B]
+        assert len(a_leaders) == len(b_leaders) == 16  # 8 per thread per policy
+        assert not set(a_leaders) & set(b_leaders)
+
+    def test_each_thread_gets_leaders(self):
+        dueling = DuelingMap(num_sets=256, num_threads=4, leaders_per_policy=4)
+        owners_a = {t for s in range(256) for r, t in [dueling.role(s)] if r == 1}
+        assert owners_a == {0, 1, 2, 3}
+
+    def test_tiny_cache_falls_back_gracefully(self):
+        dueling = DuelingMap(num_sets=4, num_threads=8)
+        roles = [dueling.role(s)[0] for s in range(4)]
+        assert DuelingMap.LEADER_A in roles
+        assert DuelingMap.LEADER_B in roles
+
+
+class TestDip:
+    def make(self, num_sets=64, num_ways=4, threads=1):
+        return DipPolicy(
+            num_sets=num_sets,
+            num_ways=num_ways,
+            num_threads=threads,
+            rng=DeterministicRng(3),
+            leaders_per_policy=4,
+        )
+
+    def _leader_sets(self, policy, role):
+        return [
+            s
+            for s in range(policy.num_sets)
+            if policy.dueling.role(s) == (role, 0)
+        ]
+
+    def test_lru_leader_always_inserts_mru(self):
+        policy = self.make()
+        lru_leader = self._leader_sets(policy, DuelingMap.LEADER_A)[0]
+        policy.on_insert(lru_leader, 1)
+        assert policy.victim_way(lru_leader) != 1
+
+    def test_misses_in_lru_leader_push_towards_bip(self):
+        policy = self.make()
+        lru_leader = self._leader_sets(policy, DuelingMap.LEADER_A)[0]
+        start = policy.selectors[0].value
+        policy.note_miss(lru_leader, core_id=0)
+        assert policy.selectors[0].value == start + 1
+
+    def test_misses_in_bip_leader_push_towards_lru(self):
+        policy = self.make()
+        bip_leader = self._leader_sets(policy, DuelingMap.LEADER_B)[0]
+        start = policy.selectors[0].value
+        policy.note_miss(bip_leader, core_id=0)
+        assert policy.selectors[0].value == start - 1
+
+    def test_follower_misses_do_not_vote(self):
+        policy = self.make()
+        follower = [
+            s
+            for s in range(policy.num_sets)
+            if policy.dueling.role(s)[0] == DuelingMap.FOLLOWER
+        ][0]
+        start = policy.selectors[0].value
+        policy.note_miss(follower, core_id=0)
+        assert policy.selectors[0].value == start
+
+    def test_thread_awareness_separate_selectors(self):
+        policy = self.make(threads=2)
+        a_leader_t1 = [
+            s for s in range(policy.num_sets) if policy.dueling.role(s) == (1, 1)
+        ][0]
+        policy.note_miss(a_leader_t1, core_id=1)
+        assert policy.selectors[0].value == 512  # untouched
+        assert policy.selectors[1].value == 513
+
+    def test_other_threads_misses_in_my_leader_ignored(self):
+        policy = self.make(threads=2)
+        a_leader_t0 = [
+            s for s in range(policy.num_sets) if policy.dueling.role(s) == (1, 0)
+        ][0]
+        policy.note_miss(a_leader_t0, core_id=1)
+        assert policy.selectors[0].value == 512
+
+
+class TestRrip:
+    def test_srrip_insert_is_long_not_distant(self):
+        policy = SrripPolicy(num_sets=1, num_ways=2)
+        policy.on_insert(0, 0)
+        # Way 1 was never touched: still distant (max RRPV) -> victim.
+        assert policy.victim_way(0) == 1
+
+    def test_hit_promotes_to_zero(self):
+        policy = SrripPolicy(num_sets=1, num_ways=2)
+        policy.on_insert(0, 0)
+        policy.on_insert(0, 1)
+        policy.on_hit(0, 0)
+        # Aging should evict way 1 (RRPV 2) before way 0 (RRPV 0).
+        assert policy.victim_way(0) == 1
+
+    def test_aging_when_no_distant_block(self):
+        policy = SrripPolicy(num_sets=1, num_ways=2)
+        policy.on_insert(0, 0)
+        policy.on_insert(0, 1)
+        policy.on_hit(0, 0)
+        policy.on_hit(0, 1)
+        victim = policy.victim_way(0)  # forces aging loop
+        assert victim in (0, 1)
+
+    def test_brrip_mostly_inserts_distant(self):
+        policy = BrripPolicy(num_sets=1, num_ways=4, rng=DeterministicRng(5))
+        distant = 0
+        for _ in range(640):
+            policy.on_insert(0, 1)
+            if policy._rrpv[0][1] == policy.max_rrpv:
+                distant += 1
+        assert distant > 600
+
+    def test_drrip_leaders_use_fixed_policies(self):
+        policy = DrripPolicy(
+            num_sets=64, num_ways=4, rng=DeterministicRng(5), leaders_per_policy=4
+        )
+        srrip_leader = [
+            s for s in range(64) if policy.dueling.role(s) == (DuelingMap.LEADER_A, 0)
+        ][0]
+        policy.on_insert(srrip_leader, 0)
+        assert policy._rrpv[srrip_leader][0] == policy.max_rrpv - 1
+
+    def test_drrip_voting(self):
+        policy = DrripPolicy(
+            num_sets=64, num_ways=4, rng=DeterministicRng(5), leaders_per_policy=4
+        )
+        a_leader = [
+            s for s in range(64) if policy.dueling.role(s) == (DuelingMap.LEADER_A, 0)
+        ][0]
+        start = policy.selectors[0].value
+        policy.note_miss(a_leader, core_id=0)
+        assert policy.selectors[0].value == start + 1
+
+
+class TestRandomAndFactory:
+    def test_random_victim_in_range(self):
+        policy = RandomPolicy(num_sets=1, num_ways=8, rng=DeterministicRng(9))
+        for _ in range(100):
+            assert 0 <= policy.victim_way(0) < 8
+
+    def test_factory_names(self):
+        for name, cls in [
+            ("lru", LruPolicy),
+            ("bip", BipPolicy),
+            ("dip", DipPolicy),
+            ("tadip", DipPolicy),
+            ("srrip", SrripPolicy),
+            ("brrip", BrripPolicy),
+            ("drrip", DrripPolicy),
+            ("random", RandomPolicy),
+        ]:
+            assert isinstance(make_policy(name, 16, 4), cls)
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_policy("belady", 16, 4)

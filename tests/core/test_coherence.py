@@ -1,0 +1,87 @@
+"""Tests for coherence-protocol adaptation (paper Section 2.3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.coherence import CoherenceAdapter
+
+
+class TestMoesi:
+    """The paper's worked example: MOESI -> (M,E), (O,S), (I)."""
+
+    def setup_method(self):
+        self.adapter = CoherenceAdapter("moesi")
+
+    def test_dirty_states(self):
+        assert set(self.adapter.dirty_states) == {"M", "O"}
+
+    def test_stored_states_drop_dirty_twins(self):
+        assert set(self.adapter.stored_states) == {"E", "S", "I"}
+
+    def test_encode_modified(self):
+        encoded = self.adapter.encode("M")
+        assert encoded.stored_state == "E"
+        assert encoded.dbi_dirty
+
+    def test_encode_owned(self):
+        encoded = self.adapter.encode("O")
+        assert encoded.stored_state == "S"
+        assert encoded.dbi_dirty
+
+    def test_encode_clean_states(self):
+        for state in ("E", "S", "I"):
+            encoded = self.adapter.encode(state)
+            assert encoded.stored_state == state
+            assert not encoded.dbi_dirty
+
+    def test_decode_round_trip(self):
+        for state in self.adapter.states:
+            encoded = self.adapter.encode(state)
+            assert self.adapter.decode(encoded.stored_state,
+                                       encoded.dbi_dirty) == state
+
+    def test_invalid_cannot_be_dirty(self):
+        with pytest.raises(ValueError):
+            self.adapter.decode("I", dbi_dirty=True)
+
+    def test_tag_bits_saved(self):
+        # 5 states (3 bits) -> 3 stored states (2 bits): one bit moved to DBI.
+        assert self.adapter.tag_state_bits_saved() == 1
+
+
+class TestOtherProtocols:
+    def test_mesi_split(self):
+        adapter = CoherenceAdapter("mesi")
+        assert adapter.encode("M").stored_state == "E"
+        assert set(adapter.stored_states) == {"E", "S", "I"}
+
+    def test_msi_split(self):
+        adapter = CoherenceAdapter("msi")
+        assert adapter.encode("M").stored_state == "S"
+        assert set(adapter.stored_states) == {"S", "I"}
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            CoherenceAdapter("dragon")
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError):
+            CoherenceAdapter("mesi").encode("O")
+
+    def test_decode_rejects_non_stored_state(self):
+        with pytest.raises(ValueError):
+            CoherenceAdapter("mesi").decode("M", dbi_dirty=False)
+
+
+@given(
+    protocol=st.sampled_from(["msi", "mesi", "moesi"]),
+    index=st.integers(min_value=0, max_value=4),
+)
+def test_round_trip_property(protocol, index):
+    """encode/decode is the identity on every state of every protocol."""
+    adapter = CoherenceAdapter(protocol)
+    state = adapter.states[index % len(adapter.states)]
+    encoded = adapter.encode(state)
+    assert adapter.decode(encoded.stored_state, encoded.dbi_dirty) == state
+    assert encoded.dbi_dirty == adapter.is_dirty_state(state)

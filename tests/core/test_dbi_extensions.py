@@ -1,0 +1,113 @@
+"""Tests for the Section 7 extension queries on the DBI."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DbiConfig
+from repro.core.dbi import DirtyBlockIndex
+
+
+def make_dbi():
+    return DirtyBlockIndex(
+        DbiConfig(cache_blocks=1024, alpha=Fraction(1, 2), granularity=16,
+                  associativity=8)
+    )
+
+
+class TestRegionHasDirty:
+    def test_true_only_for_marked_regions(self):
+        dbi = make_dbi()
+        dbi.mark_dirty(17)  # region 1
+        assert dbi.region_has_dirty(1)
+        assert not dbi.region_has_dirty(0)
+        assert not dbi.region_has_dirty(2)
+
+    def test_cleared_when_last_bit_clears(self):
+        dbi = make_dbi()
+        dbi.mark_dirty(17)
+        dbi.mark_clean(17)
+        assert not dbi.region_has_dirty(1)
+
+
+class TestRangeQuery:
+    def test_detects_dirty_inside_range(self):
+        dbi = make_dbi()
+        dbi.mark_dirty(100)
+        assert dbi.any_dirty_in_range(90, 110)
+        assert dbi.any_dirty_in_range(100, 101)
+
+    def test_misses_outside_range(self):
+        dbi = make_dbi()
+        dbi.mark_dirty(100)
+        assert not dbi.any_dirty_in_range(0, 100)  # end-exclusive
+        assert not dbi.any_dirty_in_range(101, 200)
+
+    def test_spans_multiple_regions(self):
+        dbi = make_dbi()
+        dbi.mark_dirty(250)
+        assert dbi.any_dirty_in_range(0, 1024)
+
+    def test_empty_range(self):
+        dbi = make_dbi()
+        dbi.mark_dirty(5)
+        assert not dbi.any_dirty_in_range(5, 5)
+        assert not dbi.any_dirty_in_range(10, 5)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        marks=st.lists(st.integers(min_value=0, max_value=511), max_size=30),
+        start=st.integers(min_value=0, max_value=511),
+        span=st.integers(min_value=0, max_value=128),
+    )
+    def test_matches_bruteforce(self, marks, start, span):
+        dbi = make_dbi()
+        for addr in marks:
+            dbi.mark_dirty(addr)
+        live = set(dbi.all_dirty_blocks())
+        end = start + span
+        expected = any(start <= addr < end for addr in live)
+        assert dbi.any_dirty_in_range(start, end) == expected
+
+
+class TestFlush:
+    def test_flush_returns_all_dirty_grouped(self):
+        dbi = make_dbi()
+        for addr in (3, 7, 30, 200):
+            dbi.mark_dirty(addr)
+        groups = dbi.flush()
+        flat = sorted(addr for group in groups for addr in group)
+        assert flat == [3, 7, 30, 200]
+        # Each group belongs to exactly one region.
+        for group in groups:
+            assert len({addr // 16 for addr in group}) == 1
+
+    def test_flush_empties_the_dbi(self):
+        dbi = make_dbi()
+        dbi.mark_dirty(3)
+        dbi.flush()
+        assert dbi.entry_count == 0
+        assert not dbi.is_dirty(3)
+        assert dbi.all_dirty_blocks() == []
+
+    def test_flush_empty_dbi(self):
+        dbi = make_dbi()
+        assert dbi.flush() == []
+
+    def test_dbi_usable_after_flush(self):
+        dbi = make_dbi()
+        dbi.mark_dirty(3)
+        dbi.flush()
+        dbi.mark_dirty(99)
+        assert dbi.is_dirty(99)
+        assert dbi.entry_count == 1
+
+    def test_flush_counters(self):
+        dbi = make_dbi()
+        dbi.mark_dirty(3)
+        dbi.mark_dirty(300)
+        dbi.flush()
+        flat = dbi.stats.as_dict()
+        assert flat["dbi.flushes"] == 1
+        assert flat["dbi.flushed_entries"] == 2

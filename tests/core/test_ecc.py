@@ -1,0 +1,68 @@
+"""Unit tests for the heterogeneous ECC domain."""
+
+from fractions import Fraction
+
+from repro.core.config import DbiConfig
+from repro.core.dbi import DirtyBlockIndex
+from repro.core.ecc import EccDomain
+
+
+def make_domain():
+    dbi = DirtyBlockIndex(
+        DbiConfig(cache_blocks=1024, alpha=Fraction(1, 4), granularity=16,
+                  associativity=4)
+    )
+    return dbi, EccDomain(dbi)
+
+
+class TestProtectionMapping:
+    def test_dirty_blocks_are_ecc_protected(self):
+        dbi, domain = make_domain()
+        dbi.mark_dirty(42)
+        assert domain.is_ecc_protected(42)
+
+    def test_clean_blocks_are_not(self):
+        _dbi, domain = make_domain()
+        assert not domain.is_ecc_protected(42)
+
+    def test_cleaning_removes_protection(self):
+        dbi, domain = make_domain()
+        dbi.mark_dirty(42)
+        dbi.mark_clean(42)
+        assert not domain.is_ecc_protected(42)
+
+    def test_invariant_holds_under_traffic(self):
+        dbi, domain = make_domain()
+        for addr in range(0, 512, 3):
+            dbi.mark_dirty(addr)
+            assert domain.protection_invariant_holds()
+
+
+class TestFaultInjection:
+    def test_single_bit_fault_on_dirty_corrected(self):
+        dbi, domain = make_domain()
+        dbi.mark_dirty(7)
+        outcome = domain.inject_single_bit_fault(7)
+        assert outcome.detected
+        assert outcome.corrected
+        assert not outcome.data_loss
+
+    def test_single_bit_fault_on_clean_refetches(self):
+        _dbi, domain = make_domain()
+        outcome = domain.inject_single_bit_fault(7)
+        assert outcome.detected
+        assert not outcome.corrected
+        assert outcome.needs_refetch
+        assert not outcome.data_loss
+
+    def test_double_bit_fault_on_dirty_is_data_loss(self):
+        dbi, domain = make_domain()
+        dbi.mark_dirty(7)
+        outcome = domain.inject_double_bit_fault(7)
+        assert outcome.detected
+        assert outcome.data_loss
+
+    def test_double_bit_fault_on_clean_is_safe(self):
+        _dbi, domain = make_domain()
+        outcome = domain.inject_double_bit_fault(7)
+        assert not outcome.data_loss

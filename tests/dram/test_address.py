@@ -1,0 +1,86 @@
+"""Unit tests for DRAM address mapping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram.address import AddressMapper
+from repro.dram.config import DramConfig
+
+CONFIG = DramConfig(num_banks=8, row_buffer_blocks=128)
+
+
+@pytest.fixture
+def mapper():
+    return AddressMapper(CONFIG)
+
+
+class TestDecode:
+    def test_blocks_of_one_row_share_bank_and_row(self, mapper):
+        base = 5 * 128  # start of global row 5
+        coords = [mapper.decode(base + column) for column in range(128)]
+        assert len({c.bank for c in coords}) == 1
+        assert len({c.row for c in coords}) == 1
+        assert [c.column for c in coords] == list(range(128))
+        assert all(c.global_row_id == 5 for c in coords)
+
+    def test_consecutive_rows_rotate_across_banks(self, mapper):
+        banks = [mapper.decode(row * 128).bank for row in range(16)]
+        assert banks == [row % 8 for row in range(16)]
+
+    def test_row_within_bank_increments_every_num_banks_rows(self, mapper):
+        assert mapper.decode(0).row == 0
+        assert mapper.decode(8 * 128).row == 1
+        assert mapper.decode(16 * 128).row == 2
+
+    def test_global_row_id_matches_decode(self, mapper):
+        for addr in (0, 127, 128, 999, 12345):
+            assert mapper.global_row_id(addr) == mapper.decode(addr).global_row_id
+
+    def test_hot_path_helpers_match_decode(self, mapper):
+        for addr in (0, 1, 127, 128, 4097, 99999):
+            coords = mapper.decode(addr)
+            assert mapper.bank_of(addr) == coords.bank
+            assert mapper.row_of(addr) == coords.row
+
+
+class TestInverseMapping:
+    def test_block_of_round_trip(self, mapper):
+        addr = 7 * 128 + 42
+        coords = mapper.decode(addr)
+        assert mapper.block_of(coords.global_row_id, coords.column) == addr
+
+    def test_block_of_rejects_bad_column(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.block_of(0, 128)
+        with pytest.raises(ValueError):
+            mapper.block_of(0, -1)
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_round_trip_property(self, block_addr):
+        mapper = AddressMapper(CONFIG)
+        coords = mapper.decode(block_addr)
+        assert mapper.block_of(coords.global_row_id, coords.column) == block_addr
+
+
+class TestRowSpan:
+    def test_span_covers_whole_row(self, mapper):
+        span = list(mapper.row_span(3 * 128 + 17))
+        assert span[0] == 3 * 128
+        assert span[-1] == 4 * 128 - 1
+        assert len(span) == 128
+
+    def test_all_span_members_share_global_row(self, mapper):
+        addr = 11 * 128 + 5
+        row_id = mapper.global_row_id(addr)
+        assert all(mapper.global_row_id(a) == row_id for a in mapper.row_span(addr))
+
+
+class TestAlternateGeometries:
+    def test_small_row(self):
+        mapper = AddressMapper(DramConfig(num_banks=4, row_buffer_blocks=16))
+        assert mapper.blocks_per_row == 16
+        coords = mapper.decode(16 * 5 + 3)
+        assert coords.global_row_id == 5
+        assert coords.bank == 1
+        assert coords.column == 3

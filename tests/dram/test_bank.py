@@ -1,0 +1,77 @@
+"""Unit tests for the DRAM bank model."""
+
+import pytest
+
+from repro.dram.bank import Bank
+from repro.dram.config import DramConfig
+
+CONFIG = DramConfig()
+
+
+@pytest.fixture
+def bank():
+    return Bank(0, CONFIG)
+
+
+class TestLatencies:
+    def test_closed_bank_prep(self, bank):
+        assert bank.prep_latency(5) == CONFIG.t_rcd
+
+    def test_row_hit_prep_is_zero(self, bank):
+        bank.perform_access(5, 0)
+        assert bank.prep_latency(5) == 0
+
+    def test_row_conflict_prep(self, bank):
+        bank.perform_access(5, 0)
+        assert bank.prep_latency(6) == CONFIG.t_rp + CONFIG.t_rcd
+
+    def test_access_latency_ordering(self, bank):
+        bank.perform_access(5, 0)
+        hit = bank.access_latency(5)
+        miss = bank.access_latency(6)
+        assert hit == CONFIG.row_hit_latency
+        assert miss == CONFIG.row_miss_latency
+        assert hit < miss
+
+
+class TestAccessBookkeeping:
+    def test_access_opens_row(self, bank):
+        bank.perform_access(9, 0)
+        assert bank.open_row == 9
+        assert bank.would_hit(9)
+        assert not bank.would_hit(10)
+
+    def test_closed_access_data_ready(self, bank):
+        data_ready = bank.perform_access(1, 100)
+        assert data_ready == 100 + CONFIG.t_rcd + CONFIG.t_cas
+
+    def test_conflict_access_data_ready(self, bank):
+        bank.perform_access(1, 0)
+        start = bank.busy_until
+        data_ready = bank.perform_access(2, start)
+        assert data_ready == start + CONFIG.t_rp + CONFIG.t_rcd + CONFIG.t_cas
+
+    def test_bank_command_occupancy(self, bank):
+        bank.perform_access(1, 100)
+        # Next command slot: CAS issue time + burst (tCCD).
+        assert bank.busy_until == 100 + CONFIG.t_rcd + CONFIG.t_burst
+        assert not bank.is_free(bank.busy_until - 1)
+        assert bank.is_free(bank.busy_until)
+
+    def test_row_hits_stream_at_burst_granularity(self, bank):
+        bank.perform_access(4, 0)
+        first_next_slot = bank.busy_until
+        bank.perform_access(4, first_next_slot)
+        # Consecutive CAS commands are tBURST apart for row hits.
+        assert bank.busy_until - first_next_slot == CONFIG.t_burst
+
+    def test_access_while_busy_rejected(self, bank):
+        bank.perform_access(1, 0)
+        with pytest.raises(ValueError):
+            bank.perform_access(2, 1)
+
+    def test_precharge_closes_row(self, bank):
+        bank.perform_access(4, 0)
+        bank.precharge()
+        assert bank.open_row is None
+        assert bank.prep_latency(4) == CONFIG.t_rcd

@@ -1,0 +1,77 @@
+"""Unit tests for FR-FCFS selection."""
+
+import pytest
+
+from repro.dram.address import AddressMapper
+from repro.dram.bank import Bank
+from repro.dram.config import DramConfig
+from repro.dram.request import MemoryRequest
+from repro.dram.scheduler import earliest_bank_free, select_fr_fcfs
+
+CONFIG = DramConfig(num_banks=4, row_buffer_blocks=16)
+
+
+@pytest.fixture
+def mapper():
+    return AddressMapper(CONFIG)
+
+
+@pytest.fixture
+def banks():
+    return [Bank(i, CONFIG) for i in range(CONFIG.num_banks)]
+
+
+def read(addr, arrival=0):
+    return MemoryRequest(block_addr=addr, is_write=False, arrival_time=arrival)
+
+
+def addr_for(mapper, global_row, column=0):
+    return mapper.block_of(global_row, column)
+
+
+class TestFrFcfs:
+    def test_empty_candidates(self, banks, mapper):
+        assert select_fr_fcfs([], banks, mapper, 0) is None
+
+    def test_oldest_first_when_no_hits(self, banks, mapper):
+        requests = [read(addr_for(mapper, row)) for row in (4, 5, 6)]
+        assert select_fr_fcfs(requests, banks, mapper, 0) is requests[0]
+
+    def test_row_hit_preferred_over_older_miss(self, banks, mapper):
+        hit_addr = addr_for(mapper, 4, column=3)
+        bank = banks[mapper.bank_of(hit_addr)]
+        bank.open_row = mapper.row_of(hit_addr)
+        older_miss = read(addr_for(mapper, 9))
+        newer_hit = read(hit_addr)
+        assert select_fr_fcfs([older_miss, newer_hit], banks, mapper, 0) is newer_hit
+
+    def test_busy_bank_requests_skipped(self, banks, mapper):
+        blocked = read(addr_for(mapper, 0))  # bank 0
+        free = read(addr_for(mapper, 1))  # bank 1
+        banks[0].busy_until = 100
+        assert select_fr_fcfs([blocked, free], banks, mapper, 0) is free
+
+    def test_all_banks_busy_returns_none(self, banks, mapper):
+        for bank in banks:
+            bank.busy_until = 100
+        requests = [read(addr_for(mapper, row)) for row in range(4)]
+        assert select_fr_fcfs(requests, banks, mapper, 0) is None
+
+    def test_first_ready_hit_beats_later_hit(self, banks, mapper):
+        first_hit = addr_for(mapper, 0, column=1)
+        second_hit = addr_for(mapper, 1, column=1)
+        banks[mapper.bank_of(first_hit)].open_row = mapper.row_of(first_hit)
+        banks[mapper.bank_of(second_hit)].open_row = mapper.row_of(second_hit)
+        requests = [read(second_hit), read(first_hit)]
+        # Both are hits; FIFO order among hits: first in list wins.
+        assert select_fr_fcfs(requests, banks, mapper, 0) is requests[0]
+
+
+class TestEarliestBankFree:
+    def test_min_over_banks(self, banks):
+        banks[0].busy_until = 50
+        banks[1].busy_until = 10
+        banks[2].busy_until = 70
+        assert earliest_bank_free(banks) == 0  # bank 3 never used
+        banks[3].busy_until = 30
+        assert earliest_bank_free(banks) == 10

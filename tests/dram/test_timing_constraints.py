@@ -1,0 +1,144 @@
+"""Tests for the finer DDR3 timing constraints: tWR, turnaround, tRRD/tFAW."""
+
+import pytest
+
+from repro.dram.bank import Bank
+from repro.dram.config import DramConfig
+from repro.dram.controller import MemoryController
+from repro.dram.request import MemoryRequest
+from repro.utils.events import EventQueue
+
+CFG = DramConfig(num_banks=4, row_buffer_blocks=16, write_buffer_entries=8)
+
+
+def make():
+    queue = EventQueue()
+    return queue, MemoryController(queue, CFG)
+
+
+class TestWriteRecovery:
+    def test_same_row_access_ignores_twr(self):
+        bank = Bank(0, CFG)
+        bank.perform_access(5, 0)
+        bank.write_recovery_until = 1_000
+        # Row hit: ready as soon as the command slot frees.
+        assert bank.ready_time(5) == bank.busy_until
+
+    def test_row_change_waits_for_twr(self):
+        bank = Bank(0, CFG)
+        bank.perform_access(5, 0)
+        bank.write_recovery_until = 1_000
+        assert bank.ready_time(6) == 1_000
+        assert not bank.is_ready(6, 999)
+        assert bank.is_ready(6, 1_000)
+
+    def test_write_sets_recovery_window(self):
+        queue, controller = make()
+        controller.enqueue_write(MemoryRequest(block_addr=0, is_write=True))
+        queue.run()
+        bank = controller.banks[0]
+        assert bank.write_recovery_until > bank.busy_until - CFG.t_burst
+
+    def test_conflicting_writes_slower_than_row_hit_writes(self):
+        # Same bank, different rows (bank 0: global rows 0 and 4).
+        queue, controller = make()
+        for row in (0, 4):
+            controller.enqueue_write(
+                MemoryRequest(block_addr=row * 16, is_write=True)
+            )
+        queue.run()
+        conflict_time = queue.now
+
+        queue2, controller2 = make()
+        for column in (0, 1):
+            controller2.enqueue_write(
+                MemoryRequest(block_addr=column, is_write=True)
+            )
+        queue2.run()
+        hit_time = queue2.now
+        assert conflict_time > hit_time + CFG.t_wr  # recovery + re-activate
+
+
+class TestBusTurnaround:
+    def test_direction_switch_counted_and_penalized(self):
+        queue, controller = make()
+        done = []
+        controller.enqueue_read(
+            MemoryRequest(block_addr=0, is_write=False, on_complete=done.append)
+        )
+        queue.run()
+        controller.enqueue_write(MemoryRequest(block_addr=16, is_write=True))
+        queue.run()
+        assert controller.stats.as_dict()["dram.bus_turnarounds"] == 1
+
+    def test_same_direction_no_penalty(self):
+        queue, controller = make()
+        done = []
+        for addr in (0, 16):
+            controller.enqueue_read(
+                MemoryRequest(block_addr=addr, is_write=False,
+                              on_complete=done.append)
+            )
+        queue.run()
+        assert controller.stats.as_dict().get("dram.bus_turnarounds", 0) == 0
+
+
+class TestActivateWindows:
+    def test_activate_rate_is_limited(self):
+        """Five row misses to five banks cannot all activate inside tFAW."""
+        config = DramConfig(num_banks=8, row_buffer_blocks=16,
+                            write_buffer_entries=8)
+        queue = EventQueue()
+        controller = MemoryController(queue, config)
+        done = []
+        # 5 reads to distinct banks, all row misses.
+        for bank in range(5):
+            addr = bank * 16  # global row = bank index -> distinct banks
+            controller.enqueue_read(
+                MemoryRequest(block_addr=addr, is_write=False,
+                              on_complete=done.append)
+            )
+        queue.run()
+        assert len(done) == 5
+        assert controller.stats.as_dict()["dram.activates"] == 5
+        # The 5th ACTIVATE cannot issue before tFAW after the 1st.
+        assert queue.now >= config.t_faw
+
+    def test_row_hits_bypass_activate_limits(self):
+        queue, controller = make()
+        done = []
+        for column in range(6):  # same row: one activate, then hits
+            controller.enqueue_read(
+                MemoryRequest(block_addr=column, is_write=False,
+                              on_complete=done.append)
+            )
+        queue.run()
+        assert controller.stats.as_dict()["dram.activates"] == 1
+
+    def test_trrd_spaces_activates(self):
+        queue, controller = make()
+        issue_times = []
+        original = controller._record_activate
+
+        def spy(when):
+            issue_times.append(when)
+            original(when)
+
+        controller._record_activate = spy
+        done = []
+        for bank in range(2):
+            controller.enqueue_read(
+                MemoryRequest(block_addr=bank * 16, is_write=False,
+                              on_complete=done.append)
+            )
+        queue.run()
+        assert len(issue_times) == 2
+        assert issue_times[1] - issue_times[0] >= CFG.t_rrd
+
+
+class TestConfigValidation:
+    def test_new_fields_validated(self):
+        with pytest.raises(ValueError):
+            DramConfig(t_wr=-1)
+        with pytest.raises(ValueError):
+            DramConfig(t_faw=-5)

@@ -1,0 +1,85 @@
+"""Unit tests for the write buffer."""
+
+import pytest
+
+from repro.dram.request import MemoryRequest
+from repro.dram.writebuffer import WriteBuffer
+
+
+def write(addr):
+    return MemoryRequest(block_addr=addr, is_write=True)
+
+
+class TestCapacity:
+    def test_fills_to_capacity(self):
+        buffer = WriteBuffer(4)
+        for addr in range(4):
+            buffer.add(write(addr))
+        assert buffer.is_full
+        assert len(buffer) == 4
+
+    def test_overflow_rejected(self):
+        buffer = WriteBuffer(2)
+        buffer.add(write(0))
+        buffer.add(write(1))
+        with pytest.raises(ValueError):
+            buffer.add(write(2))
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            WriteBuffer(0)
+
+
+class TestCoalescing:
+    def test_same_address_coalesces(self):
+        buffer = WriteBuffer(4)
+        buffer.add(write(7))
+        buffer.add(write(7))
+        assert len(buffer) == 1
+
+    def test_coalesce_works_even_when_full(self):
+        buffer = WriteBuffer(1)
+        buffer.add(write(7))
+        buffer.add(write(7))  # must not raise
+        assert buffer.is_full
+
+
+class TestLookupAndRemoval:
+    def test_contains(self):
+        buffer = WriteBuffer(4)
+        buffer.add(write(3))
+        assert buffer.contains(3)
+        assert not buffer.contains(4)
+
+    def test_read_rejected(self):
+        buffer = WriteBuffer(4)
+        with pytest.raises(ValueError):
+            buffer.add(MemoryRequest(block_addr=0, is_write=False))
+
+    def test_pop_oldest_is_fifo(self):
+        buffer = WriteBuffer(4)
+        for addr in (5, 9, 1):
+            buffer.add(write(addr))
+        assert buffer.pop_oldest().block_addr == 5
+        assert buffer.pop_oldest().block_addr == 9
+        assert buffer.pop_oldest().block_addr == 1
+        assert buffer.pop_oldest() is None
+
+    def test_remove_specific_entry(self):
+        buffer = WriteBuffer(4)
+        first, second = write(1), write(2)
+        buffer.add(first)
+        buffer.add(second)
+        buffer.remove(first)
+        assert not buffer.contains(1)
+        assert buffer.contains(2)
+        assert len(buffer) == 1
+
+    def test_peek_all_preserves_order_and_is_snapshot(self):
+        buffer = WriteBuffer(4)
+        for addr in (2, 4, 6):
+            buffer.add(write(addr))
+        snapshot = buffer.peek_all()
+        assert [r.block_addr for r in snapshot] == [2, 4, 6]
+        snapshot.pop()
+        assert len(buffer) == 3

@@ -1,0 +1,122 @@
+"""Tests for the DBI-based DRAM-cache dispatcher (paper Section 7)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.config import DbiConfig
+from repro.core.dbi import DirtyBlockIndex
+from repro.extensions.dram_cache import (
+    DispatchDecision,
+    DramCacheDispatcher,
+    DramCacheModel,
+)
+
+
+def make_rig(threshold=2):
+    dbi = DirtyBlockIndex(
+        DbiConfig(cache_blocks=4096, alpha=Fraction(1, 4), granularity=16,
+                  associativity=8)
+    )
+    cache = DramCacheModel(dbi=dbi, capacity_blocks=256)
+    return cache, DramCacheDispatcher(cache, queue_penalty_threshold=threshold)
+
+
+class TestDirtyRouting:
+    def test_dirty_block_forced_to_cache(self):
+        cache, dispatcher = make_rig()
+        cache.write(100)
+        # Load the cache queue so balancing would otherwise offload.
+        for _ in range(10):
+            dispatcher.cache_queue += 1
+        assert dispatcher.dispatch_read(100) is DispatchDecision.DRAM_CACHE
+        assert dispatcher.stats.as_dict()["dispatch.forced_to_cache"] == 1
+
+    def test_clean_block_can_offload(self):
+        cache, dispatcher = make_rig(threshold=2)
+        cache.install(100)  # present but clean
+        dispatcher.cache_queue = 5
+        dispatcher.off_chip_queue = 0
+        assert dispatcher.dispatch_read(100) is DispatchDecision.OFF_CHIP
+
+    def test_absent_block_can_offload(self):
+        _cache, dispatcher = make_rig(threshold=0)
+        assert dispatcher.dispatch_read(999) is DispatchDecision.OFF_CHIP
+
+
+class TestLoadBalancing:
+    def test_balanced_queues_prefer_cache(self):
+        _cache, dispatcher = make_rig(threshold=2)
+        assert dispatcher.dispatch_read(1) is DispatchDecision.DRAM_CACHE
+
+    def test_offload_engages_past_threshold(self):
+        _cache, dispatcher = make_rig(threshold=3)
+        decisions = [dispatcher.dispatch_read(i) for i in range(10)]
+        assert DispatchDecision.OFF_CHIP in decisions
+        # Queues stay within the threshold band.
+        assert dispatcher.cache_queue - dispatcher.off_chip_queue <= 3
+
+    def test_off_chip_share_under_write_heavy_traffic(self):
+        cache, dispatcher = make_rig(threshold=1)
+        for addr in range(64):
+            cache.write(addr)
+        for addr in range(64):
+            dispatcher.dispatch_read(addr)
+        # Every read was dirty: nothing could be offloaded.
+        assert dispatcher.off_chip_share == 0.0
+
+    def test_off_chip_share_under_clean_traffic(self):
+        _cache, dispatcher = make_rig(threshold=1)
+        for addr in range(64):
+            dispatcher.dispatch_read(addr)
+        assert dispatcher.off_chip_share > 0.3
+
+
+class TestQueueAccounting:
+    def test_complete_decrements(self):
+        _cache, dispatcher = make_rig()
+        decision = dispatcher.dispatch_read(5)
+        assert dispatcher.cache_queue == 1
+        dispatcher.complete(decision)
+        assert dispatcher.cache_queue == 0
+
+    def test_underflow_rejected(self):
+        _cache, dispatcher = make_rig()
+        with pytest.raises(ValueError):
+            dispatcher.complete(DispatchDecision.OFF_CHIP)
+
+
+class TestDramCacheModel:
+    def test_install_and_presence(self):
+        cache, _dispatcher = make_rig()
+        cache.install(7)
+        assert cache.contains(7)
+        assert not cache.contains(8)
+
+    def test_capacity_eviction(self):
+        dbi = DirtyBlockIndex(
+            DbiConfig(cache_blocks=4096, alpha=Fraction(1, 4), granularity=16,
+                      associativity=8)
+        )
+        cache = DramCacheModel(dbi=dbi, capacity_blocks=4)
+        for addr in range(5):
+            cache.install(addr)
+        assert len(cache._present) == 4
+
+    def test_evicted_dirty_block_cleared_in_dbi(self):
+        dbi = DirtyBlockIndex(
+            DbiConfig(cache_blocks=4096, alpha=Fraction(1, 4), granularity=16,
+                      associativity=8)
+        )
+        cache = DramCacheModel(dbi=dbi, capacity_blocks=2)
+        cache.write(0)
+        cache.install(1)
+        cache.install(2)  # evicts 0 (FIFO)
+        assert not dbi.is_dirty(0)
+        assert cache.stats.as_dict()["dram_cache.dirty_evictions"] == 1
+
+    def test_write_to_present_block_dirties(self):
+        cache, _dispatcher = make_rig()
+        cache.install(9)
+        cache.write(9)
+        assert cache.dbi.is_dirty(9)

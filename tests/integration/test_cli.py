@@ -1,0 +1,36 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_catalogues(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out
+        assert "dbi+awb+clb" in out
+        assert "quick" in out
+
+
+class TestRun:
+    def test_run_prints_metrics(self, capsys):
+        code = main(["run", "bzip2", "dbi", "--refs", "2000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "memory WPKI" in out
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(ValueError):
+            main(["run", "gcc", "dbi", "--refs", "100"])
+
+
+class TestExperiment:
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

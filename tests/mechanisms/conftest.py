@@ -1,0 +1,90 @@
+"""Shared rig for mechanism tests: a small LLC + port + memory + queue."""
+
+import dataclasses
+from fractions import Fraction
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.cache.port import TagPort
+from repro.core.config import DbiConfig
+from repro.dram.address import AddressMapper
+from repro.dram.config import DramConfig
+from repro.dram.controller import MemoryController
+from repro.mechanisms.registry import make_mechanism
+from repro.utils.events import EventQueue
+
+#: Small geometry used across mechanism tests: 64-block 4-way LLC,
+#: 4-bank DRAM with 16-block rows.
+DRAM = DramConfig(num_banks=4, row_buffer_blocks=16, write_buffer_entries=8)
+LLC = CacheConfig(
+    name="llc",
+    num_blocks=64,
+    associativity=4,
+    tag_latency=4,
+    data_latency=8,
+    serial_lookup=True,
+    replacement="lru",
+    port_occupancy=2,
+)
+DBI = DbiConfig(
+    cache_blocks=64, alpha=Fraction(1, 2), granularity=8, associativity=2
+)
+
+
+class Rig:
+    """Bundles the substrate one mechanism test needs."""
+
+    def __init__(self, mechanism_name, dbi_config=DBI, llc_config=LLC,
+                 predictor_epoch=10**9):
+        self.queue = EventQueue()
+        self.memory = MemoryController(self.queue, DRAM)
+        self.mapper = self.memory.mapper
+        # Keep tests deterministic with LRU; TA-DIP is tested separately.
+        self.llc = Cache(dataclasses.replace(llc_config, replacement="lru"))
+        self.port = TagPort(self.queue, occupancy=llc_config.port_occupancy)
+        self.mech = make_mechanism(
+            mechanism_name,
+            queue=self.queue,
+            llc=self.llc,
+            port=self.port,
+            memory=self.memory,
+            mapper=self.mapper,
+            dbi_config=dbi_config,
+            predictor_epoch_cycles=predictor_epoch,
+        )
+
+    def run(self):
+        self.queue.run()
+
+    def read(self, addr, core=0):
+        served = []
+        self.mech.read(core, addr, served.append)
+        return served
+
+    def read_and_run(self, addr, core=0):
+        served = self.read(addr, core)
+        self.run()
+        assert served == [addr]
+        return served
+
+    def writeback_and_run(self, addr, core=0):
+        self.mech.writeback(core, addr)
+        self.run()
+
+    def fill(self, addrs):
+        """Install blocks (clean) via reads."""
+        for addr in addrs:
+            self.read_and_run(addr)
+
+    def stat(self, name, default=0):
+        return self.mech.stats.as_dict().get(f"mech.{name}", default)
+
+    def memory_writes(self):
+        return self.memory.stats.as_dict().get("dram.dram_writes_performed", 0)
+
+
+@pytest.fixture
+def rig_factory():
+    return Rig

@@ -1,0 +1,119 @@
+"""Tests for the shared LLC mechanism machinery (via Baseline/TA-DIP)."""
+
+
+class TestReadPath:
+    def test_read_miss_fetches_and_fills(self, rig_factory):
+        rig = rig_factory("baseline")
+        rig.read_and_run(5)
+        assert rig.llc.contains(5)
+        assert rig.stat("read_misses") == 1
+        assert rig.stat("tag_lookups") == 1
+
+    def test_read_hit_serves_from_cache(self, rig_factory):
+        rig = rig_factory("baseline")
+        rig.fill([5])
+        served = rig.read(5)
+        rig.run()
+        assert served == [5]
+        assert rig.stat("read_hits") == 1
+        # Hits never touch memory.
+        assert rig.memory.stats.as_dict()["dram.dram_reads_performed"] == 1
+
+    def test_hit_latency_is_serial_tag_plus_data(self, rig_factory):
+        rig = rig_factory("baseline")
+        rig.fill([5])
+        start = rig.queue.now
+        served_at = []
+        rig.mech.read(0, 5, lambda addr: served_at.append(rig.queue.now))
+        rig.run()
+        # port occupancy grant (immediate) + tag 4 + data 8 = 12 cycles.
+        assert served_at[0] - start == rig.llc.config.hit_latency
+
+    def test_concurrent_misses_to_same_block_merge(self, rig_factory):
+        rig = rig_factory("baseline")
+        served = []
+        rig.mech.read(0, 9, served.append)
+        rig.mech.read(0, 9, served.append)
+        rig.run()
+        assert served == [9, 9]
+        assert rig.stat("fill_merges") == 1
+        assert rig.memory.stats.as_dict()["dram.dram_reads_performed"] == 1
+
+    def test_per_core_lookup_attribution(self, rig_factory):
+        rig = rig_factory("baseline")
+        rig.read_and_run(1, core=0)
+        rig.read_and_run(2, core=1)
+        assert rig.stat("tag_lookups_core0") == 1
+        assert rig.stat("tag_lookups_core1") == 1
+
+
+class TestWritebackPath:
+    def test_writeback_to_absent_block_allocates_dirty(self, rig_factory):
+        rig = rig_factory("baseline")
+        rig.writeback_and_run(5)
+        assert rig.llc.contains(5)
+        assert rig.llc.is_dirty(5)
+        assert rig.stat("writeback_requests") == 1
+
+    def test_writeback_to_present_block_marks_dirty(self, rig_factory):
+        rig = rig_factory("baseline")
+        rig.fill([5])
+        rig.writeback_and_run(5)
+        assert rig.llc.is_dirty(5)
+        assert rig.llc.occupancy == 1
+
+    def test_dirty_eviction_writes_to_memory(self, rig_factory):
+        rig = rig_factory("baseline")
+        # 16 sets: addresses 0, 16, 32, ... all map to set 0.
+        rig.writeback_and_run(0)  # dirty
+        for i in range(1, 5):  # evict it with 4 more fills in set 0
+            rig.read_and_run(i * 16)
+        assert not rig.llc.contains(0)
+        assert rig.memory_writes() == 1
+
+    def test_clean_eviction_is_silent(self, rig_factory):
+        rig = rig_factory("baseline")
+        for i in range(5):
+            rig.read_and_run(i * 16)
+        assert rig.memory_writes() == 0
+        assert rig.stat("memory_writebacks") == 0
+
+
+class TestBackPressure:
+    def test_writeback_overflow_retries(self, rig_factory):
+        rig = rig_factory("baseline")
+        # Fill the 8-entry write buffer directly, then trigger one more
+        # writeback through the mechanism.
+        from repro.dram.request import MemoryRequest
+
+        for i in range(8):
+            rig.memory.enqueue_write(MemoryRequest(block_addr=1000 + i * 16,
+                                                   is_write=True))
+        rig.mech._send_memory_write(555)
+        assert len(rig.mech._writeback_overflow) == 1
+        rig.run()
+        assert len(rig.mech._writeback_overflow) == 0
+        assert rig.mech.is_idle()
+        # All 9 writes eventually performed.
+        assert rig.memory_writes() == 9
+
+
+class TestIdleness:
+    def test_is_idle_after_quiesce(self, rig_factory):
+        rig = rig_factory("baseline")
+        rig.read_and_run(3)
+        assert rig.mech.is_idle()
+
+    def test_not_idle_with_pending_fill(self, rig_factory):
+        rig = rig_factory("baseline")
+        rig.read(3)
+        assert not rig.mech.is_idle()
+        rig.run()
+        assert rig.mech.is_idle()
+
+
+class TestTaDip:
+    def test_tadip_constructs_and_serves(self, rig_factory):
+        rig = rig_factory("tadip")
+        rig.read_and_run(5)
+        assert rig.llc.contains(5)

@@ -1,0 +1,79 @@
+"""Edge cases at the DBI mechanism boundaries."""
+
+from fractions import Fraction
+
+from repro.core.config import DbiConfig
+
+#: Fully-associative 4-entry DBI so these tests exercise *cache*-eviction
+#: paths without premature DBI-entry churn.
+WIDE_DBI = DbiConfig(
+    cache_blocks=64, alpha=Fraction(1, 2), granularity=8, associativity=4
+)
+
+
+class TestWritebackDisplacesDirtyBlock:
+    def test_insert_dirty_evicting_dbi_dirty_block(self, rig_factory):
+        """A writeback allocation that displaces another DBI-dirty block
+        must write the victim back and clear its bit before marking the
+        newcomer dirty (ordering mirrors the hardware datapath)."""
+        rig = rig_factory("dbi", dbi_config=WIDE_DBI)
+        # Fill LLC set 0 (addrs 0, 16, 32, 48 with 16 sets / 4 ways) with
+        # dirty blocks via writebacks.
+        for addr in (0, 16, 32, 48):
+            rig.writeback_and_run(addr)
+        assert rig.llc.occupancy == 4
+        # A 5th writeback to set 0 displaces the LRU victim (block 0).
+        rig.writeback_and_run(64)
+        assert not rig.llc.contains(0)
+        assert not rig.mech.dbi.is_dirty(0)
+        assert rig.mech.dbi.is_dirty(64)
+        assert rig.memory_writes() == 1
+        rig.mech.check_invariants()
+
+    def test_awb_on_writeback_caused_eviction(self, rig_factory):
+        rig = rig_factory("dbi+awb", dbi_config=WIDE_DBI)
+        # Blocks 0 and 1 share DBI region 0; 16, 32, 48 fill set 0.
+        for addr in (0, 1, 16, 32, 48):
+            rig.writeback_and_run(addr)
+        # Displace block 0 via another writeback; AWB must flush block 1 too.
+        rig.writeback_and_run(64)
+        rig.run()
+        assert not rig.mech.dbi.is_dirty(1)
+        assert rig.llc.contains(1)
+        assert rig.memory_writes() == 2  # blocks 0 and 1
+        rig.mech.check_invariants()
+
+
+class TestReadDuringDbiChurn:
+    def test_read_of_block_cleaned_by_dbi_eviction(self, rig_factory):
+        """Blocks cleaned by a DBI-entry eviction stay readable in place."""
+        rig = rig_factory("dbi")
+        rig.writeback_and_run(0)  # region 0 -> DBI set 0
+        rig.writeback_and_run(16)  # region 2 -> DBI set 0
+        rig.writeback_and_run(32)  # region 4 -> displaces region 0
+        rig.run()
+        assert not rig.mech.dbi.is_dirty(0)
+        assert rig.llc.contains(0)
+        served = rig.read(0)
+        rig.run()
+        assert served == [0]
+        # It was an LLC hit: no extra DRAM read.
+        assert rig.memory.stats.as_dict().get("dram.dram_reads_performed", 0) == 0
+
+
+class TestClbAfterCleaning:
+    def test_bypass_allowed_once_block_cleaned(self, rig_factory):
+        """After a block's writeback, the DBI lets predicted misses bypass:
+        memory now holds current data."""
+        rig = rig_factory("dbi+clb")
+        rig.writeback_and_run(100)
+        # Force the block's writeback via DBI churn in its set.
+        assert rig.mech.dbi.is_dirty(100)
+        rig.mech.dbi.mark_clean(100)
+        rig.mech._send_memory_write(100)
+        rig.run()
+        rig.mech.predictor._predict_miss[0] = True
+        served = rig.read(100)
+        rig.run()
+        assert served == [100]
+        assert rig.stat("bypassed_lookups") == 1

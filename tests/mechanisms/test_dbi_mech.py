@@ -1,0 +1,221 @@
+"""Tests for the DBI mechanism (plain, +AWB, +CLB)."""
+
+import pytest
+
+
+def evict_set0_block(rig):
+    """Evict the LRU block of set 0 by filling it with distant reads."""
+    base = 64 * 16
+    for i in range(1, 5):
+        rig.read_and_run(base + i * 16 * 4)
+
+
+class TestDirtyTracking:
+    def test_writeback_marks_dbi_not_tag(self, rig_factory):
+        rig = rig_factory("dbi")
+        rig.writeback_and_run(5)
+        assert rig.llc.contains(5)
+        assert not rig.llc.is_dirty(5)  # tag store stays clean
+        assert rig.mech.dbi.is_dirty(5)  # DBI is the authority
+        rig.mech.check_invariants()
+
+    def test_writeback_to_present_block(self, rig_factory):
+        rig = rig_factory("dbi")
+        rig.fill([5])
+        rig.writeback_and_run(5)
+        assert rig.mech.dbi.is_dirty(5)
+        assert rig.llc.dirty_count == 0
+
+    def test_dirty_eviction_consults_dbi_and_cleans(self, rig_factory):
+        rig = rig_factory("dbi")
+        rig.writeback_and_run(0)
+        evict_set0_block(rig)
+        rig.run()
+        assert not rig.llc.contains(0)
+        assert not rig.mech.dbi.is_dirty(0)
+        assert rig.memory_writes() == 1
+        rig.mech.check_invariants()
+
+    def test_clean_eviction_writes_nothing(self, rig_factory):
+        rig = rig_factory("dbi")
+        rig.read_and_run(0)
+        evict_set0_block(rig)
+        rig.run()
+        assert rig.memory_writes() == 0
+
+
+class TestDbiEviction:
+    """Section 2.2.4: entry displacement forces row-batched writebacks."""
+
+    def _dirty_regions(self, rig, count):
+        """Dirty one block in ``count`` distinct DBI regions of DBI set 0.
+
+        Test DBI: granularity 8, 4 entries, 2 ways, 2 sets; regions with
+        even ids map to set 0.
+        """
+        regions = [r for r in range(0, 40, 2)][:count]
+        for region in regions:
+            rig.writeback_and_run(region * 8)
+        return regions
+
+    def test_entry_eviction_writes_back_all_marked_blocks(self, rig_factory):
+        rig = rig_factory("dbi")
+        # Region 0: dirty blocks 0 and 3 (same 8-block DBI region).
+        rig.writeback_and_run(0)
+        rig.writeback_and_run(3)
+        # Two more even regions displace region 0 from DBI set 0 (2 ways).
+        rig.writeback_and_run(2 * 8)
+        rig.writeback_and_run(4 * 8)
+        rig.run()
+        assert rig.stat("dbi_evictions") == 1
+        assert rig.stat("dbi_eviction_writebacks") == 2
+        # Blocks stay cached but are clean now.
+        assert rig.llc.contains(0)
+        assert rig.llc.contains(3)
+        assert not rig.mech.dbi.is_dirty(0)
+        assert not rig.mech.dbi.is_dirty(3)
+        assert rig.memory_writes() == 2
+        rig.mech.check_invariants()
+
+    def test_dbi_eviction_costs_tag_lookups_only_for_dirty_blocks(
+        self, rig_factory
+    ):
+        rig = rig_factory("dbi")
+        rig.writeback_and_run(0)
+        rig.writeback_and_run(3)
+        before = rig.stat("tag_lookups")
+        rig.writeback_and_run(2 * 8)
+        rig.writeback_and_run(4 * 8)
+        rig.run()
+        # 2 demand writeback lookups + 2 background data-read lookups.
+        assert rig.stat("tag_lookups") == before + 4
+
+
+class TestAwb:
+    """Section 3.1: only actually-dirty row-mates get lookups."""
+
+    def test_row_mates_written_back_on_dirty_eviction(self, rig_factory):
+        rig = rig_factory("dbi+awb")
+        # Blocks 0, 1, 5 share DBI region 0 (granularity 8).
+        for addr in (0, 1, 5):
+            rig.writeback_and_run(addr)
+        evict_set0_block(rig)  # evicts block 0 from the cache
+        rig.run()
+        assert rig.stat("awb_writebacks") == 2  # blocks 1 and 5
+        assert not rig.mech.dbi.is_dirty(1)
+        assert not rig.mech.dbi.is_dirty(5)
+        assert rig.llc.contains(1) and rig.llc.contains(5)
+        assert rig.memory_writes() == 3
+        rig.mech.check_invariants()
+
+    def test_no_wasted_lookups(self, rig_factory):
+        """Contrast with DAWB: zero probes when no row-mate is dirty."""
+        rig = rig_factory("dbi+awb")
+        rig.writeback_and_run(0)
+        before = rig.stat("tag_lookups")
+        evict_set0_block(rig)
+        rig.run()
+        after = rig.stat("tag_lookups")
+        # Only the 4 demand fills' lookups; no background probes at all.
+        assert after - before == 4
+        assert rig.stat("awb_writebacks", 0) == 0
+
+    def test_awb_exact_lookup_count(self, rig_factory):
+        rig = rig_factory("dbi+awb")
+        for addr in (0, 1, 5):
+            rig.writeback_and_run(addr)
+        before = rig.stat("tag_lookups")
+        evict_set0_block(rig)
+        rig.run()
+        # 4 demand fills + exactly 2 background lookups for dirty mates.
+        assert rig.stat("tag_lookups") - before == 6
+
+
+class TestClb:
+    """Section 3.2: predicted misses bypass the tag lookup via the DBI."""
+
+    def _force_prediction(self, rig, core=0):
+        rig.mech.predictor._predict_miss[core] = True
+
+    def test_bypass_skips_tag_lookup(self, rig_factory):
+        rig = rig_factory("dbi+clb")
+        self._force_prediction(rig)
+        before = rig.stat("tag_lookups")
+        served = rig.read(100)  # set 4: not a monitor set (offset 7)
+        rig.run()
+        assert served == [100]
+        assert rig.stat("bypassed_lookups") == 1
+        assert rig.stat("tag_lookups") == before  # no lookup happened
+        # The fill still lands off the critical path (paper: MPKI unchanged).
+        assert rig.llc.contains(100)
+
+    def test_dirty_block_aborts_bypass(self, rig_factory):
+        rig = rig_factory("dbi+clb")
+        rig.writeback_and_run(100)
+        self._force_prediction(rig)
+        served = rig.read(100)
+        rig.run()
+        assert served == [100]
+        assert rig.stat("clb_dirty_aborts") == 1
+        assert rig.stat("bypassed_lookups", 0) == 0
+        rig.mech.check_invariants()
+
+    def test_monitor_sets_never_bypassed(self, rig_factory):
+        rig = rig_factory("dbi+clb")
+        self._force_prediction(rig)
+        monitor_addr = 7  # set 7 is the monitor set (offset 7, modulus 16)
+        rig.read_and_run(monitor_addr)
+        assert rig.stat("bypassed_lookups", 0) == 0
+        assert rig.llc.contains(monitor_addr)
+
+    def test_prediction_trains_on_lookups(self, rig_factory):
+        rig = rig_factory("dbi+clb", predictor_epoch=1000)
+        # Miss repeatedly in the monitor set, then cross an epoch boundary.
+        for i in range(30):
+            rig.read_and_run(7 + 16 * (i + 1) * 7)  # distinct blocks, set 7
+        # Burn cycles past the epoch.
+        rig.queue.schedule(rig.queue.now + 2000, lambda: None)
+        rig.run()
+        assert rig.mech.predictor.predicts_miss(0, 3, rig.queue.now)
+
+    def test_clb_requires_predictor(self, rig_factory):
+        from repro.mechanisms.dbi_mech import DbiMechanism
+
+        rig = rig_factory("dbi")
+        with pytest.raises(ValueError):
+            DbiMechanism(
+                queue=rig.queue,
+                llc=rig.llc,
+                port=rig.port,
+                memory=rig.memory,
+                mapper=rig.mapper,
+                dbi=rig.mech.dbi,
+                enable_clb=True,
+            )
+
+
+class TestNames:
+    def test_variant_names(self, rig_factory):
+        assert rig_factory("dbi").mech.name == "dbi"
+        assert rig_factory("dbi+awb").mech.name == "dbi+awb"
+        assert rig_factory("dbi+clb").mech.name == "dbi+clb"
+        assert rig_factory("dbi+awb+clb").mech.name == "dbi+awb+clb"
+
+
+class TestInvariantsUnderTraffic:
+    def test_mixed_traffic_keeps_invariants(self, rig_factory):
+        rig = rig_factory("dbi+awb")
+        import itertools
+
+        pattern = itertools.cycle([3, 7, 11, 2])
+        for i in range(200):
+            addr = (i * 37) % 512
+            if next(pattern) % 2:
+                rig.mech.writeback(0, addr)
+            else:
+                rig.mech.read(0, addr, lambda a: None)
+            if i % 20 == 0:
+                rig.run()
+                rig.mech.check_invariants()
+        rig.run()
+        rig.mech.check_invariants()

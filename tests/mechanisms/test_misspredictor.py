@@ -1,0 +1,90 @@
+"""Unit tests for the Skip Cache miss predictor."""
+
+import pytest
+
+from repro.mechanisms.misspredictor import MissPredictor
+
+
+def make(threshold=0.95, epoch=100, cores=2, sets=64):
+    return MissPredictor(
+        num_cores=cores, num_sets=sets, threshold=threshold, epoch_cycles=epoch
+    )
+
+
+class TestEpochs:
+    def test_no_prediction_in_first_epoch(self):
+        predictor = make()
+        assert not predictor.predicts_miss(0, 1, now=0)
+
+    def test_high_miss_rate_flips_prediction_next_epoch(self):
+        predictor = make()
+        for i in range(20):
+            predictor.record_outcome(0, set_idx=7, hit=False, now=i)
+        assert not predictor.predicts_miss(0, 1, now=50)  # same epoch: not yet
+        assert predictor.predicts_miss(0, 1, now=150)  # next epoch
+
+    def test_low_miss_rate_keeps_lookups(self):
+        predictor = make()
+        for i in range(20):
+            predictor.record_outcome(0, set_idx=7, hit=(i % 2 == 0), now=i)
+        assert not predictor.predicts_miss(0, 1, now=150)
+
+    def test_prediction_can_revert(self):
+        predictor = make()
+        for i in range(20):
+            predictor.record_outcome(0, set_idx=7, hit=False, now=i)
+        assert predictor.predicts_miss(0, 1, now=150)
+        for i in range(20):
+            predictor.record_outcome(0, set_idx=7, hit=True, now=150 + i)
+        assert not predictor.predicts_miss(0, 1, now=300)
+
+    def test_idle_epoch_keeps_previous_verdict(self):
+        predictor = make()
+        for i in range(20):
+            predictor.record_outcome(0, set_idx=7, hit=False, now=i)
+        # Several empty epochs pass; the verdict must survive.
+        assert predictor.predicts_miss(0, 1, now=1000)
+
+
+class TestSampling:
+    def test_monitor_sets_never_predicted(self):
+        predictor = make()
+        for i in range(20):
+            predictor.record_outcome(0, set_idx=7, hit=False, now=i)
+        assert not predictor.predicts_miss(0, 7, now=150)  # 7 is the monitor set
+
+    def test_only_monitor_sets_train(self):
+        predictor = make()
+        for i in range(20):
+            predictor.record_outcome(0, set_idx=3, hit=False, now=i)  # not sampled
+        assert not predictor.predicts_miss(0, 1, now=150)
+
+    def test_is_monitor_set(self):
+        predictor = make(sets=64)
+        monitors = [s for s in range(64) if predictor.is_monitor_set(s)]
+        assert monitors == [7, 39]
+
+
+class TestPerCore:
+    def test_cores_independent(self):
+        predictor = make()
+        for i in range(20):
+            predictor.record_outcome(0, set_idx=7, hit=False, now=i)
+            predictor.record_outcome(1, set_idx=7, hit=True, now=i)
+        assert predictor.predicts_miss(0, 1, now=150)
+        assert not predictor.predicts_miss(1, 1, now=150)
+
+    def test_negative_core_ignored(self):
+        predictor = make()
+        predictor.record_outcome(-1, set_idx=7, hit=False, now=0)
+        assert not predictor.predicts_miss(-1, 1, now=150)
+
+
+class TestValidation:
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            make(threshold=1.5)
+
+    def test_bad_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            make(epoch=0)

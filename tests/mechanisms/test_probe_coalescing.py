@@ -1,0 +1,55 @@
+"""Tests for DAWB/VWQ per-row probe-round coalescing."""
+
+
+class TestDawbCoalescing:
+    def test_second_eviction_same_row_coalesces(self, rig_factory):
+        rig = rig_factory("dawb")
+        # Two dirty evictions from the same DRAM row while round 1's probes
+        # are still queued on the port: the second round must coalesce.
+        rig.mech._after_dirty_eviction(0)
+        rig.mech._after_dirty_eviction(2)  # same row 0, round in flight
+        flat = rig.mech.stats.as_dict()
+        assert flat["mech.coalesced_rounds"] == 1
+        rig.run()
+        # Only one full round of probes happened (15 row-mates).
+        assert rig.mech.stats.as_dict()["mech.row_probes"] == 15
+
+    def test_distinct_rows_do_not_coalesce(self, rig_factory):
+        rig = rig_factory("dawb")
+        rig.mech._after_dirty_eviction(0)  # row 0
+        rig.mech._after_dirty_eviction(16)  # row 1
+        assert rig.mech.stats.as_dict().get("mech.coalesced_rounds", 0) == 0
+        rig.run()
+        assert rig.mech.stats.as_dict()["mech.row_probes"] == 30
+
+    def test_round_bookkeeping_clears(self, rig_factory):
+        rig = rig_factory("dawb")
+        rig.writeback_and_run(0)
+        base = 64 * 16
+        for i in range(1, 5):
+            rig.read_and_run(base + i * 16 * 4)
+        rig.run()
+        assert not rig.mech._rows_in_flight  # round completed and cleared
+
+
+class TestVwqCoalescing:
+    def test_rows_in_flight_cleared_after_round(self, rig_factory):
+        rig = rig_factory("vwq")
+        rig.writeback_and_run(0)
+        rig.writeback_and_run(1)  # dirty row-mate in set 1
+        base = 64 * 16
+        for i in range(1, 5):
+            rig.read_and_run(base + i * 16 * 4)
+        rig.run()
+        assert not rig.mech._rows_in_flight
+
+    def test_all_filtered_round_not_registered(self, rig_factory):
+        rig = rig_factory("vwq")
+        rig.writeback_and_run(0)  # no dirty row mates at all
+        base = 64 * 16
+        for i in range(1, 5):
+            rig.read_and_run(base + i * 16 * 4)
+        rig.run()
+        flat = rig.mech.stats.as_dict()
+        assert flat.get("mech.row_probes", 0) == 0
+        assert not rig.mech._rows_in_flight

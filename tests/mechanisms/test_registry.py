@@ -1,0 +1,65 @@
+"""Tests for the mechanism factory."""
+
+import pytest
+
+from repro.mechanisms.dbi_mech import DbiMechanism
+from repro.mechanisms.registry import (
+    MECHANISM_NAMES,
+    llc_replacement_for,
+    make_mechanism,
+)
+
+
+class TestFactory:
+    def test_all_names_construct(self, rig_factory):
+        for name in MECHANISM_NAMES:
+            rig = rig_factory(name)
+            assert rig.mech is not None
+
+    def test_unknown_name_rejected(self, rig_factory):
+        rig = rig_factory("baseline")
+        with pytest.raises(ValueError):
+            make_mechanism(
+                "belady",
+                queue=rig.queue,
+                llc=rig.llc,
+                port=rig.port,
+                memory=rig.memory,
+                mapper=rig.mapper,
+            )
+
+    def test_dbi_flags_wired_correctly(self, rig_factory):
+        assert not rig_factory("dbi").mech.enable_awb
+        assert rig_factory("dbi+awb").mech.enable_awb
+        assert not rig_factory("dbi+awb").mech.enable_clb
+        full = rig_factory("dbi+awb+clb").mech
+        assert full.enable_awb and full.enable_clb
+        assert full.predictor is not None
+
+    def test_default_dbi_config_derived_from_llc(self, rig_factory):
+        rig = rig_factory("dbi")
+        mech = make_mechanism(
+            "dbi",
+            queue=rig.queue,
+            llc=rig.llc,
+            port=rig.port,
+            memory=rig.memory,
+            mapper=rig.mapper,
+            dbi_granularity=8,
+        )
+        assert isinstance(mech, DbiMechanism)
+        # alpha=1/4 of 64 blocks = 16 tracked blocks, granularity 8 -> 2 entries.
+        assert mech.dbi.config.tracked_blocks == 16
+        assert mech.dbi.config.num_entries == 2
+
+    def test_replacement_lookup(self):
+        assert llc_replacement_for("baseline") == "lru"
+        assert llc_replacement_for("dawb") == "tadip"
+        assert llc_replacement_for("dbi+awb+clb") == "tadip"
+        assert llc_replacement_for("dbi", override="drrip") == "drrip"
+
+    def test_every_paper_mechanism_listed(self):
+        assert set(MECHANISM_NAMES) == {
+            "baseline", "tadip", "dawb", "vwq", "skipcache",
+            "dbi", "dbi+awb", "dbi+clb", "dbi+awb+clb",
+        }

@@ -1,0 +1,77 @@
+"""Tests for the Skip Cache mechanism."""
+
+
+class TestWriteThrough:
+    def test_writebacks_go_straight_to_memory(self, rig_factory):
+        rig = rig_factory("skipcache")
+        rig.writeback_and_run(5)
+        assert rig.llc.contains(5)
+        assert not rig.llc.is_dirty(5)
+        assert rig.memory_writes() == 1
+        rig.mech.check_invariants()
+
+    def test_update_of_present_block_also_writes_through(self, rig_factory):
+        rig = rig_factory("skipcache")
+        rig.fill([5])
+        rig.writeback_and_run(5)
+        assert rig.memory_writes() == 1
+        assert rig.llc.dirty_count == 0
+
+    def test_evictions_are_always_silent(self, rig_factory):
+        rig = rig_factory("skipcache")
+        rig.writeback_and_run(0)
+        writes_after_wb = rig.memory_writes()
+        base = 64 * 16
+        for i in range(1, 5):
+            rig.read_and_run(base + i * 16 * 4)
+        assert not rig.llc.contains(0)
+        # Eviction added no memory write beyond the write-through one.
+        assert rig.memory_writes() == writes_after_wb
+
+    def test_write_bandwidth_amplification(self, rig_factory):
+        """Repeated writebacks to one block each cost a memory write
+        (coalescing in the DRAM write buffer aside) — the cost the paper
+        cites for Skip Cache's write-through policy."""
+        rig = rig_factory("skipcache")
+        for _ in range(4):
+            rig.writeback_and_run(5)
+        assert rig.mech.stats.as_dict()["mech.memory_writebacks"] == 4
+
+
+class TestBypass:
+    def test_predicted_miss_bypasses(self, rig_factory):
+        rig = rig_factory("skipcache")
+        rig.mech.predictor._predict_miss[0] = True
+        before = rig.stat("tag_lookups")
+        served = rig.read(100)  # set 4, not a monitor set
+        rig.run()
+        assert served == [100]
+        assert rig.stat("bypassed_lookups") == 1
+        assert rig.stat("tag_lookups") == before
+        assert not rig.llc.contains(100)
+
+    def test_monitor_set_still_looked_up(self, rig_factory):
+        rig = rig_factory("skipcache")
+        rig.mech.predictor._predict_miss[0] = True
+        rig.read_and_run(7)  # monitor set
+        assert rig.stat("bypassed_lookups", 0) == 0
+        assert rig.llc.contains(7)
+
+    def test_bypass_is_safe_because_nothing_is_dirty(self, rig_factory):
+        rig = rig_factory("skipcache")
+        rig.writeback_and_run(100)  # write-through: memory has fresh data
+        rig.mech.predictor._predict_miss[0] = True
+        served = rig.read(100)
+        rig.run()
+        assert served == [100]
+        rig.mech.check_invariants()
+
+
+class TestTraining:
+    def test_outcomes_recorded_for_monitor_sets(self, rig_factory):
+        rig = rig_factory("skipcache", predictor_epoch=500)
+        for i in range(20):
+            rig.read_and_run(7 + 16 * 7 * (i + 1))  # always set 7, all misses
+        rig.queue.schedule(rig.queue.now + 1000, lambda: None)
+        rig.run()
+        assert rig.mech.predictor.predicts_miss(0, 3, rig.queue.now)

@@ -1,0 +1,80 @@
+"""Shared small-system fixtures for simulator tests."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.dram.config import DramConfig
+from repro.sim.system import SystemConfig
+from repro.sim.trace import Trace
+
+SMALL_L1 = CacheConfig(
+    name="l1", num_blocks=16, associativity=2, tag_latency=2, data_latency=2,
+    mshr_entries=32,
+)
+SMALL_L2 = CacheConfig(
+    name="l2", num_blocks=64, associativity=4, tag_latency=6, data_latency=8,
+)
+SMALL_LLC = CacheConfig(
+    name="llc", num_blocks=256, associativity=4, tag_latency=8, data_latency=16,
+    serial_lookup=True, port_occupancy=2,
+)
+SMALL_DRAM = DramConfig(num_banks=4, row_buffer_blocks=16, write_buffer_entries=16)
+
+
+def small_config(mechanism="baseline", num_cores=1, instruction_limit=None,
+                 **overrides):
+    params = dict(
+        num_cores=num_cores,
+        mechanism=mechanism,
+        l1=SMALL_L1,
+        l2=SMALL_L2,
+        llc=SMALL_LLC,
+        dram=SMALL_DRAM,
+        dbi_granularity=16,
+        instruction_limit=instruction_limit,
+        predictor_epoch_cycles=5_000,
+    )
+    params.update(overrides)
+    return SystemConfig(**params)
+
+
+def compute_trace(name="compute", refs=100, gap=10):
+    """Mostly-compute trace touching a single block (always L1 hits)."""
+    return Trace(name, [(gap, False, 0)] * refs)
+
+
+def streaming_trace(name="stream", refs=200, gap=3, write_every=0, stride=1,
+                    start=0):
+    """Sequential-scan trace; optional writes every N records."""
+    records = []
+    for i in range(refs):
+        is_write = write_every > 0 and i % write_every == 0
+        records.append((gap, is_write, start + i * stride))
+    return Trace(name, records)
+
+
+def random_trace(name="random", refs=200, gap=3, footprint=4096, seed=7,
+                 write_fraction=0.3):
+    from repro.utils.rng import DeterministicRng
+
+    rng = DeterministicRng(seed)
+    records = []
+    for _ in range(refs):
+        records.append(
+            (gap, rng.chance(write_fraction), rng.randint(0, footprint - 1))
+        )
+    return Trace(name, records)
+
+
+@pytest.fixture
+def make_config():
+    return small_config
+
+
+@pytest.fixture
+def traces():
+    return {
+        "compute": compute_trace,
+        "stream": streaming_trace,
+        "random": random_trace,
+    }

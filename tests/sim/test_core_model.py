@@ -1,0 +1,155 @@
+"""Focused tests for the OoO core model against a scripted hierarchy."""
+
+import pytest
+
+from repro.sim.core_model import OooCore
+from repro.sim.trace import Trace
+from repro.utils.events import EventQueue
+
+
+class ScriptedHierarchy:
+    """Hierarchy stub with programmable load behaviour."""
+
+    def __init__(self, queue, miss_latency=100, always_hit=False):
+        self.queue = queue
+        self.miss_latency = miss_latency
+        self.always_hit = always_hit
+        self.loads = []
+        self.stores = []
+
+    def load(self, core_id, addr, on_complete):
+        self.loads.append((self.queue.now, addr))
+        if self.always_hit:
+            return True
+        self.queue.schedule_after(self.miss_latency, lambda: on_complete(addr))
+        return False
+
+    def store(self, core_id, addr):
+        self.stores.append((self.queue.now, addr))
+
+
+def run_core(trace, queue=None, **kwargs):
+    queue = queue or EventQueue()
+    hierarchy = kwargs.pop("hierarchy", None) or ScriptedHierarchy(
+        queue, **{k: kwargs.pop(k) for k in ("miss_latency", "always_hit")
+                  if k in kwargs}
+    )
+    params = dict(
+        core_id=0,
+        queue=queue,
+        hierarchy=hierarchy,
+        trace=trace,
+        instruction_limit=trace.total_instructions,
+        warmup_instructions=0,
+    )
+    params.update(kwargs)
+    core = OooCore(**params)
+    core.keep_running = False  # single core: stop at measurement
+    core.start()
+    queue.run()
+    return core, hierarchy
+
+
+class TestIdealIpc:
+    def test_all_hits_ipc_is_one(self):
+        trace = Trace("t", [(9, False, 0)] * 50)
+        core, _h = run_core(trace, always_hit=True)
+        assert core.measured_ipc == pytest.approx(1.0, abs=0.01)
+
+    def test_stores_do_not_stall(self):
+        trace = Trace("t", [(9, True, 0)] * 50)
+        core, hierarchy = run_core(trace, miss_latency=500)
+        assert core.measured_ipc == pytest.approx(1.0, abs=0.01)
+        assert len(hierarchy.stores) == 50
+
+
+class TestMemoryLevelParallelism:
+    def test_independent_misses_overlap(self):
+        # 8 loads, no gaps: with MLP they finish in ~latency, not 8x latency.
+        trace = Trace("t", [(0, False, i) for i in range(8)])
+        core, _h = run_core(trace, miss_latency=200)
+        assert core.measured_cycles < 2 * 200
+
+    def test_window_limits_outstanding(self):
+        # Window of 4: the 5th load cannot issue until the 1st completes.
+        trace = Trace("t", [(0, False, i) for i in range(8)])
+        core, _h = run_core(trace, miss_latency=100, window=4)
+        assert core.measured_cycles >= 200  # at least two serialized rounds
+        assert core.stats.as_dict()["core0.window_stalls"] > 0
+
+    def test_mshr_limit_stalls(self):
+        trace = Trace("t", [(0, False, i) for i in range(8)])
+        core, _h = run_core(trace, miss_latency=100, max_outstanding_loads=2)
+        assert core.stats.as_dict()["core0.mshr_stalls"] > 0
+        assert core.measured_cycles >= 4 * 100
+
+
+class TestMeasurement:
+    def test_trace_replays_until_stopped(self):
+        queue = EventQueue()
+        trace = Trace("t", [(0, False, 0)] * 10)
+        hierarchy = ScriptedHierarchy(queue, always_hit=True)
+        core = OooCore(0, queue, hierarchy, trace,
+                       instruction_limit=100)  # 10x the trace length
+        core.keep_running = False
+        core.start()
+        queue.run()
+        assert core.measured_ipc is not None
+        assert core.instructions_issued >= 100
+
+    def test_warmup_excluded_from_ipc(self):
+        queue = EventQueue()
+        trace = Trace("t", [(9, False, 0)] * 100)
+        hierarchy = ScriptedHierarchy(queue, always_hit=True)
+        warmed_at = []
+        core = OooCore(
+            0, queue, hierarchy, trace,
+            instruction_limit=1000,
+            warmup_instructions=400,
+            on_warmed=lambda c: warmed_at.append(c.instructions_issued),
+        )
+        core.keep_running = False
+        core.start()
+        queue.run()
+        assert warmed_at and warmed_at[0] >= 400
+        # 600 instructions measured at ~1 IPC.
+        assert core.measured_ipc == pytest.approx(1.0, abs=0.02)
+
+    def test_invalid_warmup_rejected(self):
+        queue = EventQueue()
+        trace = Trace("t", [(0, False, 0)])
+        with pytest.raises(ValueError):
+            OooCore(0, queue, ScriptedHierarchy(queue), trace,
+                    instruction_limit=10, warmup_instructions=10)
+
+    def test_empty_trace_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            OooCore(0, queue, ScriptedHierarchy(queue), Trace("t", []),
+                    instruction_limit=10)
+
+    def test_on_measured_callback(self):
+        queue = EventQueue()
+        trace = Trace("t", [(4, False, 0)] * 20)
+        hierarchy = ScriptedHierarchy(queue, always_hit=True)
+        measured = []
+        core = OooCore(0, queue, hierarchy, trace,
+                       instruction_limit=trace.total_instructions,
+                       on_measured=measured.append)
+        core.keep_running = False
+        core.start()
+        queue.run()
+        assert measured == [core]
+
+
+class TestStop:
+    def test_stop_halts_issue(self):
+        queue = EventQueue()
+        trace = Trace("t", [(0, False, i) for i in range(100)])
+        hierarchy = ScriptedHierarchy(queue, miss_latency=50)
+        core = OooCore(0, queue, hierarchy, trace, instruction_limit=1000)
+        core.start()
+        queue.schedule(10, core.stop)
+        queue.run()
+        assert core.finished
+        assert core.instructions_issued < 1000

@@ -1,0 +1,142 @@
+"""Tests for the three-level hierarchy plumbing."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.config import CacheConfig
+from repro.cache.port import TagPort
+from repro.dram.config import DramConfig
+from repro.dram.controller import MemoryController
+from repro.mechanisms.registry import make_mechanism
+from repro.sim.hierarchy import Hierarchy
+from repro.utils.events import EventQueue
+
+L1 = CacheConfig(name="l1", num_blocks=8, associativity=2,
+                 tag_latency=2, data_latency=2)
+L2 = CacheConfig(name="l2", num_blocks=32, associativity=4,
+                 tag_latency=6, data_latency=8)
+LLC = CacheConfig(name="llc", num_blocks=128, associativity=4,
+                  tag_latency=8, data_latency=16, serial_lookup=True)
+
+
+@pytest.fixture
+def rig():
+    queue = EventQueue()
+    memory = MemoryController(queue, DramConfig(num_banks=4, row_buffer_blocks=16,
+                                                write_buffer_entries=8))
+    llc = Cache(LLC)
+    port = TagPort(queue, occupancy=1)
+    mechanism = make_mechanism("baseline", queue=queue, llc=llc, port=port,
+                               memory=memory, mapper=memory.mapper,
+                               dbi_granularity=8)
+    hierarchy = Hierarchy(queue, num_cores=2, l1_config=L1, l2_config=L2,
+                          mechanism=mechanism)
+    return queue, hierarchy, mechanism
+
+
+def do_load(queue, hierarchy, addr, core=0):
+    done = []
+    hit = hierarchy.load(core, addr, done.append)
+    queue.run()
+    return hit, done
+
+
+class TestLoadPath:
+    def test_cold_load_fills_all_levels(self, rig):
+        queue, hierarchy, _mech = rig
+        hit, done = do_load(queue, hierarchy, 100)
+        assert not hit
+        assert done == [100]
+        assert hierarchy.l1s[0].contains(100)
+        assert hierarchy.l2s[0].contains(100)
+
+    def test_l1_hit_is_synchronous(self, rig):
+        queue, hierarchy, _mech = rig
+        do_load(queue, hierarchy, 100)
+        hit, done = do_load(queue, hierarchy, 100)
+        assert hit
+        assert done == []  # callback not used for synchronous hits
+
+    def test_l2_hit_after_l1_eviction(self, rig):
+        queue, hierarchy, _mech = rig
+        do_load(queue, hierarchy, 0)
+        # Evict block 0 from the tiny L1 (4 sets x 2 ways): fill set 0.
+        do_load(queue, hierarchy, 4)
+        do_load(queue, hierarchy, 8)
+        assert not hierarchy.l1s[0].contains(0)
+        stats_before = hierarchy.core_stats[0].as_dict().get(
+            "hier_core0.l2_hits", 0)
+        do_load(queue, hierarchy, 0)
+        stats_after = hierarchy.core_stats[0].as_dict()["hier_core0.l2_hits"]
+        assert stats_after == stats_before + 1
+
+    def test_mshr_merges_same_block(self, rig):
+        queue, hierarchy, _mech = rig
+        done = []
+        hierarchy.load(0, 50, done.append)
+        hierarchy.load(0, 50, done.append)
+        queue.run()
+        assert done == [50, 50]
+        assert hierarchy.core_stats[0].as_dict()["hier_core0.l1_misses"] == 2
+        # Only one LLC read happened.
+        assert hierarchy.core_stats[0].as_dict()["hier_core0.llc_reads"] == 1
+
+    def test_cores_have_private_caches(self, rig):
+        queue, hierarchy, _mech = rig
+        do_load(queue, hierarchy, 100, core=0)
+        assert hierarchy.l1s[0].contains(100)
+        assert not hierarchy.l1s[1].contains(100)
+
+
+class TestStorePath:
+    def test_store_hit_dirties_l1(self, rig):
+        queue, hierarchy, _mech = rig
+        do_load(queue, hierarchy, 100)
+        hierarchy.store(0, 100)
+        assert hierarchy.l1s[0].is_dirty(100)
+
+    def test_store_miss_allocates_and_dirties(self, rig):
+        queue, hierarchy, _mech = rig
+        hierarchy.store(0, 100)
+        queue.run()
+        assert hierarchy.l1s[0].is_dirty(100)
+
+    def test_writeback_cascade_reaches_llc(self, rig):
+        queue, hierarchy, mech = rig
+        # Dirty a block, then force it down: L1 set 0 holds addrs 0,4,8...
+        hierarchy.store(0, 0)
+        queue.run()
+        # Evict from L1 (dirty -> L2), then from L2 (dirty -> LLC writeback).
+        for addr in (4, 8):  # L1 set 0 pressure
+            do_load(queue, hierarchy, addr)
+        assert hierarchy.l2s[0].is_dirty(0)
+        # L2 set 0 holds addrs 0,8,16,24,...: pressure it.
+        for addr in (16, 24, 32, 40, 48):
+            do_load(queue, hierarchy, addr)
+        queue.run()
+        assert not hierarchy.l2s[0].contains(0)
+        assert mech.llc.is_dirty(0)
+
+    def test_stores_count_in_stats(self, rig):
+        queue, hierarchy, _mech = rig
+        hierarchy.store(0, 1)
+        queue.run()  # let the write-allocate fill land
+        hierarchy.store(0, 1)
+        queue.run()
+        flat = hierarchy.core_stats[0].as_dict()
+        assert flat["hier_core0.store_misses"] == 1
+        assert flat["hier_core0.store_hits"] == 1
+
+
+class TestIdle:
+    def test_idle_after_quiesce(self, rig):
+        queue, hierarchy, _mech = rig
+        do_load(queue, hierarchy, 7)
+        assert hierarchy.is_idle()
+
+    def test_not_idle_with_outstanding_miss(self, rig):
+        queue, hierarchy, _mech = rig
+        hierarchy.load(0, 7, lambda a: None)
+        assert not hierarchy.is_idle()
+        queue.run()
+        assert hierarchy.is_idle()

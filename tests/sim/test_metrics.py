@@ -1,0 +1,58 @@
+"""Unit tests for multi-programmed metrics."""
+
+import pytest
+
+from repro.sim.metrics import (
+    geometric_mean,
+    harmonic_speedup,
+    instruction_throughput,
+    maximum_slowdown,
+    weighted_speedup,
+)
+
+
+class TestWeightedSpeedup:
+    def test_no_interference_equals_core_count(self):
+        assert weighted_speedup([1.0, 2.0], [1.0, 2.0]) == 2.0
+
+    def test_half_speed_everywhere(self):
+        assert weighted_speedup([0.5, 1.0], [1.0, 2.0]) == 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 2.0])
+
+    def test_zero_ipc_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([0.0], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([], [])
+
+
+class TestOtherMetrics:
+    def test_instruction_throughput(self):
+        assert instruction_throughput([0.5, 1.5]) == 2.0
+
+    def test_harmonic_speedup_uniform(self):
+        assert harmonic_speedup([0.5, 0.5], [1.0, 1.0]) == pytest.approx(0.5)
+
+    def test_harmonic_punishes_imbalance(self):
+        balanced = harmonic_speedup([0.5, 0.5], [1.0, 1.0])
+        imbalanced = harmonic_speedup([0.9, 0.1], [1.0, 1.0])
+        assert imbalanced < balanced
+
+    def test_maximum_slowdown(self):
+        assert maximum_slowdown([0.5, 0.25], [1.0, 1.0]) == 4.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])

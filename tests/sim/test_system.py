@@ -1,0 +1,136 @@
+"""Integration tests for the full system."""
+
+import pytest
+
+from repro.sim.system import System, run_system
+from tests.sim.conftest import (
+    compute_trace,
+    random_trace,
+    small_config,
+    streaming_trace,
+)
+
+
+class TestSingleCore:
+    def test_pure_compute_ipc_near_one(self):
+        # One block, always L1-hit after the first touch: IPC -> ~1.
+        result = run_system(small_config(), [compute_trace(refs=200, gap=20)])
+        assert result.ipc[0] > 0.9
+
+    def test_memory_bound_ipc_below_compute_bound(self):
+        compute = run_system(small_config(), [compute_trace(refs=200, gap=20)])
+        bound = run_system(
+            small_config(), [random_trace(refs=200, gap=2, footprint=65536)]
+        )
+        assert bound.ipc[0] < compute.ipc[0]
+
+    def test_result_structure(self):
+        trace = streaming_trace(refs=100)
+        result = run_system(small_config(), [trace])
+        assert result.mechanism == "baseline"
+        assert result.trace_names == ["stream"]
+        assert len(result.ipc) == 1
+        assert result.cycles[0] > 0
+        # Measured window = instructions after warmup (default 40%).
+        expected = trace.total_instructions - int(trace.total_instructions * 0.4)
+        assert result.instructions[0] == expected
+        assert result.events_processed > 0
+
+    def test_writes_reach_memory(self):
+        # Write-heavy working set larger than the whole hierarchy.
+        trace = streaming_trace(refs=2000, gap=1, write_every=1, stride=1)
+        result = run_system(small_config(), [trace])
+        assert result.stats["dram.dram_writes_performed"] > 0
+        assert result.memory_wpki > 0
+
+    def test_llc_hits_filter_memory_reads(self):
+        # Working set fits in LLC (256 blocks) but not in L2 (64 blocks):
+        # the second pass hits in the LLC.
+        trace = streaming_trace(refs=150, gap=2, stride=1)
+        double = streaming_trace(refs=150, gap=2, stride=1)
+        from repro.sim.trace import merge_traces
+
+        result = run_system(
+            small_config(), [merge_traces("two-pass", [trace, double])]
+        )
+        assert result.stats["mech.read_hits"] > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        config = small_config("dbi+awb+clb")
+        trace = random_trace(refs=500, write_fraction=0.4)
+        first = run_system(config, [trace])
+        second = run_system(config, [trace])
+        assert first.ipc == second.ipc
+        assert first.stats == second.stats
+        assert first.events_processed == second.events_processed
+
+
+class TestAllMechanismsRun:
+    @pytest.mark.parametrize(
+        "mechanism",
+        ["baseline", "tadip", "dawb", "vwq", "skipcache",
+         "dbi", "dbi+awb", "dbi+clb", "dbi+awb+clb"],
+    )
+    def test_mechanism_completes_and_is_consistent(self, mechanism):
+        trace = random_trace(refs=400, footprint=8192, write_fraction=0.4)
+        system = System(small_config(mechanism), [trace])
+        result = system.run(max_events=2_000_000)
+        assert result.ipc[0] > 0
+        system.mechanism.check_invariants()
+        # The hierarchy and memory must fully quiesce.
+        assert system.hierarchy.is_idle()
+        assert system.memory.is_idle()
+
+
+class TestMultiCore:
+    def test_two_cores_measured_independently(self):
+        config = small_config(num_cores=2)
+        traces = [
+            streaming_trace("a", refs=300, write_every=4),
+            random_trace("b", refs=300),
+        ]
+        result = run_system(config, traces)
+        assert len(result.ipc) == 2
+        assert all(ipc > 0 for ipc in result.ipc)
+        assert result.trace_names == ["a", "b"]
+
+    def test_contention_slows_cores_down(self):
+        heavy = lambda name, seed: random_trace(
+            name, refs=400, gap=1, footprint=65536, seed=seed, write_fraction=0.5
+        )
+        alone = run_system(small_config(), [heavy("x", 1)])
+        shared = run_system(
+            small_config(num_cores=2),
+            [heavy("x", 1), heavy("y", 2)],
+        )
+        # Sharing one memory channel cannot make core 0 faster.
+        assert shared.ipc[0] <= alone.ipc[0] * 1.05
+
+    def test_mismatched_trace_count_rejected(self):
+        with pytest.raises(ValueError):
+            System(small_config(num_cores=2), [compute_trace()])
+
+
+class TestRunBudget:
+    def test_budget_exhaustion_raises(self):
+        trace = random_trace(refs=5000, footprint=65536)
+        system = System(small_config(), [trace])
+        with pytest.raises(RuntimeError):
+            system.run(max_events=100)
+
+
+class TestPkiMetrics:
+    def test_tag_lookups_pki_positive(self):
+        result = run_system(
+            small_config(), [random_trace(refs=400, footprint=65536)]
+        )
+        assert result.tag_lookups_pki > 0
+
+    def test_bypasses_counted_in_mpki(self):
+        trace = random_trace(refs=400, footprint=65536, write_fraction=0.0)
+        result = run_system(small_config("dbi+clb",
+                                         predictor_epoch_cycles=300), [trace])
+        # Whether or not bypasses happened, MPKI must be finite and positive.
+        assert result.llc_mpki > 0

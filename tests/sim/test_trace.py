@@ -1,0 +1,61 @@
+"""Unit tests for the trace format."""
+
+import pytest
+
+from repro.sim.trace import Trace, merge_traces
+
+
+class TestValidation:
+    def test_valid_trace(self):
+        trace = Trace("t", [(2, False, 10), (0, True, 11)])
+        assert len(trace) == 2
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            Trace("t", [(-1, False, 10)])
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            Trace("t", [(1, False, -10)])
+
+    def test_non_bool_write_flag_rejected(self):
+        with pytest.raises(ValueError):
+            Trace("t", [(1, 1, 10)])
+
+
+class TestDerivedMetrics:
+    def test_total_instructions(self):
+        trace = Trace("t", [(2, False, 10), (3, True, 11)])
+        assert trace.total_instructions == 7  # 2+1 + 3+1
+
+    def test_memory_references(self):
+        trace = Trace("t", [(0, False, 1)] * 5)
+        assert trace.memory_references == 5
+
+    def test_write_fraction(self):
+        trace = Trace("t", [(0, True, 1), (0, False, 2), (0, True, 3), (0, False, 4)])
+        assert trace.write_fraction == 0.5
+
+    def test_write_fraction_empty(self):
+        assert Trace("t", []).write_fraction == 0.0
+
+    def test_footprint(self):
+        trace = Trace("t", [(0, False, 1), (0, False, 1), (0, True, 2)])
+        assert trace.footprint_blocks == 2
+
+    def test_mpki_upper_bound(self):
+        trace = Trace("t", [(9, False, 1)] * 10)  # 100 instructions, 10 refs
+        assert trace.mpki_upper_bound() == 100.0
+
+    def test_iteration(self):
+        records = [(1, False, 2), (3, True, 4)]
+        assert list(Trace("t", records)) == records
+
+
+class TestMerge:
+    def test_merge_concatenates(self):
+        a = Trace("a", [(0, False, 1)])
+        b = Trace("b", [(0, True, 2)])
+        merged = merge_traces("ab", [a, b])
+        assert merged.name == "ab"
+        assert merged.records == [(0, False, 1), (0, True, 2)]

@@ -1,0 +1,85 @@
+"""Tests for the binary trace container."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.trace import Trace
+from repro.sim.tracefile import load_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self, tmp_path):
+        trace = Trace("demo", [(3, False, 100), (0, True, 101), (7, False, 50)])
+        path = tmp_path / "demo.trace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == "demo"
+        assert loaded.records == trace.records
+
+    def test_spec_trace_round_trip(self, tmp_path):
+        from repro.workloads.spec import spec_trace
+
+        trace = spec_trace("lbm", 2000)
+        path = tmp_path / "lbm.trace"
+        save_trace(trace, path)
+        assert load_trace(path).records == trace.records
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        save_trace(Trace("empty", []), path)
+        loaded = load_trace(path)
+        assert loaded.records == []
+
+    def test_streaming_traces_compress_well(self, tmp_path):
+        trace = Trace("stream", [(2, False, addr) for addr in range(5000)])
+        size = save_trace(trace, tmp_path / "s.trace")
+        assert size < 5000 * 4  # well under 4 bytes/record
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        records=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),
+                st.booleans(),
+                st.integers(min_value=0, max_value=2**40),
+            ),
+            max_size=100,
+        )
+    )
+    def test_round_trip_property(self, records):
+        import tempfile
+        from pathlib import Path
+
+        trace = Trace("prop", records)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "prop.trace"
+            save_trace(trace, path)
+            assert load_trace(path).records == records
+
+
+class TestErrors:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_bytes(b"NOTATRACE")
+        with pytest.raises(ValueError, match="not a DBITRACE"):
+            load_trace(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        trace = Trace("t", [(1, False, 10)] * 50)
+        path = tmp_path / "t.trace"
+        save_trace(trace, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 5])
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        trace = Trace("t", [])
+        path = tmp_path / "t.trace"
+        save_trace(trace, path)
+        blob = bytearray(path.read_bytes())
+        blob[8] = 99  # version field
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ValueError, match="unsupported version"):
+            load_trace(path)

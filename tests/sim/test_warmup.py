@@ -1,0 +1,61 @@
+"""Tests for warmup-window statistics reset at the System level."""
+
+import pytest
+
+from repro.sim.system import System, run_system
+from tests.sim.conftest import random_trace, small_config, streaming_trace
+
+
+class TestWarmupReset:
+    def test_stats_cover_only_measurement_window(self):
+        trace = streaming_trace(refs=800, gap=2, write_every=2)
+        no_warmup = run_system(
+            small_config(warmup_fraction=0.0), [trace]
+        )
+        with_warmup = run_system(
+            small_config(warmup_fraction=0.5), [trace]
+        )
+        # The warm run counts strictly fewer lookups (half the instructions).
+        assert (
+            with_warmup.stats["mech.tag_lookups"]
+            < no_warmup.stats["mech.tag_lookups"]
+        )
+
+    def test_issued_instruction_accounting(self):
+        trace = streaming_trace(refs=400, gap=2)
+        result = run_system(small_config(warmup_fraction=0.5), [trace])
+        # PKI denominators use only post-reset instructions.
+        assert result.total_instructions_issued <= trace.total_instructions
+
+    def test_invalid_fraction_rejected(self):
+        trace = streaming_trace(refs=100)
+        with pytest.raises(ValueError):
+            System(small_config(warmup_fraction=1.0), [trace])
+
+    def test_zero_warmup_supported(self):
+        trace = streaming_trace(refs=200)
+        result = run_system(small_config(warmup_fraction=0.0), [trace])
+        assert result.instructions[0] == trace.total_instructions
+
+    def test_multicore_reset_waits_for_all_cores(self):
+        config = small_config(num_cores=2, warmup_fraction=0.3)
+        traces = [
+            streaming_trace("fast", refs=300, gap=1),
+            random_trace("slow", refs=300, gap=8),
+        ]
+        system = System(config, traces)
+        system.run()
+        # Both cores measured, both warmed.
+        assert all(core.warmed for core in system.cores)
+        assert all(core.measured_ipc is not None for core in system.cores)
+
+    def test_warmup_excludes_cold_misses_for_reuse_workload(self):
+        """Warming past the first pass of a cache-resident loop raises IPC:
+        the cold pass (all misses) is excluded from the measurement."""
+        trace = streaming_trace(refs=150, gap=4)  # fits the 256-block LLC
+        from repro.sim.trace import merge_traces
+
+        looped = merge_traces("loop", [trace] * 3)
+        cold = run_system(small_config(warmup_fraction=0.0), [looped])
+        warm = run_system(small_config(warmup_fraction=0.4), [looped])
+        assert warm.ipc[0] > cold.ipc[0]

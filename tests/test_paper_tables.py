@@ -1,0 +1,94 @@
+"""Tables 1 and 2 of the paper, pinned as executable configuration facts.
+
+These two tables are configuration inventories rather than results; this
+module is their reproduction — if a default drifts away from the paper's
+machine, a test here fails.
+"""
+
+from fractions import Fraction
+
+from repro.analysis.scaling import FULL_SCALE
+from repro.cache.config import paper_l1_config, paper_l2_config, paper_llc_config
+from repro.dram.config import DramConfig
+from repro.mechanisms.registry import MECHANISM_NAMES, llc_replacement_for
+from repro.sim.system import SystemConfig
+
+
+class TestTable1System:
+    """Paper Table 1: the simulated machine."""
+
+    def test_processor(self):
+        config = SystemConfig()
+        assert config.window == 128  # 128-entry instruction window
+        assert config.max_outstanding_loads == 32  # L1 MSHRs
+
+    def test_l1(self):
+        l1 = paper_l1_config()
+        assert l1.num_blocks * 64 == 32 * 1024
+        assert l1.associativity == 2
+        assert l1.tag_latency == 2 and l1.data_latency == 2
+        assert not l1.serial_lookup  # parallel tag and data
+
+    def test_l2(self):
+        l2 = paper_l2_config()
+        assert l2.num_blocks * 64 == 256 * 1024
+        assert l2.associativity == 8
+        assert l2.tag_latency == 12 and l2.data_latency == 14
+        assert not l2.serial_lookup
+
+    def test_l3_scaling(self):
+        # 2MB/core; 16/32/32/32-way; tag 10/12/13/14; data 24/29/31/33.
+        expectations = {
+            1: (16, 10, 24),
+            2: (32, 12, 29),
+            4: (32, 13, 31),
+            8: (32, 14, 33),
+        }
+        for cores, (assoc, tag, data) in expectations.items():
+            llc = paper_llc_config(cores)
+            assert llc.num_blocks * 64 == cores * 2 * 1024 * 1024
+            assert llc.associativity == assoc
+            assert llc.tag_latency == tag
+            assert llc.data_latency == data
+            assert llc.serial_lookup  # serial tag and data lookup
+
+    def test_dbi_row(self):
+        # Size alpha=1/4, granularity 64, associativity 16, latency 4, LRW.
+        config = SystemConfig()
+        assert config.dbi_alpha == Fraction(1, 4)
+        assert config.dbi_granularity == 64
+        assert config.dbi_replacement == "lrw"
+        full = FULL_SCALE.system_config("dbi")
+        assert full.dbi_granularity == 64
+
+    def test_dram_row(self):
+        # DDR3, 1 channel/rank, 8 banks, 8KB row, 64-entry write buffer,
+        # drain-when-full (drain to empty).
+        dram = DramConfig()
+        assert dram.num_banks == 8
+        assert dram.row_buffer_blocks * 64 == 8 * 1024
+        assert dram.write_buffer_entries == 64
+        assert dram.drain_low_watermark == 0
+
+
+class TestTable2Mechanisms:
+    """Paper Table 2: the evaluated mechanisms and their policies."""
+
+    def test_all_nine_mechanisms(self):
+        assert set(MECHANISM_NAMES) == {
+            "baseline", "tadip", "dawb", "vwq", "skipcache",
+            "dbi", "dbi+awb", "dbi+clb", "dbi+awb+clb",
+        }
+
+    def test_baseline_uses_lru_everyone_else_tadip(self):
+        assert llc_replacement_for("baseline") == "lru"
+        for name in MECHANISM_NAMES:
+            if name != "baseline":
+                assert llc_replacement_for(name) == "tadip", name
+
+    def test_skip_cache_predictor_defaults(self):
+        # Threshold 0.95 (Table 2); epoch length is scaled with run length.
+        from repro.mechanisms.misspredictor import MissPredictor
+
+        predictor = MissPredictor(num_cores=1, num_sets=2048)
+        assert predictor.threshold == 0.95

@@ -1,0 +1,110 @@
+"""Unit tests for repro.utils.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    bit_length_of,
+    ceil_div,
+    ilog2,
+    is_power_of_two,
+    iter_set_bits,
+    mask,
+    popcount,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers_are_recognized(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers_rejected(self):
+        for value in (0, -1, -2, 3, 5, 6, 7, 9, 12, 100):
+            assert not is_power_of_two(value)
+
+
+class TestIlog2:
+    def test_round_trip(self):
+        for exponent in range(30):
+            assert ilog2(1 << exponent) == exponent
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            ilog2(3)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ilog2(0)
+
+
+class TestMask:
+    def test_small_masks(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(8) == 0xFF
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestPopcount:
+    def test_examples(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount(mask(64)) == 64
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    @given(st.integers(min_value=0, max_value=2**128))
+    def test_matches_bin_count(self, value):
+        assert popcount(value) == bin(value).count("1")
+
+
+class TestIterSetBits:
+    def test_empty(self):
+        assert list(iter_set_bits(0)) == []
+
+    def test_example(self):
+        assert list(iter_set_bits(0b101001)) == [0, 3, 5]
+
+    @given(st.integers(min_value=0, max_value=2**128))
+    def test_reconstructs_value(self, value):
+        reconstructed = 0
+        for position in iter_set_bits(value):
+            reconstructed |= 1 << position
+        assert reconstructed == value
+
+    @given(st.integers(min_value=0, max_value=2**128))
+    def test_ascending_order(self, value):
+        positions = list(iter_set_bits(value))
+        assert positions == sorted(positions)
+
+
+class TestCeilDiv:
+    def test_examples(self):
+        assert ceil_div(0, 4) == 0
+        assert ceil_div(1, 4) == 1
+        assert ceil_div(4, 4) == 1
+        assert ceil_div(5, 4) == 2
+
+    def test_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+
+class TestBitLengthOf:
+    def test_examples(self):
+        assert bit_length_of(1) == 1
+        assert bit_length_of(2) == 1
+        assert bit_length_of(3) == 2
+        assert bit_length_of(256) == 8
+        assert bit_length_of(257) == 9
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            bit_length_of(0)

@@ -1,0 +1,90 @@
+"""Unit tests for the statistics primitives."""
+
+from repro.utils.stats import Counter, Distribution, RateStat, StatGroup
+
+
+class TestCounter:
+    def test_increment(self):
+        counter = Counter("hits")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_reset(self):
+        counter = Counter("hits")
+        counter.increment(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestRateStat:
+    def test_rate(self):
+        rate = RateStat("row_hits")
+        for hit in (True, True, False, True):
+            rate.record(hit)
+        assert rate.hits == 3
+        assert rate.total == 4
+        assert rate.rate == 0.75
+
+    def test_empty_rate_is_zero(self):
+        assert RateStat("x").rate == 0.0
+
+    def test_reset(self):
+        rate = RateStat("x")
+        rate.record(True)
+        rate.reset()
+        assert rate.total == 0
+
+
+class TestDistribution:
+    def test_streaming_stats(self):
+        dist = Distribution("latency")
+        for sample in (10, 20, 30):
+            dist.record(sample)
+        assert dist.count == 3
+        assert dist.mean == 20
+        assert dist.minimum == 10
+        assert dist.maximum == 30
+
+    def test_empty_mean_is_zero(self):
+        assert Distribution("x").mean == 0.0
+
+    def test_reset(self):
+        dist = Distribution("x")
+        dist.record(5)
+        dist.reset()
+        assert dist.count == 0
+        assert dist.minimum is None
+
+
+class TestStatGroup:
+    def test_counter_reuse(self):
+        group = StatGroup("llc")
+        group.counter("lookups").increment()
+        group.counter("lookups").increment()
+        assert group.counter("lookups").value == 2
+
+    def test_as_dict_flattening(self):
+        group = StatGroup("llc")
+        group.counter("lookups").increment(7)
+        group.rate("hit_rate").record(True)
+        group.rate("hit_rate").record(False)
+        group.distribution("latency").record(12)
+        flat = group.as_dict()
+        assert flat["llc.lookups"] == 7
+        assert flat["llc.hit_rate"] == 0.5
+        assert flat["llc.hit_rate.hits"] == 1
+        assert flat["llc.hit_rate.total"] == 2
+        assert flat["llc.latency.mean"] == 12
+        assert flat["llc.latency.count"] == 1
+
+    def test_group_reset(self):
+        group = StatGroup("g")
+        group.counter("c").increment()
+        group.rate("r").record(True)
+        group.distribution("d").record(1)
+        group.reset()
+        flat = group.as_dict()
+        assert flat["g.c"] == 0
+        assert flat["g.r.total"] == 0
+        assert flat["g.d.count"] == 0

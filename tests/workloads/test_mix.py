@@ -1,0 +1,81 @@
+"""Unit tests for multi-programmed mix construction."""
+
+import pytest
+
+from repro.workloads.mix import (
+    CORE_ADDRESS_STRIDE,
+    WorkloadMix,
+    category_mixes,
+    make_mix,
+)
+from repro.workloads.spec import SPEC_PROFILES
+
+
+class TestMakeMix:
+    def test_one_trace_per_core(self):
+        profiles = [SPEC_PROFILES["mcf"], SPEC_PROFILES["lbm"]]
+        mix = make_mix("m", profiles, refs_per_core=100)
+        assert mix.num_cores == 2
+        assert mix.benchmark_names == ("mcf", "lbm")
+
+    def test_address_spaces_disjoint(self):
+        profiles = [SPEC_PROFILES["mcf"], SPEC_PROFILES["mcf"]]
+        mix = make_mix("m", profiles, refs_per_core=200)
+        first = {addr for _g, _w, addr in mix.traces[0]}
+        second = {addr for _g, _w, addr in mix.traces[1]}
+        assert not first & second
+        assert all(addr < CORE_ADDRESS_STRIDE for addr in first)
+        assert all(addr >= CORE_ADDRESS_STRIDE for addr in second)
+
+    def test_same_benchmark_twice_gets_different_streams(self):
+        profiles = [SPEC_PROFILES["mcf"], SPEC_PROFILES["mcf"]]
+        mix = make_mix("m", profiles, refs_per_core=200)
+        normalized_second = [
+            (g, w, addr - CORE_ADDRESS_STRIDE) for g, w, addr in mix.traces[1]
+        ]
+        assert mix.traces[0].records != normalized_second
+
+    def test_deterministic(self):
+        profiles = [SPEC_PROFILES["milc"]]
+        a = make_mix("m", profiles, refs_per_core=100, seed=5)
+        b = make_mix("m", profiles, refs_per_core=100, seed=5)
+        assert a.traces[0].records == b.traces[0].records
+
+    def test_zero_refs_rejected(self):
+        with pytest.raises(ValueError):
+            make_mix("m", [SPEC_PROFILES["mcf"]], refs_per_core=0)
+
+
+class TestCategoryMixes:
+    def test_count_and_core_count(self):
+        mixes = category_mixes(num_cores=4, count=9, refs_per_core=50)
+        assert len(mixes) == 9
+        assert all(mix.num_cores == 4 for mix in mixes)
+        assert all(isinstance(mix, WorkloadMix) for mix in mixes)
+
+    def test_names_encode_categories(self):
+        mixes = category_mixes(num_cores=2, count=9, refs_per_core=50)
+        categories = {mix.name.split("_0")[0] for mix in mixes}
+        assert len(categories) == 9  # all 9 (read, write) combinations
+
+    def test_category_bias(self):
+        mixes = category_mixes(num_cores=4, count=9, refs_per_core=50, seed=3)
+        # The high-read/high-write mix draws only write-heavy benchmarks.
+        hh = [m for m in mixes if "_rH_wH_" in m.name][0]
+        for name in hh.benchmark_names:
+            profile = SPEC_PROFILES[name]
+            assert (
+                profile.read_intensity == "high"
+                and profile.write_intensity == "high"
+            )
+
+    def test_deterministic(self):
+        a = category_mixes(num_cores=2, count=4, refs_per_core=50, seed=9)
+        b = category_mixes(num_cores=2, count=4, refs_per_core=50, seed=9)
+        assert [m.benchmark_names for m in a] == [m.benchmark_names for m in b]
+
+    def test_distinct_mixes_within_category(self):
+        mixes = category_mixes(num_cores=4, count=18, refs_per_core=50)
+        first_round = [m for m in mixes if m.name.endswith("000")][0]
+        second_round = [m for m in mixes if m.name.endswith("009")][0]
+        assert first_round.name.split("_0")[0] == second_round.name.split("_0")[0]

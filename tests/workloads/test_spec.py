@@ -1,0 +1,107 @@
+"""Unit tests for the SPEC-like benchmark profiles."""
+
+import pytest
+
+from repro.workloads.spec import (
+    SPEC_PROFILES,
+    generate_trace,
+    profile_names,
+    spec_trace,
+)
+
+
+class TestProfileCatalogue:
+    def test_figure6_benchmarks_present_in_order(self):
+        assert profile_names() == [
+            "mcf", "lbm", "GemsFDTD", "soplex", "omnetpp", "cactusADM",
+            "stream", "leslie3d", "milc", "sphinx3", "libquantum",
+            "bzip2", "astar", "bwaves",
+        ]
+
+    def test_intensity_labels_valid(self):
+        for profile in SPEC_PROFILES.values():
+            assert profile.read_intensity in ("low", "medium", "high")
+            assert profile.write_intensity in ("low", "medium", "high")
+
+    def test_write_heavy_benchmarks_marked(self):
+        for name in ("lbm", "GemsFDTD", "cactusADM", "stream"):
+            assert SPEC_PROFILES[name].write_intensity == "high"
+
+    def test_cache_friendly_benchmarks_marked_low(self):
+        for name in ("bzip2", "astar", "bwaves"):
+            assert SPEC_PROFILES[name].read_intensity == "low"
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = spec_trace("mcf", 500, seed=1)
+        b = spec_trace("mcf", 500, seed=1)
+        assert a.records == b.records
+
+    def test_seeds_differ(self):
+        a = spec_trace("mcf", 500, seed=1)
+        b = spec_trace("mcf", 500, seed=2)
+        assert a.records != b.records
+
+    def test_benchmarks_differ(self):
+        a = spec_trace("mcf", 500)
+        b = spec_trace("lbm", 500)
+        assert a.records != b.records
+
+    def test_write_fraction_approximates_profile(self):
+        trace = spec_trace("lbm", 5000)
+        assert abs(trace.write_fraction - 0.45) < 0.03
+
+    def test_footprint_bounded(self):
+        profile = SPEC_PROFILES["bzip2"]
+        trace = spec_trace("bzip2", 5000)
+        assert all(
+            0 <= addr < profile.footprint_blocks for _g, _w, addr in trace
+        )
+
+    def test_base_addr_offsets_all_addresses(self):
+        base = 1 << 20
+        trace = spec_trace("milc", 500, base_addr=base)
+        assert all(addr >= base for _g, _w, addr in trace)
+
+    def test_mean_gap_approximation(self):
+        trace = spec_trace("bwaves", 20000)
+        mean_gap = sum(g for g, _w, _a in trace) / len(trace)
+        expected = SPEC_PROFILES["bwaves"].mean_gap
+        assert abs(mean_gap - expected) < expected * 0.1
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            spec_trace("gcc", 100)
+
+    def test_zero_refs_rejected(self):
+        with pytest.raises(ValueError):
+            spec_trace("mcf", 0)
+
+
+class TestRegimes:
+    """The profiles must land in Figure 6's qualitative regimes."""
+
+    def test_streaming_benchmarks_have_spatial_locality(self):
+        trace = spec_trace("lbm", 2000)
+        rows = [addr // 128 for _g, _w, addr in trace]
+        # Consecutive references mostly stay within a DRAM row.
+        same_row = sum(1 for a, b in zip(rows, rows[1:]) if a == b)
+        assert same_row / len(rows) > 0.9
+
+    def test_pointer_benchmarks_scatter_across_rows(self):
+        # mcf keeps page-level bursts but must visit many distinct rows.
+        trace = spec_trace("mcf", 2000)
+        rows = {addr // 128 for _g, _w, addr in trace}
+        assert len(rows) > 200
+
+    def test_cache_friendly_benchmark_small_hot_set(self):
+        profile = SPEC_PROFILES["bzip2"]
+        trace = spec_trace("bzip2", 10000)
+        # The hot region (15% of the footprint) absorbs most references.
+        hot_blocks = int(profile.footprint_blocks * 0.15)
+        in_hot = sum(1 for _g, _w, addr in trace if addr < hot_blocks)
+        assert in_hot / len(trace) > 0.8
+
+    def test_memory_intense_vs_compute_dense_gaps(self):
+        assert SPEC_PROFILES["mcf"].mean_gap < SPEC_PROFILES["bwaves"].mean_gap
