@@ -10,9 +10,10 @@ from benchmarks.conftest import show
 from repro.analysis.experiments import run_drrip_study
 
 
-def test_drrip_interaction(benchmark, scale):
+def test_drrip_interaction(benchmark, scale, runner):
     result = benchmark.pedantic(
-        lambda: run_drrip_study(scale, core_count=2, mixes_per_system=3),
+        lambda: run_drrip_study(scale, core_count=2, mixes_per_system=3,
+                                runner=runner),
         rounds=1, iterations=1,
     )
     show(result.to_text())

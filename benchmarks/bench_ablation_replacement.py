@@ -8,9 +8,10 @@ from benchmarks.conftest import show
 from repro.analysis.experiments import run_dbi_replacement_study
 
 
-def test_dbi_replacement(benchmark, scale):
+def test_dbi_replacement(benchmark, scale, runner):
     result = benchmark.pedantic(
-        lambda: run_dbi_replacement_study(scale, benchmarks=("lbm", "mcf")),
+        lambda: run_dbi_replacement_study(scale, benchmarks=("lbm", "mcf"),
+                                          runner=runner),
         rounds=1, iterations=1,
     )
     show(result.to_text())

@@ -10,9 +10,9 @@ from benchmarks.conftest import show
 from repro.analysis.experiments import run_case_study
 
 
-def test_case_study(benchmark, scale):
+def test_case_study(benchmark, scale, runner):
     result = benchmark.pedantic(
-        lambda: run_case_study(scale),
+        lambda: run_case_study(scale, runner=runner),
         rounds=1, iterations=1,
     )
     show(result.to_text())

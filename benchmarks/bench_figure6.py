@@ -15,9 +15,9 @@ from repro.analysis.experiments import run_figure6
 BENCHMARKS = ("mcf", "lbm", "GemsFDTD", "cactusADM", "libquantum", "bzip2")
 
 
-def test_figure6(benchmark, scale):
+def test_figure6(benchmark, scale, runner):
     results = benchmark.pedantic(
-        lambda: run_figure6(scale, benchmarks=BENCHMARKS),
+        lambda: run_figure6(scale, benchmarks=BENCHMARKS, runner=runner),
         rounds=1, iterations=1,
     )
     for exp_id in sorted(results):

@@ -12,10 +12,11 @@ from repro.analysis.experiments import run_figure7
 MECHANISMS = ("baseline", "tadip", "dawb", "dbi+awb", "dbi+awb+clb")
 
 
-def test_figure7(benchmark, scale):
+def test_figure7(benchmark, scale, runner):
     result = benchmark.pedantic(
         lambda: run_figure7(
-            scale, core_counts=(2, 4), mechanisms=MECHANISMS, mixes_per_system=3
+            scale, core_counts=(2, 4), mechanisms=MECHANISMS, mixes_per_system=3,
+            runner=runner,
         ),
         rounds=1, iterations=1,
     )

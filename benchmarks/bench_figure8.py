@@ -9,9 +9,9 @@ from benchmarks.conftest import show
 from repro.analysis.experiments import run_figure8
 
 
-def test_figure8(benchmark, scale):
+def test_figure8(benchmark, scale, runner):
     result = benchmark.pedantic(
-        lambda: run_figure8(scale, num_mixes=6),
+        lambda: run_figure8(scale, num_mixes=6, runner=runner),
         rounds=1, iterations=1,
     )
     show(result.to_text())

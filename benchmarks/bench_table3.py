@@ -9,9 +9,10 @@ from benchmarks.conftest import show
 from repro.analysis.experiments import run_table3
 
 
-def test_table3(benchmark, scale):
+def test_table3(benchmark, scale, runner):
     result = benchmark.pedantic(
-        lambda: run_table3(scale, core_counts=(2, 4), mixes_per_system=3),
+        lambda: run_table3(scale, core_counts=(2, 4), mixes_per_system=3,
+                           runner=runner),
         rounds=1, iterations=1,
     )
     show(result.to_text())

@@ -11,9 +11,10 @@ from benchmarks.conftest import show
 from repro.analysis.experiments import run_table6
 
 
-def test_table6(benchmark, scale):
+def test_table6(benchmark, scale, runner):
     result = benchmark.pedantic(
-        lambda: run_table6(scale, benchmarks=("lbm", "GemsFDTD")),
+        lambda: run_table6(scale, benchmarks=("lbm", "GemsFDTD"),
+                           runner=runner),
         rounds=1, iterations=1,
     )
     show(result.to_text())

@@ -9,11 +9,11 @@ from benchmarks.conftest import show
 from repro.analysis.experiments import run_table7
 
 
-def test_table7(benchmark, scale):
+def test_table7(benchmark, scale, runner):
     result = benchmark.pedantic(
         lambda: run_table7(
             scale, core_counts=(2,), mb_per_core_options=(2, 4),
-            mixes_per_system=3,
+            mixes_per_system=3, runner=runner,
         ),
         rounds=1, iterations=1,
     )

@@ -5,16 +5,36 @@ scale (see ``repro.analysis.scaling``) and prints the resulting rows, so
 ``pytest benchmarks/ --benchmark-only`` both times the harness and emits the
 paper-shaped output. Longer, closer-to-paper runs: ``examples/full_paper_run.py
 --scale default``.
+
+Simulations go through a session-wide :class:`SweepRunner`. The default is
+serial and uncached so the timings stay honest; set ``REPRO_BENCH_WORKERS``
+to fan the sweeps out (what tools/ci.sh's smoke run does) and
+``REPRO_BENCH_CACHE_DIR`` to reuse results across harness invocations.
 """
+
+import os
 
 import pytest
 
+from repro.analysis.runner import SweepRunner
 from repro.analysis.scaling import QUICK_SCALE
 
 
 @pytest.fixture(scope="session")
 def scale():
     return QUICK_SCALE
+
+
+@pytest.fixture(scope="session")
+def runner():
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    sweep = SweepRunner(
+        workers=int(os.environ.get("REPRO_BENCH_WORKERS", "0")),
+        cache_dir=cache_dir,
+        use_cache=cache_dir is not None,
+    )
+    yield sweep
+    sweep.close()
 
 
 def show(result_text: str) -> None:

@@ -2,10 +2,11 @@
 """Regenerate every table and figure of the paper's evaluation.
 
 Runs all experiment harnesses at the chosen scale and writes a combined
-report (the source material for EXPERIMENTS.md). At the default scale this
-takes tens of minutes; `--scale quick` finishes in a few minutes.
+report (the source material for EXPERIMENTS.md). Simulations fan out over
+``--workers`` processes and memoize into the sweep cache, so an interrupted
+run resumes where it stopped and a repeated run skips every simulation.
 
-Run:  python examples/full_paper_run.py --scale quick --out report.txt
+Run:  python examples/full_paper_run.py --scale quick --workers 4 --out report.txt
 """
 
 import argparse
@@ -14,6 +15,7 @@ import time
 
 from repro.analysis import experiments
 from repro.analysis.report import format_table
+from repro.analysis.runner import DEFAULT_CACHE_DIR, SweepRunner, stderr_progress
 from repro.analysis.scaling import SCALES
 from repro.area.ecc_model import (
     area_reduction_with_ecc,
@@ -58,29 +60,61 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", default="quick", choices=sorted(SCALES))
     parser.add_argument("--out", default=None, help="write the report here")
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="simulation worker processes (default: cpu_count - 1; "
+             "0/1 runs jobs inline)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help="sweep result cache directory",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the on-disk sweep cache",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-job progress lines on stderr",
+    )
     args = parser.parse_args()
     scale = SCALES[args.scale]
+    sweep = SweepRunner(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        progress=None if args.quiet else stderr_progress,
+    )
 
     sections = [analytic_sections()]
     runners = [
         ("Figure 6", lambda: "\n\n".join(
-            r.to_text() for _k, r in sorted(experiments.run_figure6(scale).items())
+            r.to_text() for _k, r in sorted(
+                experiments.run_figure6(scale, runner=sweep).items()
+            )
         )),
-        ("Figure 7", lambda: experiments.run_figure7(scale).to_text()),
-        ("Figure 8", lambda: experiments.run_figure8(scale).to_text()),
-        ("Table 3", lambda: experiments.run_table3(scale).to_text()),
-        ("Table 6", lambda: experiments.run_table6(scale).to_text()),
-        ("Table 7", lambda: experiments.run_table7(scale).to_text()),
+        ("Figure 7", lambda: experiments.run_figure7(scale, runner=sweep).to_text()),
+        ("Figure 8", lambda: experiments.run_figure8(scale, runner=sweep).to_text()),
+        ("Table 3", lambda: experiments.run_table3(scale, runner=sweep).to_text()),
+        ("Table 6", lambda: experiments.run_table6(scale, runner=sweep).to_text()),
+        ("Table 7", lambda: experiments.run_table7(scale, runner=sweep).to_text()),
         ("DBI replacement study",
-         lambda: experiments.run_dbi_replacement_study(scale).to_text()),
-        ("DRRIP study", lambda: experiments.run_drrip_study(scale).to_text()),
-        ("Case study", lambda: experiments.run_case_study(scale).to_text()),
+         lambda: experiments.run_dbi_replacement_study(
+             scale, runner=sweep).to_text()),
+        ("DRRIP study",
+         lambda: experiments.run_drrip_study(scale, runner=sweep).to_text()),
+        ("Case study",
+         lambda: experiments.run_case_study(scale, runner=sweep).to_text()),
     ]
-    for label, runner in runners:
-        start = time.time()
-        print(f"running {label}...", file=sys.stderr)
-        sections.append(runner())
-        print(f"  done in {time.time() - start:.0f}s", file=sys.stderr)
+    try:
+        for label, runner in runners:
+            start = time.time()
+            print(f"running {label}...", file=sys.stderr)
+            sections.append(runner())
+            print(f"  done in {time.time() - start:.0f}s", file=sys.stderr)
+    finally:
+        sweep.close()
+    print(sweep.summary(), file=sys.stderr)
 
     report = "\n\n\n".join(sections) + "\n"
     if args.out:

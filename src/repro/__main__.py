@@ -43,29 +43,56 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def make_sweep_runner(args):
+    """Build the SweepRunner the --workers/--cache flags describe."""
+    from repro.analysis.runner import DEFAULT_CACHE_DIR, SweepRunner, stderr_progress
+
+    return SweepRunner(
+        workers=args.workers,
+        cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
+        use_cache=not args.no_cache,
+        progress=None if args.quiet else stderr_progress,
+    )
+
+
 def _cmd_experiment(args) -> int:
     from repro.analysis import experiments
     from repro.analysis.scaling import SCALES
 
     scale = SCALES[args.scale]
+    benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+    sweep = make_sweep_runner(args)
     runners = {
         "fig6": lambda: "\n\n".join(
-            r.to_text() for _k, r in sorted(experiments.run_figure6(scale).items())
+            r.to_text()
+            for _k, r in sorted(
+                experiments.run_figure6(
+                    scale, benchmarks=benchmarks, runner=sweep
+                ).items()
+            )
         ),
-        "fig7": lambda: experiments.run_figure7(scale).to_text(),
-        "fig8": lambda: experiments.run_figure8(scale).to_text(),
-        "table3": lambda: experiments.run_table3(scale).to_text(),
-        "table6": lambda: experiments.run_table6(scale).to_text(),
-        "table7": lambda: experiments.run_table7(scale).to_text(),
-        "case-study": lambda: experiments.run_case_study(scale).to_text(),
-        "replacement": lambda: experiments.run_dbi_replacement_study(scale).to_text(),
-        "drrip": lambda: experiments.run_drrip_study(scale).to_text(),
+        "fig7": lambda: experiments.run_figure7(scale, runner=sweep).to_text(),
+        "fig8": lambda: experiments.run_figure8(scale, runner=sweep).to_text(),
+        "table3": lambda: experiments.run_table3(scale, runner=sweep).to_text(),
+        "table6": lambda: experiments.run_table6(scale, runner=sweep).to_text(),
+        "table7": lambda: experiments.run_table7(scale, runner=sweep).to_text(),
+        "case-study": lambda: experiments.run_case_study(
+            scale, runner=sweep).to_text(),
+        "replacement": lambda: experiments.run_dbi_replacement_study(
+            scale, runner=sweep).to_text(),
+        "drrip": lambda: experiments.run_drrip_study(
+            scale, runner=sweep).to_text(),
     }
     if args.name not in runners:
         print(f"unknown experiment {args.name!r}; choose from {sorted(runners)}",
               file=sys.stderr)
         return 2
-    print(runners[args.name]())
+    try:
+        print(runners[args.name]())
+    finally:
+        sweep.close()
+    if not args.quiet:
+        print(sweep.summary(), file=sys.stderr)
     return 0
 
 
@@ -84,6 +111,27 @@ def main(argv=None) -> int:
     exp_parser = sub.add_parser("experiment", help="regenerate a paper artifact")
     exp_parser.add_argument("name")
     exp_parser.add_argument("--scale", default="quick")
+    exp_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="simulation worker processes (default: cpu_count - 1; "
+             "0/1 runs jobs inline)",
+    )
+    exp_parser.add_argument(
+        "--cache-dir", default=None,
+        help="sweep result cache directory (default: results/sweep_cache)",
+    )
+    exp_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the on-disk sweep cache",
+    )
+    exp_parser.add_argument(
+        "--benchmarks", default=None,
+        help="comma-separated benchmark subset (fig6 only)",
+    )
+    exp_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-job progress lines on stderr",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":

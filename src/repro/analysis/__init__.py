@@ -5,6 +5,8 @@
   and footprints scale down together, keeping every ratio of Table 1).
 * :mod:`repro.analysis.experiments` — ``run_figure6``, ``run_figure7``, ...
   each reproducing one evaluation artifact.
+* :mod:`repro.analysis.runner` — the parallel, disk-cached sweep engine the
+  experiment runners submit their independent simulations to.
 * :mod:`repro.analysis.report` — plain-text table/CSV rendering.
 """
 
@@ -21,6 +23,7 @@ from repro.analysis.experiments import (
     run_table7,
 )
 from repro.analysis.report import format_table, to_csv
+from repro.analysis.runner import SweepFuture, SweepJob, SweepRunner, job_key
 from repro.analysis.scaling import (
     DEFAULT_SCALE,
     FULL_SCALE,
@@ -47,4 +50,8 @@ __all__ = [
     "run_drrip_study",
     "format_table",
     "to_csv",
+    "SweepRunner",
+    "SweepFuture",
+    "SweepJob",
+    "job_key",
 ]

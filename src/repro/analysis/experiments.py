@@ -4,6 +4,15 @@ Every runner returns :class:`ExperimentResult` objects whose rows mirror the
 paper's artifact (same series, same comparisons); ``to_text()`` renders them
 for EXPERIMENTS.md. Runners accept a :class:`ScaleProfile` so the same code
 drives quick benchmark-harness runs and the longer default runs.
+
+Execution goes through a :class:`~repro.analysis.runner.SweepRunner`: each
+runner first *submits* every independent simulation it needs, then collects
+the futures and assembles rows. With a parallel runner the submissions fan
+out over worker processes; with the default serial runner (``runner=None``)
+jobs execute inline at submission, reproducing the historical behaviour
+exactly. Duplicate submissions — the shared baselines of Figure 7/8/Table 3,
+or the alone-mode normalization runs — coalesce onto one future, and a
+disk-cached runner skips anything a previous sweep already finished.
 """
 
 from __future__ import annotations
@@ -13,6 +22,7 @@ from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table
+from repro.analysis.runner import SweepFuture, SweepRunner
 from repro.analysis.scaling import DEFAULT_SCALE, ScaleProfile
 from repro.sim.metrics import (
     geometric_mean,
@@ -21,7 +31,7 @@ from repro.sim.metrics import (
     maximum_slowdown,
     weighted_speedup,
 )
-from repro.sim.system import SimulationResult, run_system
+from repro.sim.system import SimulationResult
 from repro.sim.trace import Trace
 from repro.workloads.mix import WorkloadMix
 from repro.workloads.spec import profile_names
@@ -72,15 +82,36 @@ class ExperimentResult:
 # --------------------------------------------------------------- utilities
 
 
-def _run(
+def _serial_runner() -> SweepRunner:
+    """Inline, uncached runner: the behaviour runners default to."""
+    return SweepRunner(workers=0, cache_dir=None)
+
+
+def _submit(
+    runner: SweepRunner,
     scale: ScaleProfile,
     mechanism: str,
     traces: Sequence[Trace],
     num_cores: int = 1,
     **config_overrides,
-) -> SimulationResult:
+) -> SweepFuture:
     config = scale.system_config(mechanism, num_cores=num_cores, **config_overrides)
-    return run_system(config, traces)
+    return runner.submit(config, traces)
+
+
+def _run(
+    scale: ScaleProfile,
+    mechanism: str,
+    traces: Sequence[Trace],
+    num_cores: int = 1,
+    runner: Optional[SweepRunner] = None,
+    **config_overrides,
+) -> SimulationResult:
+    """Synchronous one-shot (kept for scripts that want a single result)."""
+    return _submit(
+        runner or _serial_runner(), scale, mechanism, traces,
+        num_cores=num_cores, **config_overrides,
+    ).result()
 
 
 class AloneIpcCache:
@@ -88,15 +119,19 @@ class AloneIpcCache:
 
     Weighted speedup normalizes shared-mode IPCs against alone-mode IPCs on
     the same machine (full LLC to itself); the alone runs use the Baseline
-    mechanism so the normalization is identical across mechanisms.
+    mechanism so the normalization is identical across mechanisms. Each
+    distinct (trace, shape) is submitted to the sweep runner once; repeated
+    requests share the future.
     """
 
-    def __init__(self, scale: ScaleProfile) -> None:
+    def __init__(self, scale: ScaleProfile,
+                 runner: Optional[SweepRunner] = None) -> None:
         self.scale = scale
-        self._cache: Dict[Tuple, float] = {}
+        self.runner = runner or _serial_runner()
+        self._cache: Dict[Tuple, SweepFuture] = {}
 
-    def ipc(self, trace: Trace, num_cores: int, mb_per_core: int = 2,
-            llc_replacement: Optional[str] = None) -> float:
+    def submit(self, trace: Trace, num_cores: int, mb_per_core: int = 2,
+               llc_replacement: Optional[str] = None) -> SweepFuture:
         key = (trace.name, len(trace), num_cores, mb_per_core, llc_replacement)
         if key not in self._cache:
             config = self.scale.system_config(
@@ -105,9 +140,59 @@ class AloneIpcCache:
                 mb_per_core=mb_per_core * num_cores,  # the whole shared LLC
                 llc_replacement=llc_replacement,
             )
-            result = run_system(config, [trace])
-            self._cache[key] = result.ipc[0]
+            self._cache[key] = self.runner.submit(config, [trace])
         return self._cache[key]
+
+    def ipc(self, trace: Trace, num_cores: int, mb_per_core: int = 2,
+            llc_replacement: Optional[str] = None) -> float:
+        return self.submit(
+            trace, num_cores, mb_per_core, llc_replacement
+        ).result().ipc[0]
+
+
+@dataclass
+class _MixFutures:
+    """In-flight simulations backing one (mix, mechanism) data point."""
+
+    shared: SweepFuture
+    alone: List[SweepFuture]
+
+    def metrics(self) -> Dict[str, float]:
+        """Resolve the futures into the Section 5 metrics."""
+        result = self.shared.result()
+        alone_ipcs = [future.result().ipc[0] for future in self.alone]
+        return {
+            "weighted_speedup": weighted_speedup(result.ipc, alone_ipcs),
+            "instruction_throughput": instruction_throughput(result.ipc),
+            "harmonic_speedup": harmonic_speedup(result.ipc, alone_ipcs),
+            "maximum_slowdown": maximum_slowdown(result.ipc, alone_ipcs),
+        }
+
+
+def _submit_mix(
+    runner: SweepRunner,
+    scale: ScaleProfile,
+    mechanism: str,
+    mix: WorkloadMix,
+    alone: AloneIpcCache,
+    mb_per_core: int = 2,
+    llc_replacement: Optional[str] = None,
+) -> _MixFutures:
+    """Schedule one mix under one mechanism plus its alone-mode normalizers."""
+    shared = _submit(
+        runner,
+        scale,
+        mechanism,
+        mix.traces,
+        num_cores=mix.num_cores,
+        mb_per_core=mb_per_core,
+        llc_replacement=llc_replacement,
+    )
+    alone_futures = [
+        alone.submit(trace, mix.num_cores, mb_per_core, llc_replacement)
+        for trace in mix.traces
+    ]
+    return _MixFutures(shared=shared, alone=alone_futures)
 
 
 def _mix_speedups(
@@ -119,24 +204,9 @@ def _mix_speedups(
     llc_replacement: Optional[str] = None,
 ) -> Dict[str, float]:
     """Run one mix under one mechanism; return the Section 5 metrics."""
-    result = _run(
-        scale,
-        mechanism,
-        mix.traces,
-        num_cores=mix.num_cores,
-        mb_per_core=mb_per_core,
-        llc_replacement=llc_replacement,
-    )
-    alone_ipcs = [
-        alone.ipc(trace, mix.num_cores, mb_per_core, llc_replacement)
-        for trace in mix.traces
-    ]
-    return {
-        "weighted_speedup": weighted_speedup(result.ipc, alone_ipcs),
-        "instruction_throughput": instruction_throughput(result.ipc),
-        "harmonic_speedup": harmonic_speedup(result.ipc, alone_ipcs),
-        "maximum_slowdown": maximum_slowdown(result.ipc, alone_ipcs),
-    }
+    return _submit_mix(
+        alone.runner, scale, mechanism, mix, alone, mb_per_core, llc_replacement
+    ).metrics()
 
 
 # ------------------------------------------------------------- Figure 6
@@ -146,8 +216,10 @@ def run_figure6(
     scale: ScaleProfile = DEFAULT_SCALE,
     benchmarks: Optional[Iterable[str]] = None,
     mechanisms: Sequence[str] = FIGURE6_MECHANISMS,
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, ExperimentResult]:
     """Figure 6a-e: single-core IPC, write RHR, tag lookups PKI, WPKI, read RHR."""
+    runner = runner or _serial_runner()
     benchmarks = list(benchmarks or profile_names())
     metrics = {
         "fig6a": ("Instructions per cycle", lambda r: r.ipc[0]),
@@ -157,12 +229,16 @@ def run_figure6(
         "fig6d": ("Memory writes per kilo-instruction", lambda r: r.memory_wpki),
         "fig6e": ("Read row hit rate", lambda r: r.read_row_hit_rate),
     }
-    results: Dict[str, Dict[str, SimulationResult]] = {}
+    futures: Dict[str, Dict[str, SweepFuture]] = {}
     for bench in benchmarks:
         trace = scale.benchmark_trace(bench)
-        results[bench] = {
-            mech: _run(scale, mech, [trace]) for mech in mechanisms
+        futures[bench] = {
+            mech: _submit(runner, scale, mech, [trace]) for mech in mechanisms
         }
+    results: Dict[str, Dict[str, SimulationResult]] = {
+        bench: {mech: future.result() for mech, future in per_bench.items()}
+        for bench, per_bench in futures.items()
+    }
 
     out: Dict[str, ExperimentResult] = {}
     for exp_id, (title, extract) in metrics.items():
@@ -198,18 +274,28 @@ def run_figure7(
     core_counts: Sequence[int] = (2, 4, 8),
     mechanisms: Sequence[str] = FIGURE7_MECHANISMS,
     mixes_per_system: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Figure 7: average weighted speedup for 2/4/8-core systems."""
-    alone = AloneIpcCache(scale)
+    runner = runner or _serial_runner()
+    alone = AloneIpcCache(scale, runner)
+    pending: Dict[int, Dict[str, List[_MixFutures]]] = {}
+    for cores in core_counts:
+        mixes = scale.mixes(cores, count=mixes_per_system)
+        pending[cores] = {
+            mech: [
+                _submit_mix(runner, scale, mech, mix, alone) for mix in mixes
+            ]
+            for mech in mechanisms
+        }
     rows = []
     raw: Dict = {}
     for cores in core_counts:
-        mixes = scale.mixes(cores, count=mixes_per_system)
         averages = []
         for mech in mechanisms:
             speedups = [
-                _mix_speedups(scale, mech, mix, alone)["weighted_speedup"]
-                for mix in mixes
+                futures.metrics()["weighted_speedup"]
+                for futures in pending[cores][mech]
             ]
             averages.append(sum(speedups) / len(speedups))
             raw[(cores, mech)] = speedups
@@ -227,18 +313,31 @@ def run_figure8(
     scale: ScaleProfile = DEFAULT_SCALE,
     mechanisms: Sequence[str] = ("dawb", "dbi+awb+clb"),
     num_mixes: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Figure 8: per-workload normalized weighted speedup, 4-core S-curve."""
-    alone = AloneIpcCache(scale)
+    runner = runner or _serial_runner()
+    alone = AloneIpcCache(scale, runner)
     mixes = scale.mixes(4, count=num_mixes)
-    baseline_ws = {
-        mix.name: _mix_speedups(scale, "baseline", mix, alone)["weighted_speedup"]
+    baseline_pending = {
+        mix.name: _submit_mix(runner, scale, "baseline", mix, alone)
         for mix in mixes
+    }
+    mech_pending = {
+        mix.name: {
+            mech: _submit_mix(runner, scale, mech, mix, alone)
+            for mech in mechanisms
+        }
+        for mix in mixes
+    }
+    baseline_ws = {
+        name: futures.metrics()["weighted_speedup"]
+        for name, futures in baseline_pending.items()
     }
     normalized: Dict[str, List[float]] = {mech: [] for mech in mechanisms}
     for mix in mixes:
         for mech in mechanisms:
-            ws = _mix_speedups(scale, mech, mix, alone)["weighted_speedup"]
+            ws = mech_pending[mix.name][mech].metrics()["weighted_speedup"]
             normalized[mech].append(ws / baseline_ws[mix.name])
     order = sorted(
         range(len(mixes)), key=lambda i: normalized[mechanisms[-1]][i]
@@ -267,6 +366,7 @@ def run_multicore_suite(
     mechanisms: Sequence[str] = FIGURE7_MECHANISMS,
     mixes_per_system: Optional[int] = None,
     figure8_mechanisms: Sequence[str] = ("dawb", "dbi+awb+clb"),
+    runner: Optional[SweepRunner] = None,
 ) -> Dict[str, ExperimentResult]:
     """Figure 7 + Figure 8 + Table 3 from one shared set of runs.
 
@@ -274,19 +374,29 @@ def run_multicore_suite(
     speedups; running them through one pass costs a third of the separate
     runners (which matters: simulations dominate wall-clock).
     """
-    alone = AloneIpcCache(scale)
-    metrics: Dict[int, Dict[str, Dict[str, Dict[str, float]]]] = {}
+    runner = runner or _serial_runner()
+    alone = AloneIpcCache(scale, runner)
+    pending: Dict[int, Dict[str, Dict[str, _MixFutures]]] = {}
     mixes_by_cores = {}
     for cores in core_counts:
         mixes = scale.mixes(cores, count=mixes_per_system)
         mixes_by_cores[cores] = mixes
-        metrics[cores] = {
+        pending[cores] = {
             mix.name: {
-                mech: _mix_speedups(scale, mech, mix, alone)
+                mech: _submit_mix(runner, scale, mech, mix, alone)
                 for mech in mechanisms
             }
             for mix in mixes
         }
+    metrics: Dict[int, Dict[str, Dict[str, Dict[str, float]]]] = {
+        cores: {
+            mix_name: {
+                mech: futures.metrics() for mech, futures in per_mix.items()
+            }
+            for mix_name, per_mix in pending[cores].items()
+        }
+        for cores in core_counts
+    }
 
     out: Dict[str, ExperimentResult] = {}
 
@@ -385,26 +495,37 @@ def run_table3(
     core_counts: Sequence[int] = (2, 4, 8),
     mechanism: str = "dbi+awb+clb",
     mixes_per_system: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Table 3: performance/fairness of DBI+AWB+CLB vs the Baseline."""
-    alone = AloneIpcCache(scale)
+    runner = runner or _serial_runner()
+    alone = AloneIpcCache(scale, runner)
+    pending = {}
+    for cores in core_counts:
+        mixes = scale.mixes(cores, count=mixes_per_system)
+        pending[cores] = [
+            (
+                _submit_mix(runner, scale, "baseline", mix, alone),
+                _submit_mix(runner, scale, mechanism, mix, alone),
+            )
+            for mix in mixes
+        ]
     rows = []
     raw = {}
     for cores in core_counts:
-        mixes = scale.mixes(cores, count=mixes_per_system)
         improvements = {key: [] for key in (
             "weighted_speedup", "instruction_throughput",
             "harmonic_speedup", "maximum_slowdown",
         )}
-        for mix in mixes:
-            base = _mix_speedups(scale, "baseline", mix, alone)
-            ours = _mix_speedups(scale, mechanism, mix, alone)
+        for base_futures, ours_futures in pending[cores]:
+            base = base_futures.metrics()
+            ours = ours_futures.metrics()
             for key in improvements:
                 improvements[key].append(ours[key] / base[key] - 1.0)
         mean = {k: sum(v) / len(v) for k, v in improvements.items()}
         rows.append([
             f"{cores}-core",
-            len(mixes),
+            len(pending[cores]),
             f"{mean['weighted_speedup']:+.1%}",
             f"{mean['instruction_throughput']:+.1%}",
             f"{mean['harmonic_speedup']:+.1%}",
@@ -431,21 +552,37 @@ def run_table6(
     benchmarks: Optional[Iterable[str]] = None,
     alphas: Sequence[Fraction] = (Fraction(1, 4), Fraction(1, 2)),
     granularities: Optional[Sequence[int]] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Table 6: AWB's IPC gain vs DBI size (α) and granularity.
 
     Granularities sweep the scaled equivalents of the paper's 16/32/64/128
     (the machine, and with it the DRAM row, is shrunk by ``scale.divisor``).
     """
+    runner = runner or _serial_runner()
     benchmarks = list(benchmarks or ("lbm", "GemsFDTD", "cactusADM", "stream"))
     if granularities is None:
         granularities = sorted(
             {max(2, g // scale.divisor) for g in (16, 32, 64, 128)}
         )
-    baseline_ipc = {}
-    for bench in benchmarks:
-        trace = scale.benchmark_trace(bench)
-        baseline_ipc[bench] = (_run(scale, "baseline", [trace]).ipc[0], trace)
+    traces = {b: scale.benchmark_trace(b) for b in benchmarks}
+    baseline_pending = {
+        bench: _submit(runner, scale, "baseline", [traces[bench]])
+        for bench in benchmarks
+    }
+    sweep_pending = {
+        (alpha, granularity, bench): _submit(
+            runner, scale, "dbi+awb", [traces[bench]],
+            dbi_alpha=alpha, dbi_granularity=granularity,
+        )
+        for alpha in alphas
+        for granularity in granularities
+        for bench in benchmarks
+    }
+    baseline_ipc = {
+        bench: future.result().ipc[0]
+        for bench, future in baseline_pending.items()
+    }
     rows = []
     raw = {}
     for alpha in alphas:
@@ -453,12 +590,8 @@ def run_table6(
         for granularity in granularities:
             gains = []
             for bench in benchmarks:
-                base_ipc, trace = baseline_ipc[bench]
-                result = _run(
-                    scale, "dbi+awb", [trace],
-                    dbi_alpha=alpha, dbi_granularity=granularity,
-                )
-                gains.append(result.ipc[0] / base_ipc - 1.0)
+                result = sweep_pending[(alpha, granularity, bench)].result()
+                gains.append(result.ipc[0] / baseline_ipc[bench] - 1.0)
             mean_gain = sum(gains) / len(gains)
             raw[(alpha, granularity)] = gains
             row.append(f"{mean_gain:+.1%}")
@@ -485,19 +618,33 @@ def run_table7(
     mb_per_core_options: Sequence[int] = (2, 4),
     mechanism: str = "dbi+awb+clb",
     mixes_per_system: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Table 7: weighted-speedup gain vs LLC capacity (2 vs 4 MB/core)."""
-    alone = AloneIpcCache(scale)
+    runner = runner or _serial_runner()
+    alone = AloneIpcCache(scale, runner)
+    pending = {}
+    for mb in mb_per_core_options:
+        for cores in core_counts:
+            mixes = scale.mixes(cores, count=mixes_per_system)
+            pending[(mb, cores)] = [
+                (
+                    _submit_mix(runner, scale, "baseline", mix, alone,
+                                mb_per_core=mb),
+                    _submit_mix(runner, scale, mechanism, mix, alone,
+                                mb_per_core=mb),
+                )
+                for mix in mixes
+            ]
     rows = []
     raw = {}
     for mb in mb_per_core_options:
         row = [f"{mb}MB/core"]
         for cores in core_counts:
-            mixes = scale.mixes(cores, count=mixes_per_system)
             gains = []
-            for mix in mixes:
-                base = _mix_speedups(scale, "baseline", mix, alone, mb_per_core=mb)
-                ours = _mix_speedups(scale, mechanism, mix, alone, mb_per_core=mb)
+            for base_futures, ours_futures in pending[(mb, cores)]:
+                base = base_futures.metrics()
+                ours = ours_futures.metrics()
                 gains.append(ours["weighted_speedup"] / base["weighted_speedup"] - 1)
             mean_gain = sum(gains) / len(gains)
             raw[(mb, cores)] = gains
@@ -519,17 +666,24 @@ def run_dbi_replacement_study(
     scale: ScaleProfile = DEFAULT_SCALE,
     benchmarks: Optional[Iterable[str]] = None,
     policies: Sequence[str] = ("lrw", "lrw-bip", "rwip", "max-dirty", "min-dirty"),
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Section 4.3/6.4: LRW is comparable-or-best among DBI policies."""
+    runner = runner or _serial_runner()
     benchmarks = list(benchmarks or ("lbm", "GemsFDTD", "mcf", "cactusADM"))
     traces = {b: scale.benchmark_trace(b) for b in benchmarks}
+    pending = {
+        policy: [
+            _submit(runner, scale, "dbi+awb", [traces[b]],
+                    dbi_replacement=policy)
+            for b in benchmarks
+        ]
+        for policy in policies
+    }
     rows = []
     raw = {}
     for policy in policies:
-        ipcs = [
-            _run(scale, "dbi+awb", [traces[b]], dbi_replacement=policy).ipc[0]
-            for b in benchmarks
-        ]
+        ipcs = [future.result().ipc[0] for future in pending[policy]]
         raw[policy] = dict(zip(benchmarks, ipcs))
         rows.append([policy, geometric_mean(ipcs)])
     return ExperimentResult(
@@ -545,18 +699,25 @@ def run_drrip_study(
     scale: ScaleProfile = DEFAULT_SCALE,
     core_count: int = 4,
     mixes_per_system: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Section 6.5: DBI's gain survives a better replacement policy (DRRIP)."""
-    alone = AloneIpcCache(scale)
+    runner = runner or _serial_runner()
+    alone = AloneIpcCache(scale, runner)
     mixes = scale.mixes(core_count, count=mixes_per_system)
+    pending = {
+        mech: [
+            _submit_mix(runner, scale, mech, mix, alone,
+                        llc_replacement="drrip")
+            for mix in mixes
+        ]
+        for mech in ("dawb", "dbi+awb+clb")
+    }
     rows = []
     raw = {}
-    for mech in ("dawb", "dbi+awb+clb"):
+    for mech, futures_list in pending.items():
         speedups = [
-            _mix_speedups(scale, mech, mix, alone, llc_replacement="drrip")[
-                "weighted_speedup"
-            ]
-            for mix in mixes
+            futures.metrics()["weighted_speedup"] for futures in futures_list
         ]
         raw[mech] = speedups
         rows.append([f"{mech} (DRRIP LLC)", sum(speedups) / len(speedups)])
@@ -576,6 +737,7 @@ def run_case_study(
     mechanisms: Sequence[str] = (
         "baseline", "dawb", "dbi", "dbi+awb", "dbi+awb+clb"
     ),
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     """Section 6.2 case study: 2-core GemsFDTD + libquantum.
 
@@ -585,18 +747,23 @@ def run_case_study(
     from repro.workloads.mix import make_mix
     from repro.workloads.spec import SPEC_PROFILES
 
+    runner = runner or _serial_runner()
     mix = make_mix(
         "case_study",
         [SPEC_PROFILES["GemsFDTD"], SPEC_PROFILES["libquantum"]],
         refs_per_core=scale.refs_per_core_multi,
         footprint_divisor=scale.divisor,
     )
-    alone = AloneIpcCache(scale)
+    alone = AloneIpcCache(scale, runner)
+    pending = [
+        (mech, _submit_mix(runner, scale, mech, mix, alone))
+        for mech in mechanisms
+    ]
     rows = []
     raw = {}
     baseline_ws = None
-    for mech in mechanisms:
-        ws = _mix_speedups(scale, mech, mix, alone)["weighted_speedup"]
+    for mech, futures in pending:
+        ws = futures.metrics()["weighted_speedup"]
         raw[mech] = ws
         if baseline_ws is None:
             baseline_ws = ws

@@ -1,0 +1,325 @@
+"""Parallel, cached sweep engine.
+
+Every table/figure of the paper decomposes into dozens of *independent*
+simulations — (config, traces) pairs that share nothing at runtime. The
+:class:`SweepRunner` exploits that: jobs are submitted up front, fanned out
+over a :class:`concurrent.futures.ProcessPoolExecutor`, and each completed
+:class:`SimulationResult` is memoized in a content-addressed on-disk cache so
+interrupted sweeps resume for free and artifacts that share runs (e.g. the
+baseline simulations common to Figure 7, Figure 8 and Table 3) compute each
+configuration exactly once.
+
+Job identity
+    :func:`job_key` hashes the full :class:`SystemConfig` (which embeds the
+    scale profile's cache geometries, DRAM shape and run length) together
+    with each trace's name, length and record content. Two jobs with the
+    same key are the same simulation, byte for byte — the simulator is
+    deterministic by construction (see ``repro.utils.rng``) — so a cached
+    result is indistinguishable from a fresh run.
+
+Cache layout
+    One JSON file per job under ``cache_dir``, named ``<sha256>.json``,
+    holding a format version, the key, a human-readable label and the full
+    result. Files are written atomically (temp file + ``os.replace``), so a
+    killed sweep never leaves a truncated entry; rerunning it skips every
+    job that finished.
+
+Execution modes
+    ``workers >= 2`` uses a process pool; ``workers in (0, 1)`` runs jobs
+    inline at submission, which keeps single-process determinism tests and
+    small scripts free of pool overhead. Results are identical either way.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import os
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.sim.system import SimulationResult, SystemConfig, run_system
+from repro.sim.trace import Trace
+
+#: Default location of the on-disk result cache (relative to the cwd).
+DEFAULT_CACHE_DIR = os.path.join("results", "sweep_cache")
+
+#: Bump when the cache entry schema changes; old entries are ignored.
+CACHE_FORMAT = 1
+
+#: Trace records hashed per chunk (bounds peak memory for FULL_SCALE traces).
+_KEY_CHUNK = 8192
+
+
+def default_workers() -> int:
+    """One process per core, minus one to keep the submitting process live."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def job_key(
+    config: SystemConfig,
+    traces: Sequence[Trace],
+    max_events: Optional[int] = None,
+) -> str:
+    """Stable content hash identifying one simulation.
+
+    Covers every field of ``config`` (dataclass repr is deterministic and
+    includes the nested cache/DRAM/DBI configs, so the scale profile is
+    captured through the geometry it produced) plus each trace's name,
+    length and full record stream — the trace generator's seed and footprint
+    divisor are functions of the records, so they are covered too.
+    """
+    import hashlib
+
+    hasher = hashlib.sha256()
+    hasher.update(repr(config).encode())
+    for trace in traces:
+        hasher.update(f"|trace:{trace.name}:{len(trace.records)}|".encode())
+        for start in range(0, len(trace.records), _KEY_CHUNK):
+            hasher.update(repr(trace.records[start : start + _KEY_CHUNK]).encode())
+    if max_events is not None:
+        hasher.update(f"|max_events:{max_events}".encode())
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """Picklable spec of one simulation (what a worker process receives)."""
+
+    job_id: int
+    key: str
+    config: SystemConfig
+    traces: Tuple[Trace, ...]
+    max_events: Optional[int] = None
+
+    @property
+    def label(self) -> str:
+        names = ",".join(trace.name for trace in self.traces)
+        return f"{self.config.mechanism}[{names}]"
+
+
+def _execute(job: SweepJob) -> SimulationResult:
+    """Run one job (module-level so the process pool can pickle it)."""
+    return run_system(job.config, list(job.traces), max_events=job.max_events)
+
+
+class SweepFuture:
+    """Handle to one submitted job; ``result()`` blocks until it is done."""
+
+    def __init__(
+        self,
+        job: SweepJob,
+        inner: Optional[concurrent.futures.Future] = None,
+        value: Optional[SimulationResult] = None,
+    ) -> None:
+        self.job = job
+        self._inner = inner
+        self._value = value
+
+    def done(self) -> bool:
+        return self._value is not None or (
+            self._inner is not None and self._inner.done()
+        )
+
+    def result(self, timeout: Optional[float] = None) -> SimulationResult:
+        if self._value is None:
+            self._value = self._inner.result(timeout)
+        return self._value
+
+
+def stderr_progress(line: str) -> None:
+    """Default progress sink: one line per completed job on stderr."""
+    print(line, file=sys.stderr, flush=True)
+
+
+class SweepRunner:
+    """Fan (config, traces) jobs over worker processes with result caching.
+
+    Args:
+        workers: process count; ``None`` = ``os.cpu_count() - 1``; values
+            below 2 run jobs inline in this process (deterministically
+            identical results, no pool overhead).
+        cache_dir: on-disk cache directory; created on first write.
+        use_cache: set False to neither read nor write the disk cache
+            (in-memory memoization of repeated submissions still applies).
+        progress: callable receiving one formatted line per finished job
+            (job id, mechanism/traces, elapsed seconds, hit/miss); ``None``
+            is silent, :func:`stderr_progress` prints to stderr.
+
+    Usage::
+
+        with SweepRunner(workers=4) as runner:
+            futures = [runner.submit(cfg, [trace]) for cfg in configs]
+            results = [f.result() for f in futures]
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
+        use_cache: bool = True,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.workers = default_workers() if workers is None else max(0, workers)
+        self.cache_dir = cache_dir if (use_cache and cache_dir) else None
+        self.progress = progress
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._lock = threading.Lock()
+        self._futures: Dict[str, SweepFuture] = {}
+        self._next_id = 0
+        self._started = time.perf_counter()
+        self.jobs_submitted = 0  # distinct jobs seen
+        self.memo_hits = 0  # repeated submissions coalesced in-process
+        self.cache_hits = 0  # jobs answered from the disk cache
+        self.jobs_executed = 0  # jobs actually simulated
+
+    # ------------------------------------------------------------ lifecycle
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down (waits for in-flight jobs)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers
+            )
+        return self._pool
+
+    # ------------------------------------------------------------ interface
+
+    def submit(
+        self,
+        config: SystemConfig,
+        traces: Sequence[Trace],
+        max_events: Optional[int] = None,
+    ) -> SweepFuture:
+        """Schedule one simulation; duplicate submissions share one future."""
+        traces = tuple(traces)
+        key = job_key(config, traces, max_events)
+        with self._lock:
+            existing = self._futures.get(key)
+            if existing is not None:
+                self.memo_hits += 1
+                return existing
+            job = SweepJob(self._next_id, key, config, traces, max_events)
+            self._next_id += 1
+            self.jobs_submitted += 1
+            future = self._dispatch(job)
+            self._futures[key] = future
+            return future
+
+    def run(
+        self,
+        config: SystemConfig,
+        traces: Sequence[Trace],
+        max_events: Optional[int] = None,
+    ) -> SimulationResult:
+        """Synchronous convenience: submit and wait."""
+        return self.submit(config, traces, max_events=max_events).result()
+
+    def summary(self) -> str:
+        """One-line account of the sweep (for end-of-run reporting)."""
+        elapsed = time.perf_counter() - self._started
+        return (
+            f"sweep: {self.jobs_submitted} jobs "
+            f"({self.jobs_executed} simulated, {self.cache_hits} cache hits, "
+            f"{self.memo_hits} coalesced) in {elapsed:.1f}s "
+            f"with {self.workers} worker(s)"
+        )
+
+    # ------------------------------------------------------------- dispatch
+
+    def _dispatch(self, job: SweepJob) -> SweepFuture:
+        cached = self._load_cached(job.key)
+        if cached is not None:
+            self.cache_hits += 1
+            self._emit(job, 0.0, "hit")
+            return SweepFuture(job, value=cached)
+        started = time.perf_counter()
+        if self.workers >= 2:
+            inner = self._ensure_pool().submit(_execute, job)
+            inner.add_done_callback(
+                lambda f, job=job, started=started: self._pool_job_done(
+                    job, f, started
+                )
+            )
+            return SweepFuture(job, inner=inner)
+        result = _execute(job)
+        self.jobs_executed += 1
+        self._store_cached(job.key, job.label, result)
+        self._emit(job, time.perf_counter() - started, "miss")
+        return SweepFuture(job, value=result)
+
+    def _pool_job_done(
+        self, job: SweepJob, inner: concurrent.futures.Future, started: float
+    ) -> None:
+        if inner.cancelled() or inner.exception() is not None:
+            self._emit(job, time.perf_counter() - started, "failed")
+            return
+        with self._lock:
+            self.jobs_executed += 1
+        self._store_cached(job.key, job.label, inner.result())
+        self._emit(job, time.perf_counter() - started, "miss")
+
+    def _emit(self, job: SweepJob, elapsed: float, status: str) -> None:
+        if self.progress is not None:
+            self.progress(
+                f"[sweep {job.job_id:04d}] {job.label:<40s} "
+                f"{elapsed:7.2f}s  {status}"
+            )
+
+    # ---------------------------------------------------------- disk cache
+
+    def _cache_path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    def _load_cached(self, key: str) -> Optional[SimulationResult]:
+        if self.cache_dir is None:
+            return None
+        try:
+            with open(self._cache_path(key)) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if payload.get("format") != CACHE_FORMAT or payload.get("key") != key:
+            return None
+        try:
+            return SimulationResult.from_dict(payload["result"])
+        except (KeyError, TypeError):
+            return None
+
+    def _store_cached(self, key: str, label: str, result: SimulationResult) -> None:
+        if self.cache_dir is None:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        path = self._cache_path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        payload = {
+            "format": CACHE_FORMAT,
+            "key": key,
+            "label": label,
+            "result": result.to_dict(),
+        }
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except OSError:
+            # Caching is an optimization; a read-only disk must not kill a
+            # sweep whose simulations are succeeding.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

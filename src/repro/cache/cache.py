@@ -44,6 +44,7 @@ class Cache:
         num_threads: int = 1,
         rng: Optional[DeterministicRng] = None,
         policy: Optional[ReplacementPolicy] = None,
+        stat_name: Optional[str] = None,
     ) -> None:
         self.config = config
         self.sets: List[List[CacheBlock]] = [
@@ -57,7 +58,9 @@ class Cache:
             num_threads=num_threads,
             rng=rng,
         )
-        self.stats = StatGroup(config.name)
+        # stat_name disambiguates instances sharing one config (a system has
+        # one L1 *config* but one L1 cache — and stat group — per core).
+        self.stats = StatGroup(stat_name or config.name)
         # addr -> way, for O(1) presence checks (the set is derivable).
         self._where: Dict[int, int] = {}
 

@@ -99,6 +99,10 @@ class DbiMechanism(LlcMechanism):
         # to the wrong insertion policy.
         self.stats.counter("bypassed_lookups").increment()
         if self.llc.contains(addr):
+            # Bypassed-but-resident: the lookup was skipped but no reload
+            # was needed, so this is not an LLC miss. Counted separately so
+            # llc_mpki can exclude it (CLB leaves MPKI unchanged, Sec 6.1).
+            self.stats.counter("bypassed_hits").increment()
             self.llc.touch(addr, core_id)
         else:
             self.llc.policy.note_miss(self.llc.set_index(addr), core_id)

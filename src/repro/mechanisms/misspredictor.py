@@ -42,7 +42,7 @@ class MissPredictor:
         self.epoch_cycles = epoch_cycles
         self.sample_modulus = min(sample_modulus, num_sets)
         self.sample_offset = sample_offset % self.sample_modulus
-        self.stats = StatGroup("misspred")
+        self.stats = StatGroup("predictor")
         self._epoch_start = 0
         self._misses: List[int] = [0] * num_cores
         self._accesses: List[int] = [0] * num_cores

@@ -49,8 +49,10 @@ class Hierarchy:
         self.l1_mshrs: List[MshrFile] = []
         self.core_stats: List[StatGroup] = []
         for core in range(num_cores):
-            self.l1s.append(Cache(l1_config))
-            self.l2s.append(Cache(l2_config))
+            # Per-core stat names: with the shared config name, core 1's
+            # "l1.*" keys would clobber core 0's in the flattened result.
+            self.l1s.append(Cache(l1_config, stat_name=f"l1_core{core}"))
+            self.l2s.append(Cache(l2_config, stat_name=f"l2_core{core}"))
             # Same-block merging; capacity is enforced at the core model
             # (max_outstanding_loads), keeping the two coupled but deadlock-free.
             self.l1_mshrs.append(MshrFile(capacity=0, name=f"l1mshr{core}"))

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 test suite plus a parallel-path smoke sweep.
+#
+# The tier-1 suite exercises the simulator serially; the smoke sweep runs one
+# figure runner through the SweepRunner with 2 worker processes and a fresh
+# cache, twice — the second pass must be answered entirely from the cache and
+# produce byte-identical output, so regressions in job keying, result
+# serialization, worker dispatch or resume semantics fail fast here.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo "== 2-worker smoke sweep (figure 6 subset) =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+sweep() {
+    python -m repro experiment fig6 --scale quick \
+        --benchmarks mcf,bzip2 --workers 2 --cache-dir "$tmp/cache" --quiet
+}
+sweep > "$tmp/cold.txt"
+sweep > "$tmp/warm.txt"
+if ! cmp -s "$tmp/cold.txt" "$tmp/warm.txt"; then
+    echo "ci: FAIL — warm-cache sweep output differs from cold run" >&2
+    diff "$tmp/cold.txt" "$tmp/warm.txt" >&2 || true
+    exit 1
+fi
+entries=$(ls "$tmp/cache" | wc -l)
+echo "ci: ok (sweep cache holds $entries entries; warm rerun byte-identical)"
