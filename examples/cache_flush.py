@@ -44,7 +44,7 @@ def build_dbi_cache(num_blocks, traffic):
     ))
     for addr, dirty in traffic:
         evicted = cache.insert(addr, dirty=False)
-        if evicted is not None:
+        if evicted is not None and dbi.is_dirty(evicted.addr):
             dbi.mark_clean(evicted.addr)
         if dirty:
             eviction = dbi.mark_dirty(addr)

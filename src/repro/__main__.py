@@ -5,6 +5,11 @@ Commands:
     run         — simulate one benchmark under one mechanism, print metrics.
     experiment  — regenerate one paper artifact (fig6 fig7 fig8 table3
                   table6 table7 case-study replacement drrip).
+    check-diff  — differentially validate every mechanism against the
+                  untimed golden reference model (see repro.check).
+
+``run`` and ``experiment`` accept ``--check {off,cheap,full}`` to enable the
+runtime invariant engine (off by default; results are identical either way).
 """
 
 from __future__ import annotations
@@ -30,7 +35,9 @@ def _cmd_run(args) -> int:
 
     scale = SCALES[args.scale]
     trace = scale.benchmark_trace(args.benchmark, refs=args.refs)
-    result = run_system(scale.system_config(args.mechanism), [trace])
+    result = run_system(
+        scale.system_config(args.mechanism), [trace], check=args.check
+    )
     print(f"benchmark          {args.benchmark}")
     print(f"mechanism          {args.mechanism}")
     print(f"IPC                {result.ipc[0]:.4f}")
@@ -52,6 +59,7 @@ def make_sweep_runner(args):
         cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
         use_cache=not args.no_cache,
         progress=None if args.quiet else stderr_progress,
+        check=getattr(args, "check", "off"),
     )
 
 
@@ -96,6 +104,27 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_check_diff(args) -> int:
+    from repro.analysis.scaling import SCALES
+    from repro.check import run_check_diff
+    from repro.mechanisms.registry import MECHANISM_NAMES
+
+    scale = SCALES[args.scale]
+    benchmarks = (args.benchmarks or "lbm").split(",")
+    traces = [
+        scale.benchmark_trace(name.strip(), refs=args.refs)
+        for name in benchmarks
+    ]
+    mechanisms = (
+        [m.strip() for m in args.mechanisms.split(",")]
+        if args.mechanisms
+        else list(MECHANISM_NAMES)
+    )
+    report = run_check_diff(traces, mechanisms=mechanisms)
+    print(report.to_text())
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -107,6 +136,10 @@ def main(argv=None) -> int:
     run_parser.add_argument("mechanism")
     run_parser.add_argument("--scale", default="quick")
     run_parser.add_argument("--refs", type=int, default=None)
+    run_parser.add_argument(
+        "--check", choices=("off", "cheap", "full"), default="off",
+        help="runtime invariant checking level (default: off)",
+    )
 
     exp_parser = sub.add_parser("experiment", help="regenerate a paper artifact")
     exp_parser.add_argument("name")
@@ -132,12 +165,37 @@ def main(argv=None) -> int:
         "--quiet", action="store_true",
         help="suppress per-job progress lines on stderr",
     )
+    exp_parser.add_argument(
+        "--check", choices=("off", "cheap", "full"), default="off",
+        help="runtime invariant checking level for every job (default: off)",
+    )
+
+    diff_parser = sub.add_parser(
+        "check-diff",
+        help="validate mechanisms against the untimed reference model",
+    )
+    diff_parser.add_argument("--scale", default="quick")
+    diff_parser.add_argument(
+        "--benchmarks", default=None,
+        help="comma-separated benchmark traces to replay, one per core "
+             "(default: lbm)",
+    )
+    diff_parser.add_argument(
+        "--mechanisms", default=None,
+        help="comma-separated mechanism subset (default: all)",
+    )
+    diff_parser.add_argument(
+        "--refs", type=int, default=3000,
+        help="memory references per trace (default: 3000)",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "check-diff":
+        return _cmd_check_diff(args)
     return _cmd_experiment(args)
 
 

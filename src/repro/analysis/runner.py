@@ -63,6 +63,7 @@ def job_key(
     config: SystemConfig,
     traces: Sequence[Trace],
     max_events: Optional[int] = None,
+    check: str = "off",
 ) -> str:
     """Stable content hash identifying one simulation.
 
@@ -71,6 +72,11 @@ def job_key(
     captured through the geometry it produced) plus each trace's name,
     length and full record stream — the trace generator's seed and footprint
     divisor are functions of the records, so they are covered too.
+
+    ``check`` is hashed only when enabled: checking cannot change results,
+    so checked runs may *reuse* entries cached by unchecked sweeps, but a
+    result produced under ``--check`` gets its own entry — a pre-existing
+    cache must never let a verification sweep silently skip simulating.
     """
     import hashlib
 
@@ -82,6 +88,8 @@ def job_key(
             hasher.update(repr(trace.records[start : start + _KEY_CHUNK]).encode())
     if max_events is not None:
         hasher.update(f"|max_events:{max_events}".encode())
+    if str(check).lower() != "off":
+        hasher.update(f"|check:{str(check).lower()}".encode())
     return hasher.hexdigest()
 
 
@@ -94,6 +102,7 @@ class SweepJob:
     config: SystemConfig
     traces: Tuple[Trace, ...]
     max_events: Optional[int] = None
+    check: str = "off"
 
     @property
     def label(self) -> str:
@@ -103,7 +112,9 @@ class SweepJob:
 
 def _execute(job: SweepJob) -> SimulationResult:
     """Run one job (module-level so the process pool can pickle it)."""
-    return run_system(job.config, list(job.traces), max_events=job.max_events)
+    return run_system(
+        job.config, list(job.traces), max_events=job.max_events, check=job.check
+    )
 
 
 class SweepFuture:
@@ -148,6 +159,9 @@ class SweepRunner:
         progress: callable receiving one formatted line per finished job
             (job id, mechanism/traces, elapsed seconds, hit/miss); ``None``
             is silent, :func:`stderr_progress` prints to stderr.
+        check: runtime verification level passed to every job ("off",
+            "cheap" or "full"; see :mod:`repro.check`). Non-off levels get
+            distinct cache keys so verification sweeps actually simulate.
 
     Usage::
 
@@ -162,10 +176,12 @@ class SweepRunner:
         cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
         use_cache: bool = True,
         progress: Optional[Callable[[str], None]] = None,
+        check: str = "off",
     ) -> None:
         self.workers = default_workers() if workers is None else max(0, workers)
         self.cache_dir = cache_dir if (use_cache and cache_dir) else None
         self.progress = progress
+        self.check = str(check).lower()
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
         self._lock = threading.Lock()
         self._futures: Dict[str, SweepFuture] = {}
@@ -207,13 +223,15 @@ class SweepRunner:
     ) -> SweepFuture:
         """Schedule one simulation; duplicate submissions share one future."""
         traces = tuple(traces)
-        key = job_key(config, traces, max_events)
+        key = job_key(config, traces, max_events, check=self.check)
         with self._lock:
             existing = self._futures.get(key)
             if existing is not None:
                 self.memo_hits += 1
                 return existing
-            job = SweepJob(self._next_id, key, config, traces, max_events)
+            job = SweepJob(
+                self._next_id, key, config, traces, max_events, self.check
+            )
             self._next_id += 1
             self.jobs_submitted += 1
             future = self._dispatch(job)

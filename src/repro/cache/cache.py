@@ -38,6 +38,11 @@ class Cache:
         True
     """
 
+    #: Optional dirty-transition observer (full checked mode attaches the
+    #: CheckEngine here). Class attribute so unchecked runs pay only a
+    #: ``is not None`` test, and only on actual 0↔1 transitions.
+    observer = None
+
     def __init__(
         self,
         config: CacheConfig,
@@ -120,6 +125,8 @@ class Cache:
         existing_way = self._where.get(addr)
         if existing_way is not None:
             block = self.sets[set_idx][existing_way]
+            if dirty and not block.dirty and self.observer is not None:
+                self.observer.on_block_dirtied(addr)
             block.dirty = block.dirty or dirty
             self.policy.on_hit(set_idx, existing_way, core_id)
             return None
@@ -139,10 +146,14 @@ class Cache:
             self.stats.counter("evictions").increment()
             if victim.dirty:
                 self.stats.counter("dirty_evictions").increment()
+                if self.observer is not None:
+                    self.observer.on_dirty_evicted(victim.addr)
 
         block = ways[victim_way]
         block.fill(addr, core_id)
         block.dirty = dirty
+        if dirty and self.observer is not None:
+            self.observer.on_block_dirtied(addr)
         self._where[addr] = victim_way
         self.policy.on_insert(set_idx, victim_way, core_id)
         self.stats.counter("fills").increment()
@@ -155,6 +166,8 @@ class Cache:
         block = self.probe(addr)
         if block is None:
             return False
+        if not block.dirty and self.observer is not None:
+            self.observer.on_block_dirtied(addr)
         block.dirty = True
         return True
 
@@ -163,6 +176,8 @@ class Cache:
         block = self.probe(addr)
         if block is None:
             return False
+        if block.dirty and self.observer is not None:
+            self.observer.on_block_cleaned(addr)
         block.dirty = False
         return True
 
@@ -174,6 +189,8 @@ class Cache:
         set_idx = self.set_index(addr)
         block = self.sets[set_idx][way]
         state = EvictedBlock(block.addr, block.dirty, block.owner_core)
+        if block.dirty and self.observer is not None:
+            self.observer.on_dirty_invalidated(addr)
         block.invalidate()
         self.policy.on_invalidate(set_idx, way)
         return state

@@ -1,0 +1,42 @@
+"""Checked-mode invariant engine and differential validation harness.
+
+Three layers (ISSUE: checked-mode tentpole):
+
+* :mod:`repro.check.invariants` / :mod:`repro.check.ledger` /
+  :mod:`repro.check.engine` — runtime invariant checking behind the
+  ``--check {off,cheap,full}`` flag;
+* :mod:`repro.check.oracle` — the untimed golden reference model;
+* :mod:`repro.check.differential` — ``repro check-diff``, asserting the
+  timing simulator and the oracle agree architecturally for every mechanism.
+"""
+
+from repro.check.differential import (
+    DiffGeometry,
+    DiffReport,
+    MechanismReport,
+    assert_check_diff,
+    run_check_diff,
+)
+from repro.check.engine import CheckEngine, CheckLevel
+from repro.check.errors import InvariantViolation
+from repro.check.invariants import INVARIANTS, invariant_names
+from repro.check.ledger import WritebackLedger
+from repro.check.oracle import OracleMechanism, OracleSystem, RefDbi, RefLruCache
+
+__all__ = [
+    "CheckEngine",
+    "CheckLevel",
+    "DiffGeometry",
+    "DiffReport",
+    "INVARIANTS",
+    "InvariantViolation",
+    "MechanismReport",
+    "OracleMechanism",
+    "OracleSystem",
+    "RefDbi",
+    "RefLruCache",
+    "WritebackLedger",
+    "assert_check_diff",
+    "invariant_names",
+    "run_check_diff",
+]

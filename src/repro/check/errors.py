@@ -1,0 +1,23 @@
+"""Error type raised by the checked-mode invariant engine.
+
+A violation is an :class:`AssertionError` subclass so existing test harnesses
+(and ``pytest.raises(AssertionError)``) catch it, while callers that want to
+distinguish engine findings from ordinary asserts can catch the subclass.
+"""
+
+from __future__ import annotations
+
+
+class InvariantViolation(AssertionError):
+    """A runtime invariant of the simulator was observed to be false.
+
+    Attributes:
+        invariant: name of the violated invariant (see
+            :mod:`repro.check.invariants` for the catalogue).
+        detail: human-readable description of the observed inconsistency.
+    """
+
+    def __init__(self, invariant: str, detail: str) -> None:
+        self.invariant = invariant
+        self.detail = detail
+        super().__init__(f"[{invariant}] {detail}")

@@ -1,0 +1,115 @@
+"""Writeback-conservation ledger (full-check mode).
+
+Tracks every dirty-bit transition the simulator performs and enforces the
+conservation law from the paper's correctness argument: *every block that
+becomes dirty is eventually written back exactly once* (or explicitly
+discarded by an invalidation), and *no block is ever written back without a
+preceding dirty→clean transition*.
+
+The ledger is architectural, not statistical: it is driven by observer
+callbacks at the exact points where the tag store or the DBI flips a dirty
+bit, so it is independent of the stats counters (which reset at warmup).
+
+Write-through mechanisms (skipcache) are exempt from the pending-writeback
+accounting: they send a memory write per writeback *request* and never hold
+dirty state, so only the "never dirty" half of the law applies to them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from repro.check.errors import InvariantViolation
+
+_NAME = "writeback-conservation"
+
+
+def _fail(detail: str) -> None:
+    raise InvariantViolation(_NAME, detail)
+
+
+class WritebackLedger:
+    """Exactly-once dirty/writeback accounting for one LLC-level store."""
+
+    def __init__(self, write_through: bool = False) -> None:
+        self.write_through = write_through
+        self.dirty: Set[int] = set()
+        #: blocks cleaned whose memory write has not yet been observed,
+        #: mapped to the number of writebacks still owed.
+        self.pending: Dict[int, int] = {}
+        self.dirtied = 0
+        self.cleaned = 0
+        self.discarded = 0
+        self.writebacks = 0
+
+    # ------------------------------------------------------------------
+    # Observer callbacks (see CheckEngine for the wiring).
+
+    def on_block_dirtied(self, addr: int) -> None:
+        if addr in self.dirty:
+            _fail(f"block {addr:#x} dirtied twice without an intervening clean")
+        self.dirty.add(addr)
+        self.dirtied += 1
+
+    def on_block_cleaned(self, addr: int) -> None:
+        """A dirty bit was cleared on the way to a memory writeback."""
+        if addr not in self.dirty:
+            _fail(f"block {addr:#x} cleaned but was never marked dirty")
+        self.dirty.discard(addr)
+        self.cleaned += 1
+        self.pending[addr] = self.pending.get(addr, 0) + 1
+
+    def on_dirty_discarded(self, addr: int) -> None:
+        """A dirty block was invalidated without a writeback (explicit drop)."""
+        if addr not in self.dirty:
+            _fail(f"block {addr:#x} discarded-dirty but was never marked dirty")
+        self.dirty.discard(addr)
+        self.discarded += 1
+
+    def on_memory_writeback(self, addr: int) -> None:
+        self.writebacks += 1
+        if self.write_through:
+            return
+        owed = self.pending.get(addr, 0)
+        if owed <= 0:
+            _fail(
+                f"block {addr:#x} written back to memory without a preceding "
+                f"dirty→clean transition (lost or duplicated writeback)"
+            )
+        if owed == 1:
+            del self.pending[addr]
+        else:
+            self.pending[addr] = owed - 1
+
+    # ------------------------------------------------------------------
+    # Assertions.
+
+    @property
+    def outstanding_writebacks(self) -> int:
+        return sum(self.pending.values())
+
+    def assert_agrees(self, actual_dirty: Iterable[int], where: str) -> None:
+        """The ledger's dirty set must equal the machine's dirty set."""
+        actual = set(actual_dirty)
+        if actual == self.dirty:
+            return
+        ghost = sorted(self.dirty - actual)[:8]
+        missed = sorted(actual - self.dirty)[:8]
+        _fail(
+            f"dirty-set divergence at {where}: ledger has "
+            f"{len(self.dirty)} dirty blocks, machine has {len(actual)}; "
+            f"ledger-only={['%#x' % a for a in ghost]} "
+            f"machine-only={['%#x' % a for a in missed]}"
+        )
+
+    def assert_quiescent(self) -> None:
+        """At end of simulation every cleaned block must have been written."""
+        if self.write_through:
+            return
+        if self.pending:
+            sample = sorted(self.pending)[:8]
+            _fail(
+                f"{self.outstanding_writebacks} writeback(s) owed at end of "
+                f"simulation, e.g. blocks {['%#x' % a for a in sample]} — "
+                f"dirty data was cleaned but never reached memory"
+            )

@@ -1,0 +1,448 @@
+"""Golden architectural reference model (untimed).
+
+A tiny cache+dirty-set simulator that replays a trace with no events, no
+latencies and no port arbitration, yet lands on exactly the same
+*architectural* state as the timing simulator when the timing simulator is
+driven one request at a time (see :mod:`repro.check.differential`): cache
+contents at every level, dirty sets, DBI entry bit-vectors and total memory
+writebacks. Only timing and traffic interleaving may differ.
+
+Ordering contract mirrored from the timing stack (one trace record = "op"):
+
+1. the LLC read (lookup + fill + fill-eviction handling) happens first;
+2. demand writeback requests raised by L2/L1 fills of the same op execute
+   immediately (the tag port grants DEMAND before queued BACKGROUND work);
+3. background probes (DAWB/VWQ row probes, AWB flushes, DBI-entry-eviction
+   writebacks) queue in FIFO order and drain at the end of the op.
+
+Replacement is LRU everywhere (the differential harness pins the timing
+side to LRU too, since TA-DIP's set-dueling is exercised elsewhere).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class RefLruCache:
+    """Set-associative LRU cache as per-set ``OrderedDict`` (LRU first)."""
+
+    def __init__(self, num_blocks: int, associativity: int) -> None:
+        if num_blocks % associativity:
+            raise ValueError("num_blocks must be a multiple of associativity")
+        self.associativity = associativity
+        self.num_sets = num_blocks // associativity
+        # addr -> dirty flag; iteration order is LRU -> MRU.
+        self.sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+
+    def set_index(self, addr: int) -> int:
+        return addr % self.num_sets
+
+    def _set(self, addr: int) -> "OrderedDict[int, bool]":
+        return self.sets[self.set_index(addr)]
+
+    def contains(self, addr: int) -> bool:
+        return addr in self._set(addr)
+
+    def is_dirty(self, addr: int) -> bool:
+        return self._set(addr).get(addr, False)
+
+    def lookup(self, addr: int) -> bool:
+        """Demand lookup: promotes on hit."""
+        blocks = self._set(addr)
+        if addr in blocks:
+            blocks.move_to_end(addr)
+            return True
+        return False
+
+    def touch(self, addr: int) -> bool:
+        blocks = self._set(addr)
+        if addr not in blocks:
+            return False
+        blocks.move_to_end(addr)
+        return True
+
+    def insert(self, addr: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
+        """Install ``addr``; returns ``(victim_addr, victim_dirty)`` if any.
+
+        Mirrors ``Cache.insert``: a present block merges (dirty OR, promote).
+        """
+        blocks = self._set(addr)
+        if addr in blocks:
+            blocks[addr] = blocks[addr] or dirty
+            blocks.move_to_end(addr)
+            return None
+        evicted = None
+        if len(blocks) >= self.associativity:
+            victim_addr, victim_dirty = next(iter(blocks.items()))
+            del blocks[victim_addr]
+            evicted = (victim_addr, victim_dirty)
+        blocks[addr] = dirty
+        return evicted
+
+    def mark_dirty(self, addr: int) -> bool:
+        blocks = self._set(addr)
+        if addr not in blocks:
+            return False
+        blocks[addr] = True
+        return True
+
+    def mark_clean(self, addr: int) -> bool:
+        blocks = self._set(addr)
+        if addr not in blocks:
+            return False
+        blocks[addr] = False
+        return True
+
+    def blocks(self) -> Set[int]:
+        return {addr for blocks in self.sets for addr in blocks}
+
+    def dirty_blocks(self) -> Set[int]:
+        return {
+            addr
+            for blocks in self.sets
+            for addr, dirty in blocks.items()
+            if dirty
+        }
+
+    def lru_valid_half(self, set_idx: int) -> List[int]:
+        """First ceil(n/2) blocks of a set in LRU order (VWQ's SSV scope)."""
+        blocks = list(self.sets[set_idx])
+        if not blocks:
+            return []
+        return blocks[: (len(blocks) + 1) // 2]
+
+
+class RefDbi:
+    """Untimed Dirty-Block Index with LRW replacement.
+
+    Per-set ``OrderedDict`` of ``region_id -> set(offsets)``, iteration order
+    least-recently-written first. Physical way placement is abstracted away —
+    it never affects which *region* is displaced.
+    """
+
+    def __init__(self, num_entries: int, associativity: int, granularity: int):
+        if num_entries % associativity:
+            raise ValueError("num_entries must be a multiple of associativity")
+        self.associativity = associativity
+        self.num_sets = num_entries // associativity
+        self.granularity = granularity
+        self.sets: List["OrderedDict[int, Set[int]]"] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+
+    def region_of(self, addr: int) -> int:
+        return addr // self.granularity
+
+    def _set(self, region_id: int) -> "OrderedDict[int, Set[int]]":
+        return self.sets[region_id % self.num_sets]
+
+    def is_dirty(self, addr: int) -> bool:
+        region_id = self.region_of(addr)
+        offsets = self._set(region_id).get(region_id)
+        return offsets is not None and (addr % self.granularity) in offsets
+
+    def mark_dirty(self, addr: int) -> List[int]:
+        """Set a block's bit; returns the blocks of a displaced entry (LRW)."""
+        region_id = self.region_of(addr)
+        entries = self._set(region_id)
+        evicted: List[int] = []
+        if region_id in entries:
+            entries[region_id].add(addr % self.granularity)
+            entries.move_to_end(region_id)  # on_write touches LRW-MRU
+            return evicted
+        if len(entries) >= self.associativity:
+            victim_region, offsets = next(iter(entries.items()))
+            del entries[victim_region]
+            evicted = [
+                victim_region * self.granularity + offset
+                for offset in sorted(offsets)
+            ]
+        entries[region_id] = {addr % self.granularity}
+        return evicted
+
+    def mark_clean(self, addr: int) -> None:
+        region_id = self.region_of(addr)
+        entries = self._set(region_id)
+        offsets = entries.get(region_id)
+        if offsets is None or (addr % self.granularity) not in offsets:
+            raise KeyError(f"block {addr:#x} is not dirty in the reference DBI")
+        offsets.discard(addr % self.granularity)
+        if not offsets:
+            del entries[region_id]
+
+    def dirty_in_region(self, addr: int) -> List[int]:
+        region_id = self.region_of(addr)
+        offsets = self._set(region_id).get(region_id, ())
+        return [region_id * self.granularity + offset for offset in sorted(offsets)]
+
+    def dirty_blocks(self) -> Set[int]:
+        return {
+            region_id * self.granularity + offset
+            for entries in self.sets
+            for region_id, offsets in entries.items()
+            for offset in offsets
+        }
+
+    def entries(self) -> Dict[int, int]:
+        """``region_id -> bit vector`` over all valid entries."""
+        return {
+            region_id: sum(1 << offset for offset in offsets)
+            for entries in self.sets
+            for region_id, offsets in entries.items()
+        }
+
+
+#: How each Table 2 mechanism behaves architecturally.
+_KIND_OF = {
+    "baseline": "conventional",
+    "tadip": "conventional",
+    "dawb": "dawb",
+    "vwq": "vwq",
+    "skipcache": "writethrough",
+    "dbi": "dbi",
+    "dbi+awb": "dbi",
+    "dbi+clb": "dbi",
+    "dbi+awb+clb": "dbi",
+}
+
+
+class OracleMechanism:
+    """Architectural model of one LLC mechanism.
+
+    CLB is modelled as a plain lookup because bypass-with-fill is
+    content-neutral by design (the fill still installs/promotes the block);
+    only traffic differs, which the oracle does not assert on.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        llc: Optional[RefLruCache],
+        row_blocks: int,
+        dbi: Optional[RefDbi] = None,
+    ) -> None:
+        if name not in _KIND_OF:
+            raise ValueError(f"unknown mechanism {name!r}")
+        self.name = name
+        self.kind = _KIND_OF[name]
+        self.enable_awb = "awb" in name
+        self.llc = llc
+        self.row_blocks = row_blocks
+        self.dbi = dbi
+        if self.kind == "dbi" and dbi is None:
+            raise ValueError(f"{name} needs a RefDbi")
+        if llc is None and self.kind != "writethrough":
+            # Only write-through (skipcache) tolerates an unmodelled LLC:
+            # its content depends on timing-sensitive bypass decisions, but
+            # its traffic counts do not.
+            raise ValueError(f"{name} needs a RefLruCache")
+        self.read_requests = 0
+        self.writeback_requests = 0
+        self.writebacks = 0
+        self._background = deque()
+        self._rows_in_flight: Set[int] = set()
+
+    # ----------------------------------------------------------- requests
+
+    def read(self, addr: int) -> None:
+        self.read_requests += 1
+        if self.llc is None:
+            return
+        if self.llc.lookup(addr):
+            return
+        evicted = self.llc.insert(addr, dirty=False)
+        if evicted is not None:
+            self._handle_eviction(*evicted)
+
+    def writeback(self, addr: int) -> None:
+        """Demand writeback request; executes immediately (DEMAND > BG)."""
+        self.writeback_requests += 1
+        if self.kind == "writethrough":
+            # Every writeback request becomes exactly one memory write,
+            # independent of LLC content.
+            self.writebacks += 1
+            return
+        if self.llc.contains(addr):
+            self.llc.touch(addr)
+            self._mark_dirty(addr)
+            return
+        if self.kind == "dbi":
+            # The block enters the tag store clean; the DBI records dirtiness
+            # after the displaced block is processed.
+            evicted = self.llc.insert(addr, dirty=False)
+            if evicted is not None:
+                self._handle_eviction(*evicted)
+            self._mark_dirty(addr)
+        else:
+            evicted = self.llc.insert(addr, dirty=True)
+            if evicted is not None:
+                self._handle_eviction(*evicted)
+
+    # -------------------------------------------------------- dirty paths
+
+    def _mark_dirty(self, addr: int) -> None:
+        if self.kind == "dbi":
+            for block in self.dbi.mark_dirty(addr):
+                # DBI entry eviction: the blocks stay cached, now clean, and
+                # each gets a background writeback probe.
+                self._background.append(("write", block))
+        else:
+            self.llc.mark_dirty(addr)
+
+    def _handle_eviction(self, addr: int, tag_dirty: bool) -> None:
+        if self.kind == "dbi":
+            if self.dbi.is_dirty(addr):
+                self.dbi.mark_clean(addr)
+                self.writebacks += 1
+                if self.enable_awb:
+                    for other in self.dbi.dirty_in_region(addr):
+                        # Cleared eagerly, exactly like the timing AWB.
+                        self.dbi.mark_clean(other)
+                        self._background.append(("write", other))
+            return
+        if not tag_dirty:
+            return
+        self.writebacks += 1
+        if self.kind == "dawb":
+            self._dawb_round(addr)
+        elif self.kind == "vwq":
+            self._vwq_round(addr)
+
+    # ------------------------------------------------- row-probing rounds
+
+    def _row_span(self, addr: int) -> List[int]:
+        base = (addr // self.row_blocks) * self.row_blocks
+        return [a for a in range(base, base + self.row_blocks) if a != addr]
+
+    def _dawb_round(self, addr: int) -> None:
+        row = addr // self.row_blocks
+        if row in self._rows_in_flight:
+            return
+        self._rows_in_flight.add(row)
+        span = self._row_span(addr)
+        for index, other in enumerate(span):
+            self._background.append(
+                ("dawb_probe", other, row, index == len(span) - 1)
+            )
+
+    def _vwq_round(self, addr: int) -> None:
+        row = addr // self.row_blocks
+        if row in self._rows_in_flight:
+            return
+        probes = []
+        for other in self._row_span(addr):
+            set_idx = self.llc.set_index(other)
+            ssv = any(
+                self.llc.is_dirty(block)
+                for block in self.llc.lru_valid_half(set_idx)
+            )
+            if ssv:
+                probes.append(other)
+        if not probes:
+            return
+        self._rows_in_flight.add(row)
+        for index, other in enumerate(probes):
+            self._background.append(
+                ("vwq_probe", other, row, index == len(probes) - 1)
+            )
+
+    # ----------------------------------------------------------- draining
+
+    def drain_background(self) -> None:
+        """Run queued background work to completion (end of each op)."""
+        while self._background:
+            item = self._background.popleft()
+            op = item[0]
+            if op == "write":
+                self.writebacks += 1
+            elif op == "dawb_probe":
+                _, other, row, last = item
+                if self.llc.is_dirty(other):
+                    self.llc.mark_clean(other)
+                    self.writebacks += 1
+                if last:
+                    self._rows_in_flight.discard(row)
+            elif op == "vwq_probe":
+                _, other, row, last = item
+                in_lru_half = other in self.llc.lru_valid_half(
+                    self.llc.set_index(other)
+                )
+                if in_lru_half and self.llc.is_dirty(other):
+                    self.llc.mark_clean(other)
+                    self.writebacks += 1
+                if last:
+                    self._rows_in_flight.discard(row)
+
+
+class OracleSystem:
+    """Untimed L1/L2/LLC hierarchy replaying one interleaved trace.
+
+    ``mechanism=None`` models only the private levels; skipcache instead
+    uses an :class:`OracleMechanism` with ``llc=None`` so traffic counts
+    stay exact while its timing-dependent LLC content goes unmodelled.
+    """
+
+    def __init__(
+        self,
+        num_cores: int,
+        l1_geometry: Tuple[int, int],
+        l2_geometry: Tuple[int, int],
+        mechanism: Optional[OracleMechanism],
+    ) -> None:
+        self.l1s = [RefLruCache(*l1_geometry) for _ in range(num_cores)]
+        self.l2s = [RefLruCache(*l2_geometry) for _ in range(num_cores)]
+        self.mechanism = mechanism
+
+    def access(self, core_id: int, is_write: bool, addr: int) -> None:
+        if is_write:
+            self._store(core_id, addr)
+        else:
+            self._load(core_id, addr)
+        if self.mechanism is not None:
+            self.mechanism.drain_background()
+
+    def _load(self, core_id: int, addr: int) -> None:
+        if self.l1s[core_id].lookup(addr):
+            return
+        self._miss_to_l2(core_id, addr, store=False)
+
+    def _store(self, core_id: int, addr: int) -> None:
+        l1 = self.l1s[core_id]
+        if l1.lookup(addr):
+            l1.mark_dirty(addr)
+            return
+        self._miss_to_l2(core_id, addr, store=True)
+
+    def _miss_to_l2(self, core_id: int, addr: int, store: bool) -> None:
+        l2 = self.l2s[core_id]
+        if not l2.lookup(addr):
+            if self.mechanism is not None:
+                self.mechanism.read(addr)
+            self._fill_l2(core_id, addr)
+        self._fill_l1(core_id, addr, store)
+
+    def _fill_l2(self, core_id: int, addr: int) -> None:
+        evicted = self.l2s[core_id].insert(addr, dirty=False)
+        if evicted is not None and evicted[1] and self.mechanism is not None:
+            self.mechanism.writeback(evicted[0])
+
+    def _fill_l1(self, core_id: int, addr: int, store: bool) -> None:
+        evicted = self.l1s[core_id].insert(addr, dirty=False)
+        if evicted is not None and evicted[1]:
+            self._writeback_to_l2(core_id, evicted[0])
+        if store:
+            self.l1s[core_id].mark_dirty(addr)
+
+    def _writeback_to_l2(self, core_id: int, addr: int) -> None:
+        l2 = self.l2s[core_id]
+        if l2.contains(addr):
+            l2.mark_dirty(addr)
+            l2.touch(addr)
+            return
+        evicted = l2.insert(addr, dirty=True)
+        if evicted is not None and evicted[1] and self.mechanism is not None:
+            self.mechanism.writeback(evicted[0])

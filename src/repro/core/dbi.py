@@ -74,6 +74,11 @@ class DirtyBlockIndex:
         [5]
     """
 
+    #: Optional dirty-transition observer (full checked mode attaches the
+    #: CheckEngine here); class attribute so unchecked runs pay only an
+    #: ``is not None`` test.
+    observer = None
+
     def __init__(
         self, config: DbiConfig, rng: Optional[DeterministicRng] = None
     ) -> None:
@@ -139,6 +144,8 @@ class DirtyBlockIndex:
         way = self._where.get(region_id)
         if way is not None:
             entry = self.sets[set_idx][way]
+            if self.observer is not None and not entry.bitvector >> offset & 1:
+                self.observer.on_block_dirtied(block_addr)
             entry.bitvector |= 1 << offset
             self.policy.on_write(set_idx, way)
             return None
@@ -165,6 +172,11 @@ class DirtyBlockIndex:
             self.stats.counter("evicted_dirty_blocks").increment(
                 len(evicted.dirty_blocks)
             )
+            if self.observer is not None:
+                # The displaced entry's blocks stay cached but transition
+                # dirty -> clean; the mechanism writes each back (Sec 2.2.4).
+                for block in evicted.dirty_blocks:
+                    self.observer.on_block_cleaned(block)
 
         entry = ways[target_way]
         entry.install(region_id)
@@ -172,6 +184,8 @@ class DirtyBlockIndex:
         self._where[region_id] = target_way
         self.policy.on_insert(set_idx, target_way)
         self.stats.counter("entry_insertions").increment()
+        if self.observer is not None:
+            self.observer.on_block_dirtied(block_addr)
         return evicted
 
     def mark_clean(self, block_addr: int) -> bool:
@@ -179,18 +193,34 @@ class DirtyBlockIndex:
 
         Invalidates the entry when its last bit clears (Section 2.2.3).
 
+        Every caller decides to write a block back *because* the DBI says it
+        is dirty, so clearing an unset bit means that decision was made on
+        stale state — a double writeback or a phantom dirty block. Guard
+        with :meth:`is_dirty` for test-and-clear usage.
+
         Returns:
-            True if the block was marked dirty before this call.
+            True (the block was dirty; kept for backward compatibility).
+
+        Raises:
+            ValueError: if the block is not currently marked dirty.
         """
         region_id = self.config.region_of(block_addr)
         way = self._where.get(region_id)
         if way is None:
-            return False
+            raise ValueError(
+                f"mark_clean({block_addr:#x}): no DBI entry for region "
+                f"{region_id} — the block is not dirty"
+            )
         set_idx = self.config.set_of(region_id)
         entry = self.sets[set_idx][way]
         bit = 1 << self.config.offset_of(block_addr)
         if not entry.bitvector & bit:
-            return False
+            raise ValueError(
+                f"mark_clean({block_addr:#x}): bit already clear in region "
+                f"{region_id} — the block is not dirty"
+            )
+        if self.observer is not None:
+            self.observer.on_block_cleaned(block_addr)
         entry.bitvector &= ~bit
         if entry.bitvector == 0:
             entry.invalidate()
@@ -215,6 +245,9 @@ class DirtyBlockIndex:
             self.config.block_of(region_id, bit)
             for bit in iter_set_bits(entry.bitvector)
         ]
+        if self.observer is not None:
+            for block in blocks:
+                self.observer.on_block_cleaned(block)
         entry.invalidate()
         del self._where[region_id]
         self.policy.on_invalidate(set_idx, way)
@@ -272,6 +305,10 @@ class DirtyBlockIndex:
                 for bit in iter_set_bits(entry.bitvector)
             ]
             groups.append(blocks)
+        if self.observer is not None:
+            for blocks in groups:
+                for block in blocks:
+                    self.observer.on_block_cleaned(block)
         for ways in self.sets:
             for entry in ways:
                 entry.invalidate()

@@ -69,7 +69,8 @@ class DramCacheModel:
         if len(self._present) >= self.capacity_blocks:
             victim = next(iter(self._present))
             self._present.discard(victim)
-            if self.dbi.mark_clean(victim):
+            if self.dbi.is_dirty(victim):
+                self.dbi.mark_clean(victim)
                 self.stats.counter("dirty_evictions").increment()
         self._present.add(block_addr)
         if dirty:

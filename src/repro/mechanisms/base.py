@@ -38,6 +38,11 @@ class LlcMechanism:
     name = "baseline"
     #: False for DBI mechanisms, which must never set in-tag dirty bits.
     uses_tag_dirty_bits = True
+    #: True for write-through mechanisms (skipcache): a memory write per
+    #: writeback request, never any dirty state to conserve.
+    write_through = False
+    #: Optional CheckEngine tap on memory writebacks (full checked mode).
+    checker = None
 
     def __init__(
         self,
@@ -175,6 +180,8 @@ class LlcMechanism:
     def _send_memory_write(self, addr: int) -> None:
         """Queue a block writeback to memory, retrying under back-pressure."""
         self.stats.counter("memory_writebacks").increment()
+        if self.checker is not None:
+            self.checker.on_memory_writeback(addr)
         accepted = self.memory.enqueue_write(
             MemoryRequest(block_addr=addr, is_write=True)
         )

@@ -46,7 +46,7 @@ class DawbMechanism(LlcMechanism):
         self.stats.counter("row_probes").increment()
         block = self.llc.probe(addr)
         if block is not None and block.dirty:
-            block.dirty = False
+            self.llc.mark_clean(addr)
             self.stats.counter("proactive_writebacks").increment()
             self._send_memory_write(addr)
         else:

@@ -25,6 +25,7 @@ class SkipCacheMechanism(LlcMechanism):
     """Write-through TA-DIP cache + miss-predictor lookup bypass."""
 
     name = "skipcache"
+    write_through = True
 
     def __init__(self, *args, predictor: MissPredictor, **kwargs) -> None:
         super().__init__(*args, **kwargs)

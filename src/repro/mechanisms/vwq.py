@@ -73,7 +73,7 @@ class VwqMechanism(LlcMechanism):
         for way in self.llc.lru_valid_ways(set_idx):
             block = ways[way]
             if block.addr == addr and block.dirty:
-                block.dirty = False
+                self.llc.mark_clean(addr)
                 found = True
                 self.stats.counter("proactive_writebacks").increment()
                 self._send_memory_write(addr)

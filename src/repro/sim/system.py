@@ -175,9 +175,17 @@ class SimulationResult:
 
 
 class System:
-    """One simulated machine: N cores over a shared LLC and one DRAM channel."""
+    """One simulated machine: N cores over a shared LLC and one DRAM channel.
 
-    def __init__(self, config: SystemConfig, traces: Sequence[Trace]) -> None:
+    ``check`` selects runtime verification ("off", "cheap" or "full"; see
+    :mod:`repro.check`). It is deliberately *not* part of
+    :class:`SystemConfig`: checking never changes results, so sweep-cache
+    keys (derived from the config) must not depend on it.
+    """
+
+    def __init__(
+        self, config: SystemConfig, traces: Sequence[Trace], check: str = "off"
+    ) -> None:
         if len(traces) != config.num_cores:
             raise ValueError(
                 f"{config.num_cores} cores need {config.num_cores} traces, "
@@ -239,6 +247,14 @@ class System:
             )
         self._warmed = sum(1 for core in self.cores if core.warmed)
 
+        self.check_engine = None
+        if str(check).lower() != "off":
+            # Imported here so unchecked runs never touch the check package.
+            from repro.check.engine import CheckEngine, CheckLevel
+
+            self.check_engine = CheckEngine(self, CheckLevel.parse(check))
+            self.check_engine.attach()
+
     def _all_stat_groups(self):
         groups = [
             self.mechanism.stats,
@@ -293,6 +309,8 @@ class System:
                 f"simulation ended with {self._measured}/{len(self.cores)} "
                 f"cores measured (event budget too small or deadlock)"
             )
+        if self.check_engine is not None:
+            self.check_engine.finalize()
         return self._collect()
 
     def _collect(self) -> SimulationResult:
@@ -325,6 +343,7 @@ def run_system(
     config: SystemConfig,
     traces: Sequence[Trace],
     max_events: Optional[int] = None,
+    check: str = "off",
 ) -> SimulationResult:
     """Convenience one-shot: build a System and run it."""
-    return System(config, traces).run(max_events=max_events)
+    return System(config, traces, check=check).run(max_events=max_events)

@@ -20,6 +20,10 @@ class Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Audit events observe without being accounted: they are excluded from
+    #: ``events_processed`` and from ``run()``'s ``max_events`` budget, so an
+    #: attached checker cannot change what an unchecked run reports or does.
+    audit: bool = field(default=False, compare=False)
 
     def cancel(self) -> None:
         """Mark the event so it is skipped when popped."""
@@ -52,7 +56,9 @@ class EventQueue:
         """Total number of callbacks fired so far."""
         return self._events_processed
 
-    def schedule(self, time: int, callback: Callable[[], None]) -> Event:
+    def schedule(
+        self, time: int, callback: Callable[[], None], audit: bool = False
+    ) -> Event:
         """Schedule ``callback`` to fire at absolute ``time``.
 
         Raises:
@@ -60,16 +66,18 @@ class EventQueue:
         """
         if time < self.now:
             raise ValueError(f"cannot schedule at t={time} before now={self.now}")
-        event = Event(time, self._seq, callback)
+        event = Event(time, self._seq, callback, audit=audit)
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event
 
-    def schedule_after(self, delay: int, callback: Callable[[], None]) -> Event:
+    def schedule_after(
+        self, delay: int, callback: Callable[[], None], audit: bool = False
+    ) -> Event:
         """Schedule ``callback`` to fire ``delay`` cycles from now."""
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
-        return self.schedule(self.now + delay, callback)
+        return self.schedule(self.now + delay, callback, audit=audit)
 
     def step(self) -> bool:
         """Fire the next non-cancelled event. Returns False if queue is empty."""
@@ -78,7 +86,8 @@ class EventQueue:
             if event.cancelled:
                 continue
             self.now = event.time
-            self._events_processed += 1
+            if not event.audit:
+                self._events_processed += 1
             event.callback()
             return True
         return False
@@ -103,4 +112,5 @@ class EventQueue:
                 return
             if not self.step():
                 return
-            fired += 1
+            if not next_event.audit:
+                fired += 1

@@ -1,0 +1,45 @@
+"""Shared fixtures for the checked-mode test suite."""
+
+from repro.cache.config import CacheConfig
+from repro.dram.config import DramConfig
+from repro.sim.system import SystemConfig
+from repro.sim.trace import Trace
+from repro.utils.rng import DeterministicRng
+
+SMALL_L1 = CacheConfig(
+    name="l1", num_blocks=16, associativity=2, tag_latency=2, data_latency=2,
+    mshr_entries=32,
+)
+SMALL_L2 = CacheConfig(
+    name="l2", num_blocks=64, associativity=4, tag_latency=6, data_latency=8,
+)
+SMALL_LLC = CacheConfig(
+    name="llc", num_blocks=256, associativity=4, tag_latency=8, data_latency=16,
+    serial_lookup=True, port_occupancy=2,
+)
+SMALL_DRAM = DramConfig(num_banks=4, row_buffer_blocks=16, write_buffer_entries=16)
+
+
+def small_config(mechanism="baseline", num_cores=1, **overrides):
+    params = dict(
+        num_cores=num_cores,
+        mechanism=mechanism,
+        l1=SMALL_L1,
+        l2=SMALL_L2,
+        llc=SMALL_LLC,
+        dram=SMALL_DRAM,
+        dbi_granularity=16,
+        predictor_epoch_cycles=5_000,
+    )
+    params.update(overrides)
+    return SystemConfig(**params)
+
+
+def random_trace(name="random", refs=300, gap=3, footprint=2048, seed=7,
+                 write_fraction=0.4):
+    rng = DeterministicRng(seed)
+    records = [
+        (gap, rng.chance(write_fraction), rng.randint(0, footprint - 1))
+        for _ in range(refs)
+    ]
+    return Trace(name, records)

@@ -1,0 +1,109 @@
+"""Differential validation: every mechanism agrees with the golden model.
+
+This is the acceptance gate of checked mode: the real mechanism/hierarchy/
+DRAM stack, driven one reference at a time, must land on exactly the
+architectural state the untimed oracle predicts — for every registered
+mechanism — and the harness must actually *notice* when the two sides
+disagree.
+"""
+
+import pytest
+
+from repro.check.differential import (
+    DiffGeometry,
+    assert_check_diff,
+    diff_one_mechanism,
+    run_check_diff,
+)
+from repro.check.errors import InvariantViolation
+from repro.mechanisms.registry import MECHANISM_NAMES
+
+from tests.check.conftest import random_trace
+
+GEOMETRY = DiffGeometry()
+
+
+def traces(refs=250, cores=1):
+    return [
+        random_trace(f"t{i}", refs=refs, seed=11 + i, footprint=1024)
+        for i in range(cores)
+    ]
+
+
+class TestPerMechanismAgreement:
+    @pytest.mark.parametrize("mechanism", MECHANISM_NAMES)
+    def test_single_core_agrees(self, mechanism):
+        report, _snapshot = diff_one_mechanism(mechanism, traces(), GEOMETRY)
+        assert report.ok, "\n".join(report.failures)
+
+    @pytest.mark.parametrize("mechanism", ["baseline", "dbi+awb+clb", "vwq"])
+    def test_two_cores_agree(self, mechanism):
+        report, _snapshot = diff_one_mechanism(
+            mechanism, traces(refs=200, cores=2), GEOMETRY
+        )
+        assert report.ok, "\n".join(report.failures)
+
+
+class TestFullReport:
+    def test_all_mechanisms_pass_and_report_reads_well(self):
+        report = assert_check_diff(traces(refs=200))
+        assert report.ok
+        text = report.to_text()
+        for name in MECHANISM_NAMES:
+            assert name in text
+        assert "DIVERGED" not in text
+        # Real work happened on both sides.
+        assert all(r.read_requests > 0 for r in report.reports)
+        assert all(r.writebacks > 0 for r in report.reports)
+
+    def test_mechanism_subset_respected(self):
+        report = run_check_diff(traces(refs=150), mechanisms=["baseline", "dbi"])
+        assert [r.mechanism for r in report.reports] == ["baseline", "dbi"]
+
+
+class TestDivergenceDetection:
+    def test_tampered_oracle_is_caught(self, monkeypatch):
+        """A one-writeback miscount on the oracle side must fail the diff."""
+        import repro.check.differential as differential
+
+        real_run_oracle = differential.run_oracle
+
+        def tampered(mechanism_name, trace_list, geometry):
+            oracle = real_run_oracle(mechanism_name, trace_list, geometry)
+            oracle.mechanism.writebacks += 1
+            return oracle
+
+        monkeypatch.setattr(differential, "run_oracle", tampered)
+        report = differential.run_check_diff(
+            traces(refs=150), mechanisms=["baseline"]
+        )
+        assert not report.ok
+        assert any("memory writebacks" in f for f in report.reports[0].failures)
+        with pytest.raises(InvariantViolation, match="differential-oracle"):
+            differential.assert_check_diff(
+                traces(refs=150), mechanisms=["baseline"]
+            )
+
+    def test_tampered_dirty_set_is_caught(self, monkeypatch):
+        import repro.check.differential as differential
+
+        real_run_oracle = differential.run_oracle
+
+        def tampered(mechanism_name, trace_list, geometry):
+            oracle = real_run_oracle(mechanism_name, trace_list, geometry)
+            oracle.mechanism.llc.sets[0][123456] = True  # ghost dirty block
+            return oracle
+
+        monkeypatch.setattr(differential, "run_oracle", tampered)
+        report = differential.run_check_diff(
+            traces(refs=150), mechanisms=["tadip"]
+        )
+        assert not report.ok
+
+
+class TestGeometrySanity:
+    def test_default_geometry_builds_valid_configs(self):
+        geometry = DiffGeometry()
+        assert geometry.llc_config().num_sets > 0
+        assert geometry.dbi_config().num_entries > 0
+        assert geometry.dram_config().write_buffer_entries > 0

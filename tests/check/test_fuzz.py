@@ -1,0 +1,77 @@
+"""Property-based fuzzing of the whole stack (slow; excluded from tier-1).
+
+Hypothesis generates adversarial little traces and machine shapes and the
+checked simulator plus the differential oracle must hold up on every one.
+Run with ``pytest -m "slow or fuzz"`` (tools/ci.sh does).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.check.differential import DiffGeometry, assert_check_diff
+from repro.sim.system import System
+from repro.sim.trace import Trace
+
+from tests.check.conftest import random_trace, small_config
+
+pytestmark = [pytest.mark.slow, pytest.mark.fuzz]
+
+FUZZ_SETTINGS = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+records_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=6),       # compute gap
+        st.booleans(),                                # is_write
+        st.integers(min_value=0, max_value=767),      # block address
+    ),
+    min_size=20,
+    max_size=120,
+)
+
+
+@settings(max_examples=12, **FUZZ_SETTINGS)
+@given(records=records_strategy, mechanism=st.sampled_from(
+    ["baseline", "dawb", "vwq", "skipcache", "dbi", "dbi+awb", "dbi+awb+clb"]
+))
+def test_fuzz_differential_oracle(records, mechanism):
+    """Random trace, one mechanism: timing and oracle must agree exactly."""
+    trace = Trace("fuzz", records)
+    assert_check_diff([trace], mechanisms=[mechanism])
+
+
+@settings(max_examples=8, **FUZZ_SETTINGS)
+@given(
+    records=records_strategy,
+    granularity=st.sampled_from([4, 8, 16]),
+    associativity=st.sampled_from([2, 4]),
+)
+def test_fuzz_differential_dbi_shapes(records, granularity, associativity):
+    """DBI agreement holds across region granularities and DBI shapes."""
+    geometry = DiffGeometry(
+        dbi_granularity=granularity, dbi_associativity=associativity
+    )
+    trace = Trace("fuzz", records)
+    assert_check_diff(
+        [trace], mechanisms=["dbi", "dbi+awb"], geometry=geometry
+    )
+
+
+@settings(max_examples=6, **FUZZ_SETTINGS)
+@given(
+    seed=st.integers(min_value=1, max_value=2**16),
+    write_fraction=st.floats(min_value=0.1, max_value=0.9),
+    footprint=st.sampled_from([512, 2048, 8192]),
+    mechanism=st.sampled_from(["tadip", "dbi+awb+clb", "skipcache"]),
+)
+def test_fuzz_full_check_system(seed, write_fraction, footprint, mechanism):
+    """Random full-timing runs never trip the invariant engine."""
+    trace = random_trace(
+        refs=400, seed=seed, write_fraction=write_fraction, footprint=footprint
+    )
+    system = System(small_config(mechanism), [trace], check="full")
+    system.run()
+    assert system.check_engine.sweeps >= 1

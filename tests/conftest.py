@@ -1,0 +1,11 @@
+"""Repo-wide pytest configuration."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden result fixtures under "
+             "tests/integration/golden/ instead of comparing against them",
+    )

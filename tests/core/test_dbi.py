@@ -58,11 +58,19 @@ class TestSemantics:
         assert dbi.mark_clean(17)
         assert not dbi.is_dirty(17)
 
-    def test_mark_clean_on_clean_block_returns_false(self):
+    def test_mark_clean_on_clean_block_is_an_error(self):
+        """Clearing an unset bit means a stale-state writeback decision.
+
+        Regression test: this used to silently no-op, masking exactly the
+        double-writeback bugs checked mode exists to catch.
+        """
         dbi = make_dbi()
-        assert not dbi.mark_clean(17)
+        with pytest.raises(ValueError, match="not dirty"):
+            dbi.mark_clean(17)  # no entry for the region at all
         dbi.mark_dirty(16)
-        assert not dbi.mark_clean(17)  # same region, different bit
+        with pytest.raises(ValueError, match="not dirty"):
+            dbi.mark_clean(17)  # same region, different bit
+        assert dbi.is_dirty(16)  # the failed cleans disturbed nothing
 
     def test_last_clean_invalidates_entry(self):
         dbi = make_dbi()
@@ -279,7 +287,14 @@ def test_dbi_matches_reference_model(ops):
             got = sorted(eviction.dirty_blocks) if eviction else None
             assert got == ref_eviction
         elif op == "clean":
-            assert dbi.mark_clean(addr) == reference.mark_clean(addr)
+            if reference.is_dirty(addr):
+                assert dbi.mark_clean(addr)
+                assert reference.mark_clean(addr)
+            else:
+                # Strict contract: cleaning a non-dirty block is an error.
+                with pytest.raises(ValueError):
+                    dbi.mark_clean(addr)
+                assert not reference.mark_clean(addr)
         else:
             assert dbi.is_dirty(addr) == reference.is_dirty(addr)
     assert set(dbi.all_dirty_blocks()) == reference.all_dirty()

@@ -1,0 +1,128 @@
+"""Golden end-to-end fixtures: full SimulationResults pinned to JSON.
+
+Each case replays a canned trace (checked into ``golden/traces/``) through a
+fixed small machine and compares the *entire* ``SimulationResult.to_dict()``
+— every stat counter, IPC and event count — against a committed expectation.
+Any unintended behavioral change anywhere in the stack shows up as a diff
+here; an intended one is re-pinned with::
+
+    pytest tests/integration/test_golden.py --update-golden
+
+The simulator is deterministic by construction, so these are exact-equality
+comparisons, not tolerances.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.dram.config import DramConfig
+from repro.sim.system import SystemConfig, run_system
+from repro.sim.trace import Trace
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+GOLDEN_L1 = CacheConfig(
+    name="l1", num_blocks=16, associativity=2, tag_latency=2, data_latency=2,
+    mshr_entries=32,
+)
+GOLDEN_L2 = CacheConfig(
+    name="l2", num_blocks=64, associativity=4, tag_latency=6, data_latency=8,
+)
+GOLDEN_LLC = CacheConfig(
+    name="llc", num_blocks=256, associativity=4, tag_latency=8, data_latency=16,
+    serial_lookup=True, port_occupancy=2,
+)
+GOLDEN_DRAM = DramConfig(
+    num_banks=4, row_buffer_blocks=16, write_buffer_entries=16
+)
+
+#: (case id, mechanism, trace names). One trace per core.
+CASES = [
+    ("baseline-mixed", "baseline", ["mixed"]),
+    ("tadip-stream", "tadip", ["stream"]),
+    ("dawb-mixed", "dawb", ["mixed"]),
+    ("skipcache-stream", "skipcache", ["stream"]),
+    ("dbi-awb-mixed", "dbi+awb", ["mixed"]),
+    ("dbi-awb-clb-dual", "dbi+awb+clb", ["mixed", "stream"]),
+]
+
+
+def golden_config(mechanism, num_cores):
+    return SystemConfig(
+        num_cores=num_cores,
+        mechanism=mechanism,
+        l1=GOLDEN_L1,
+        l2=GOLDEN_L2,
+        llc=GOLDEN_LLC,
+        dram=GOLDEN_DRAM,
+        dbi_granularity=16,
+        predictor_epoch_cycles=5_000,
+    )
+
+
+def load_trace(name):
+    payload = json.loads((GOLDEN_DIR / "traces" / f"{name}.json").read_text())
+    return Trace(name, [tuple(record) for record in payload["records"]])
+
+
+def run_case(mechanism, trace_names):
+    traces = [load_trace(name) for name in trace_names]
+    return run_system(golden_config(mechanism, len(traces)), traces)
+
+
+@pytest.mark.parametrize(
+    "case_id,mechanism,trace_names", CASES, ids=[case[0] for case in CASES]
+)
+def test_golden_result(case_id, mechanism, trace_names, request):
+    expected_path = GOLDEN_DIR / "expected" / f"{case_id}.json"
+    actual = run_case(mechanism, trace_names).to_dict()
+    if request.config.getoption("--update-golden"):
+        expected_path.parent.mkdir(parents=True, exist_ok=True)
+        expected_path.write_text(
+            json.dumps(actual, indent=2, sort_keys=True) + "\n"
+        )
+    expected = json.loads(expected_path.read_text())
+    if actual != expected:
+        drifted = sorted(
+            key
+            for key in set(expected["stats"]) | set(actual["stats"])
+            if expected["stats"].get(key) != actual["stats"].get(key)
+        )
+        top_level = sorted(
+            key
+            for key in set(expected) | set(actual)
+            if key != "stats" and expected.get(key) != actual.get(key)
+        )
+        pytest.fail(
+            f"{case_id}: result drifted from the golden fixture.\n"
+            f"  top-level fields changed: {top_level}\n"
+            f"  stats changed ({len(drifted)}): {drifted[:12]}\n"
+            f"If the change is intended, re-pin with --update-golden."
+        )
+
+
+def test_golden_fixture_files_are_normalized():
+    """Fixtures stay in the canonical (sorted, indented) JSON form."""
+    for case_id, _mechanism, _traces in CASES:
+        path = GOLDEN_DIR / "expected" / f"{case_id}.json"
+        text = path.read_text()
+        payload = json.loads(text)
+        assert text == json.dumps(payload, indent=2, sort_keys=True) + "\n", (
+            f"{path.name} is not normalized; regenerate with --update-golden"
+        )
+
+
+def test_checked_run_matches_golden():
+    """`--check full` reproduces a pinned result bit-for-bit (acceptance)."""
+    case_id, mechanism, trace_names = CASES[4]  # dbi-awb-mixed
+    traces = [load_trace(name) for name in trace_names]
+    checked = run_system(
+        golden_config(mechanism, len(traces)), traces, check="full"
+    ).to_dict()
+    expected = json.loads(
+        (GOLDEN_DIR / "expected" / f"{case_id}.json").read_text()
+    )
+    assert checked == expected

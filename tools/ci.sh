@@ -1,17 +1,44 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 test suite plus a parallel-path smoke sweep.
+# CI entry point: tier-1 test suite plus verification passes.
 #
-# The tier-1 suite exercises the simulator serially; the smoke sweep runs one
-# figure runner through the SweepRunner with 2 worker processes and a fresh
-# cache, twice — the second pass must be answered entirely from the cache and
-# produce byte-identical output, so regressions in job keying, result
-# serialization, worker dispatch or resume semantics fail fast here.
+# Stages:
+#   1. tier-1 suite      — fast tests (slow/fuzz markers excluded by addopts);
+#                          runs under coverage when pytest-cov is installed,
+#                          enforcing the fail-under floor below.
+#   2. slow + fuzz suite — long-running integration tests and the hypothesis
+#                          fuzz layer over the checked simulator.
+#   3. differential      — `repro check-diff` replays a trace through every
+#                          mechanism and the untimed golden model; any
+#                          architectural divergence fails the build.
+#   4. checked smoke run — one full timing simulation with `--check full`
+#                          (invariant sweeps + writeback-conservation ledger).
+#   5. sweep cache smoke — one figure runner through the SweepRunner with 2
+#                          workers and a fresh cache, twice; the second pass
+#                          must be answered from the cache, byte-identically.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
+COV_FAIL_UNDER=${COV_FAIL_UNDER:-80}
+
 echo "== tier-1 test suite =="
-python -m pytest -x -q
+if python -c "import pytest_cov" 2>/dev/null; then
+    python -m pytest -x -q --cov=repro --cov-report=term-missing \
+        --cov-fail-under="$COV_FAIL_UNDER"
+else
+    echo "(pytest-cov not installed; running without coverage — install with"
+    echo " 'pip install .[cov]' to enforce the ${COV_FAIL_UNDER}% floor)"
+    python -m pytest -x -q
+fi
+
+echo "== slow + fuzz suite =="
+python -m pytest -x -q -m "slow or fuzz"
+
+echo "== differential validation (all mechanisms vs golden model) =="
+python -m repro check-diff --refs 2000
+
+echo "== checked-mode smoke run (--check full) =="
+python -m repro run lbm dbi+awb --scale quick --refs 4000 --check full
 
 echo "== 2-worker smoke sweep (figure 6 subset) =="
 tmp=$(mktemp -d)
