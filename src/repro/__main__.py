@@ -5,11 +5,21 @@ Commands:
     run         — simulate one benchmark under one mechanism, print metrics.
     experiment  — regenerate one paper artifact (fig6 fig7 fig8 table3
                   table6 table7 case-study replacement drrip).
+    reliability — Section 3.3 soft-error study: inject seeded single-bit
+                  upsets and compare heterogeneous-ECC data loss between
+                  DBI-tracked and untracked protection domains.
     check-diff  — differentially validate every mechanism against the
                   untimed golden reference model (see repro.check).
 
 ``run`` and ``experiment`` accept ``--check {off,cheap,full}`` to enable the
 runtime invariant engine (off by default; results are identical either way).
+
+``experiment`` is fault-tolerant: worker crashes and hangs are retried with
+exponential backoff (``--max-attempts``, ``--job-timeout``), and
+``--keep-going`` renders partial artifacts — failed cells become ``n/a`` and
+the exhausted jobs land in ``results/sweep_failures.json``. ``--chaos`` (or
+the ``REPRO_CHAOS`` environment variable) injects deterministic worker
+crashes/hangs/cache corruption for testing that machinery.
 """
 
 from __future__ import annotations
@@ -51,15 +61,33 @@ def _cmd_run(args) -> int:
 
 
 def make_sweep_runner(args):
-    """Build the SweepRunner the --workers/--cache flags describe."""
-    from repro.analysis.runner import DEFAULT_CACHE_DIR, SweepRunner, stderr_progress
+    """Build the SweepRunner the --workers/--cache/--retry flags describe."""
+    from repro.analysis.chaos import chaos_from_env, parse_chaos_spec
+    from repro.analysis.runner import (
+        DEFAULT_CACHE_DIR,
+        RetryPolicy,
+        SweepRunner,
+        stderr_progress,
+    )
 
+    retry = RetryPolicy(
+        max_attempts=getattr(args, "max_attempts", None) or 3,
+        timeout=getattr(args, "job_timeout", None),
+    )
+    chaos_spec = getattr(args, "chaos", None)
+    chaos = (
+        parse_chaos_spec(chaos_spec) if chaos_spec is not None
+        else chaos_from_env()
+    )
     return SweepRunner(
         workers=args.workers,
         cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
         use_cache=not args.no_cache,
         progress=None if args.quiet else stderr_progress,
         check=getattr(args, "check", "off"),
+        retry=retry,
+        keep_going=getattr(args, "keep_going", False),
+        chaos=chaos,
     )
 
 
@@ -99,8 +127,56 @@ def _cmd_experiment(args) -> int:
         print(runners[args.name]())
     finally:
         sweep.close()
+        if sweep.failures:
+            manifest = sweep.write_failure_manifest()
+            print(
+                f"{sweep.jobs_failed}/{sweep.jobs_submitted} jobs failed; "
+                f"manifest written to {manifest}",
+                file=sys.stderr,
+            )
     if not args.quiet:
         print(sweep.summary(), file=sys.stderr)
+    return 0
+
+
+def _cmd_reliability(args) -> int:
+    from fractions import Fraction
+
+    from repro.analysis.experiments import run_reliability
+    from repro.analysis.scaling import SCALES
+
+    scale = SCALES[args.scale]
+    mechanisms = (
+        [m.strip() for m in args.mechanisms.split(",")]
+        if args.mechanisms
+        else ("baseline", "dbi", "dbi+awb+clb")
+    )
+    alphas = (
+        [Fraction(a.strip()) for a in args.alphas.split(",")]
+        if args.alphas
+        else (Fraction(1, 4), Fraction(1, 2))
+    )
+    result = run_reliability(
+        scale,
+        benchmark=args.benchmark,
+        mechanisms=mechanisms,
+        alphas=alphas,
+        faults=args.faults,
+        interval=args.interval,
+        seed=args.seed,
+        double_bit_fraction=args.double_bit_fraction,
+        refs=args.refs,
+    )
+    print(result.to_text())
+    violations = sum(
+        counts["protection_violations"] for counts in result.raw.values()
+    )
+    if violations:
+        print(
+            f"{violations} protection-invariant violations detected",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -169,6 +245,67 @@ def main(argv=None) -> int:
         "--check", choices=("off", "cheap", "full"), default="off",
         help="runtime invariant checking level for every job (default: off)",
     )
+    exp_parser.add_argument(
+        "--keep-going", action="store_true",
+        help="render partial artifacts when jobs exhaust their retries "
+             "(failed cells become n/a; results/sweep_failures.json lists "
+             "the tracebacks) instead of aborting on the first failure",
+    )
+    exp_parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock timeout; a job exceeding it counts as a "
+             "hung worker and is retried (default: no timeout)",
+    )
+    exp_parser.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="total attempts per job for retryable failures — worker "
+             "crashes and timeouts (default: 3); deterministic simulation "
+             "errors never retry",
+    )
+    exp_parser.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="fault-injection spec for testing the retry machinery, e.g. "
+             "'seed=7,crash=0.3,hang=0.1,corrupt=0.2' (default: the "
+             "REPRO_CHAOS environment variable; 'off' disables)",
+    )
+
+    rel_parser = sub.add_parser(
+        "reliability",
+        help="soft-error study: heterogeneous-ECC data loss, DBI vs untracked",
+    )
+    rel_parser.add_argument("--scale", default="quick")
+    rel_parser.add_argument(
+        "--benchmark", default="lbm",
+        help="benchmark trace to run under injection (default: lbm)",
+    )
+    rel_parser.add_argument(
+        "--mechanisms", default=None,
+        help="comma-separated mechanisms (default: baseline,dbi,dbi+awb+clb)",
+    )
+    rel_parser.add_argument(
+        "--alphas", default=None,
+        help="comma-separated DBI α fractions, e.g. '1/4,1/2' (default)",
+    )
+    rel_parser.add_argument(
+        "--faults", type=int, default=200,
+        help="soft errors to inject per run (default: 200)",
+    )
+    rel_parser.add_argument(
+        "--interval", type=int, default=500,
+        help="cycles between injections (default: 500)",
+    )
+    rel_parser.add_argument(
+        "--seed", type=lambda v: int(v, 0), default=0x5EED,
+        help="injection seed (default: 0x5EED)",
+    )
+    rel_parser.add_argument(
+        "--double-bit-fraction", type=float, default=0.0,
+        help="fraction of upsets that flip two bits (default: 0)",
+    )
+    rel_parser.add_argument(
+        "--refs", type=int, default=None,
+        help="memory references per trace (default: scale profile's)",
+    )
 
     diff_parser = sub.add_parser(
         "check-diff",
@@ -196,6 +333,8 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "check-diff":
         return _cmd_check_diff(args)
+    if args.command == "reliability":
+        return _cmd_reliability(args)
     return _cmd_experiment(args)
 
 

@@ -6,6 +6,10 @@ from typing import List, Optional, Sequence
 
 
 def _format_cell(value) -> str:
+    if value is None:
+        # A data point whose jobs failed in --keep-going mode; the sweep
+        # failure manifest has the tracebacks.
+        return "n/a"
     if isinstance(value, float):
         return f"{value:.3f}"
     return str(value)

@@ -1,4 +1,4 @@
-"""Parallel, cached sweep engine.
+"""Parallel, cached, fault-tolerant sweep engine.
 
 Every table/figure of the paper decomposes into dozens of *independent*
 simulations — (config, traces) pairs that share nothing at runtime. The
@@ -22,12 +22,45 @@ Cache layout
     holding a format version, the key, a human-readable label and the full
     result. Files are written atomically (temp file + ``os.replace``), so a
     killed sweep never leaves a truncated entry; rerunning it skips every
-    job that finished.
+    job that finished. Entries that fail to parse or whose embedded key
+    disagrees with their filename are *quarantined* (renamed to
+    ``<key>.json.corrupt``) and counted in ``cache_corrupt``, so repeated
+    corruption shows up in :meth:`SweepRunner.summary` instead of being an
+    invisible performance cliff.
 
 Execution modes
     ``workers >= 2`` uses a process pool; ``workers in (0, 1)`` runs jobs
     inline at submission, which keeps single-process determinism tests and
     small scripts free of pool overhead. Results are identical either way.
+
+Fault tolerance
+    Pool execution survives the three classic large-sweep failure modes:
+
+    * **worker crashes** (``BrokenProcessPool``) — the pool is respawned and
+      the job retried with exponential backoff plus deterministic jitter;
+      other in-flight jobs that died with the pool re-dispatch themselves
+      onto the fresh pool when collected;
+    * **wedged workers** — an optional per-attempt wall-clock timeout
+      (:attr:`RetryPolicy.timeout`) classifies the attempt as a hang, hard
+      kills the wedged pool and retries the job;
+    * **repeated pool deaths** — after :attr:`RetryPolicy.max_pool_deaths`
+      teardowns the runner degrades gracefully to inline execution, which
+      cannot crash the pool because there no longer is one.
+
+    Deterministic *simulation* exceptions are different: retrying a
+    deterministic failure wastes cycles to learn nothing, so they surface
+    after exactly one attempt. Either way the job's key is evicted from the
+    in-process memo table (a resubmission gets a fresh future rather than
+    the poisoned one) and a :class:`JobFailure` is recorded; failures raise
+    :class:`SweepJobError` from ``result()`` with the original exception
+    chained as ``__cause__``. Under ``keep_going=True`` callers are expected
+    to catch that error per job, render partial artifacts, and persist
+    :meth:`SweepRunner.write_failure_manifest` — the CLI's ``--keep-going``
+    does exactly this.
+
+    The :mod:`repro.analysis.chaos` layer injects all three fault kinds
+    deterministically (``REPRO_CHAOS`` env or the ``chaos=`` argument) so
+    tests can prove recovered sweeps are byte-identical to fault-free ones.
 """
 
 from __future__ import annotations
@@ -38,17 +71,25 @@ import os
 import sys
 import threading
 import time
+import traceback as traceback_module
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.chaos import ChaosConfig, FaultInjector, chaos_from_env
 from repro.sim.system import SimulationResult, SystemConfig, run_system
 from repro.sim.trace import Trace
 
 #: Default location of the on-disk result cache (relative to the cwd).
 DEFAULT_CACHE_DIR = os.path.join("results", "sweep_cache")
 
+#: Default location of the per-sweep failure manifest (``--keep-going``).
+DEFAULT_FAILURE_MANIFEST = os.path.join("results", "sweep_failures.json")
+
 #: Bump when the cache entry schema changes; old entries are ignored.
 CACHE_FORMAT = 1
+
+#: Bump when the failure-manifest schema changes.
+FAILURE_MANIFEST_FORMAT = 1
 
 #: Trace records hashed per chunk (bounds peak memory for FULL_SCALE traces).
 _KEY_CHUNK = 8192
@@ -94,6 +135,101 @@ def job_key(
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """How the runner treats a pool job that did not come back clean.
+
+    Attributes:
+        max_attempts: total attempts per job (1 = never retry). Applies to
+            *retryable* failures — worker crashes, cancellations from a pool
+            teardown, and timeouts; deterministic simulation exceptions
+            always surface after one attempt regardless.
+        timeout: per-attempt wall-clock seconds before an attempt is
+            declared hung (None = wait forever). A hung attempt cannot be
+            cancelled — its worker is wedged — so the whole pool is hard
+            killed and respawned.
+        backoff_base: first retry delay, seconds.
+        backoff_factor: multiplier per further retry (exponential).
+        backoff_max: delay ceiling, seconds.
+        jitter: fraction of the delay added as deterministic per-(job,
+            attempt) jitter, de-synchronizing retry stampedes.
+        max_pool_deaths: pool teardowns tolerated before the runner stops
+            trusting process isolation and degrades to inline execution.
+    """
+
+    max_attempts: int = 3
+    timeout: Optional[float] = None
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max: float = 8.0
+    jitter: float = 0.5
+    max_pool_deaths: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.max_pool_deaths < 1:
+            raise ValueError(
+                f"max_pool_deaths must be >= 1, got {self.max_pool_deaths}"
+            )
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Backoff before ``attempt`` (2nd attempt = first retry) in seconds."""
+        import hashlib
+
+        base = self.backoff_base * self.backoff_factor ** max(0, attempt - 2)
+        base = min(base, self.backoff_max)
+        digest = hashlib.sha256(f"jitter:{key}:{attempt}".encode()).digest()
+        roll = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return base * (1.0 + self.jitter * roll)
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Terminal record of one job the sweep could not complete.
+
+    ``kind`` is ``"fatal"`` (deterministic simulation exception), ``"crash"``
+    (worker/pool death, retries exhausted) or ``"hang"`` (timeouts, retries
+    exhausted).
+    """
+
+    job_id: int
+    key: str
+    label: str
+    kind: str
+    attempts: int
+    error: str
+    traceback: str
+
+    def to_dict(self) -> Dict:
+        return {
+            "job_id": self.job_id,
+            "key": self.key,
+            "label": self.label,
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "error": self.error,
+            "traceback": self.traceback,
+        }
+
+
+class SweepJobError(RuntimeError):
+    """A job failed terminally; details in :attr:`failure`.
+
+    The underlying exception (the simulation error, ``BrokenProcessPool``,
+    or the final ``TimeoutError``) is chained as ``__cause__``.
+    """
+
+    def __init__(self, failure: JobFailure) -> None:
+        super().__init__(
+            f"sweep job {failure.label!r} failed ({failure.kind}) after "
+            f"{failure.attempts} attempt(s): {failure.error}"
+        )
+        self.failure = failure
+
+
+@dataclass(frozen=True)
 class SweepJob:
     """Picklable spec of one simulation (what a worker process receives)."""
 
@@ -117,27 +253,65 @@ def _execute(job: SweepJob) -> SimulationResult:
     )
 
 
+def _execute_in_worker(
+    job: SweepJob, attempt: int, chaos: Optional[ChaosConfig]
+) -> SimulationResult:
+    """Pool-side entry point: apply per-attempt chaos, then simulate.
+
+    The chaos config rides along with the job so workers need no environment
+    plumbing; decisions are pure functions of (seed, kind, key, attempt).
+    """
+    if chaos is not None:
+        FaultInjector(chaos).apply_in_worker(job.key, attempt)
+    return _execute(job)
+
+
 class SweepFuture:
-    """Handle to one submitted job; ``result()`` blocks until it is done."""
+    """Handle to one submitted job; ``result()`` blocks until it is done.
+
+    For pool-backed jobs, ``result()`` drives the runner's retry loop: it is
+    where timeouts are detected, crashed attempts are re-dispatched, and the
+    completed result is cached and accounted exactly once.
+    """
 
     def __init__(
         self,
         job: SweepJob,
         inner: Optional[concurrent.futures.Future] = None,
         value: Optional[SimulationResult] = None,
+        runner: Optional["SweepRunner"] = None,
     ) -> None:
         self.job = job
+        self.attempts = 1
+        self.started = time.perf_counter()
         self._inner = inner
         self._value = value
+        self._runner = runner
+        self._failure: Optional[JobFailure] = None
+        self._resolve_lock = threading.Lock()
 
     def done(self) -> bool:
-        return self._value is not None or (
-            self._inner is not None and self._inner.done()
+        return (
+            self._value is not None
+            or self._failure is not None
+            or (self._inner is not None and self._inner.done())
         )
 
     def result(self, timeout: Optional[float] = None) -> SimulationResult:
-        if self._value is None:
-            self._value = self._inner.result(timeout)
+        """The job's result.
+
+        Raises:
+            SweepJobError: the job failed terminally (deterministic
+                simulation error, or retries exhausted); the original
+                exception is chained as ``__cause__``.
+        """
+        if self._value is not None:
+            return self._value
+        if self._failure is not None:
+            raise SweepJobError(self._failure)
+        if self._runner is not None:
+            return self._runner._await(self)
+        self._value = self._inner.result(timeout)
         return self._value
 
 
@@ -157,11 +331,20 @@ class SweepRunner:
         use_cache: set False to neither read nor write the disk cache
             (in-memory memoization of repeated submissions still applies).
         progress: callable receiving one formatted line per finished job
-            (job id, mechanism/traces, elapsed seconds, hit/miss); ``None``
-            is silent, :func:`stderr_progress` prints to stderr.
+            (job id, mechanism/traces, elapsed seconds, hit/miss/retry/
+            failed); ``None`` is silent, :func:`stderr_progress` prints to
+            stderr.
         check: runtime verification level passed to every job ("off",
             "cheap" or "full"; see :mod:`repro.check`). Non-off levels get
             distinct cache keys so verification sweeps actually simulate.
+        retry: crash/hang recovery policy (:class:`RetryPolicy`); the
+            default retries crashes twice with backoff and never times out.
+        keep_going: advisory partial-results mode. The runner itself always
+            records failures and keeps scheduling; this flag tells
+            *collectors* (``repro.analysis.experiments``) to swallow
+            :class:`SweepJobError` per job and render partial artifacts.
+        chaos: deterministic fault injection (tests/CI); defaults to the
+            ``REPRO_CHAOS`` environment spec, i.e. off.
 
     Usage::
 
@@ -177,13 +360,20 @@ class SweepRunner:
         use_cache: bool = True,
         progress: Optional[Callable[[str], None]] = None,
         check: str = "off",
+        retry: Optional[RetryPolicy] = None,
+        keep_going: bool = False,
+        chaos: Optional[ChaosConfig] = None,
     ) -> None:
         self.workers = default_workers() if workers is None else max(0, workers)
         self.cache_dir = cache_dir if (use_cache and cache_dir) else None
         self.progress = progress
         self.check = str(check).lower()
+        self.retry = retry or RetryPolicy()
+        self.keep_going = keep_going
+        self.chaos = chaos if chaos is not None else chaos_from_env()
+        self._injector = FaultInjector(self.chaos) if self.chaos else None
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
-        self._lock = threading.Lock()
+        self._lock = threading.RLock()
         self._futures: Dict[str, SweepFuture] = {}
         self._next_id = 0
         self._started = time.perf_counter()
@@ -191,20 +381,37 @@ class SweepRunner:
         self.memo_hits = 0  # repeated submissions coalesced in-process
         self.cache_hits = 0  # jobs answered from the disk cache
         self.jobs_executed = 0  # jobs actually simulated
+        self.jobs_failed = 0  # jobs that failed terminally
+        self.jobs_retried = 0  # attempts beyond the first, across all jobs
+        self.cache_corrupt = 0  # cache entries quarantined on load
+        self.pool_deaths = 0  # pools torn down after a crash or hang
+        self.degraded_inline = False  # too many pool deaths: running inline
+        self.failures: List[JobFailure] = []
 
     # ------------------------------------------------------------ lifecycle
 
     def __enter__(self) -> "SweepRunner":
         return self
 
-    def __exit__(self, *_exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        # On an exception (including KeyboardInterrupt) drop queued work
+        # instead of blocking on it — a Ctrl-C'd sweep should die promptly.
+        self.close(cancel=exc_type is not None)
 
-    def close(self) -> None:
-        """Shut the worker pool down (waits for in-flight jobs)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+    def close(self, cancel: bool = False) -> None:
+        """Shut the worker pool down.
+
+        Args:
+            cancel: False waits for in-flight jobs; True cancels queued jobs
+                and returns without waiting.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            if cancel:
+                pool.shutdown(wait=False, cancel_futures=True)
+            else:
+                pool.shutdown(wait=True)
 
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
         if self._pool is None:
@@ -221,7 +428,11 @@ class SweepRunner:
         traces: Sequence[Trace],
         max_events: Optional[int] = None,
     ) -> SweepFuture:
-        """Schedule one simulation; duplicate submissions share one future."""
+        """Schedule one simulation; duplicate submissions share one future.
+
+        A job that previously failed is *not* memoized: resubmitting it
+        schedules a fresh future instead of returning the poisoned one.
+        """
         traces = tuple(traces)
         key = job_key(config, traces, max_events, check=self.check)
         with self._lock:
@@ -235,7 +446,8 @@ class SweepRunner:
             self._next_id += 1
             self.jobs_submitted += 1
             future = self._dispatch(job)
-            self._futures[key] = future
+            if future._failure is None:
+                self._futures[key] = future
             return future
 
     def run(
@@ -250,12 +462,44 @@ class SweepRunner:
     def summary(self) -> str:
         """One-line account of the sweep (for end-of-run reporting)."""
         elapsed = time.perf_counter() - self._started
+        extra = ""
+        if self.jobs_failed:
+            extra += f", {self.jobs_failed} failed"
+        if self.jobs_retried:
+            extra += f", {self.jobs_retried} retried"
+        if self.cache_corrupt:
+            extra += f", {self.cache_corrupt} corrupt cache entries quarantined"
+        if self.degraded_inline:
+            extra += f", degraded to inline after {self.pool_deaths} pool deaths"
         return (
             f"sweep: {self.jobs_submitted} jobs "
             f"({self.jobs_executed} simulated, {self.cache_hits} cache hits, "
-            f"{self.memo_hits} coalesced) in {elapsed:.1f}s "
+            f"{self.memo_hits} coalesced{extra}) in {elapsed:.1f}s "
             f"with {self.workers} worker(s)"
         )
+
+    def write_failure_manifest(self, path: Optional[str] = None) -> str:
+        """Persist the failure record for this sweep; returns the path.
+
+        Written atomically so a crash mid-write never leaves a torn
+        manifest. An empty-failure sweep writes a manifest too (an explicit
+        "nothing failed" beats a stale file from last week's broken run).
+        """
+        path = path or DEFAULT_FAILURE_MANIFEST
+        directory = os.path.dirname(path) or "."
+        os.makedirs(directory, exist_ok=True)
+        with self._lock:
+            payload = {
+                "format": FAILURE_MANIFEST_FORMAT,
+                "jobs_submitted": self.jobs_submitted,
+                "jobs_failed": self.jobs_failed,
+                "failures": [failure.to_dict() for failure in self.failures],
+            }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        os.replace(tmp, path)
+        return path
 
     # ------------------------------------------------------------- dispatch
 
@@ -265,31 +509,144 @@ class SweepRunner:
             self.cache_hits += 1
             self._emit(job, 0.0, "hit")
             return SweepFuture(job, value=cached)
-        started = time.perf_counter()
-        if self.workers >= 2:
-            inner = self._ensure_pool().submit(_execute, job)
-            inner.add_done_callback(
-                lambda f, job=job, started=started: self._pool_job_done(
-                    job, f, started
-                )
-            )
-            return SweepFuture(job, inner=inner)
-        result = _execute(job)
-        self.jobs_executed += 1
-        self._store_cached(job.key, job.label, result)
-        self._emit(job, time.perf_counter() - started, "miss")
-        return SweepFuture(job, value=result)
+        future = SweepFuture(job, runner=self)
+        if self.workers >= 2 and not self.degraded_inline:
+            future._inner = self._submit_attempt(job, future.attempts)
+            return future
+        # Inline mode executes at submission (callers may rely on
+        # jobs_executed being current); failures surface from result().
+        try:
+            self._await(future)
+        except SweepJobError:
+            pass
+        return future
 
-    def _pool_job_done(
-        self, job: SweepJob, inner: concurrent.futures.Future, started: float
-    ) -> None:
-        if inner.cancelled() or inner.exception() is not None:
-            self._emit(job, time.perf_counter() - started, "failed")
-            return
+    def _submit_attempt(
+        self, job: SweepJob, attempt: int
+    ) -> concurrent.futures.Future:
+        """One execution attempt: pool submission, or inline when degraded."""
+        while self.workers >= 2 and not self.degraded_inline:
+            try:
+                return self._ensure_pool().submit(
+                    _execute_in_worker, job, attempt, self.chaos
+                )
+            except concurrent.futures.BrokenExecutor:
+                # The pool broke under another job and nobody has collected
+                # that job yet; tear it down and submit to a fresh one.
+                self._pool_died(wedged=False)
+        # Inline execution shares the future-based error path with the pool
+        # so _await classifies both identically. Crash/hang chaos is never
+        # applied inline — it would take down the submitting process.
+        inline: concurrent.futures.Future = concurrent.futures.Future()
+        try:
+            inline.set_result(_execute(job))
+        except Exception as exc:  # classified fatal by _await
+            inline.set_exception(exc)
+        return inline
+
+    def _await(self, future: SweepFuture) -> SimulationResult:
+        """Drive one job to completion or terminal failure (retry loop)."""
+        with future._resolve_lock:
+            if future._value is not None:
+                return future._value
+            if future._failure is not None:
+                raise SweepJobError(future._failure)
+            job = future.job
+            while True:
+                if future._inner is None:
+                    future._inner = self._submit_attempt(job, future.attempts)
+                pool_died = False
+                try:
+                    result = future._inner.result(timeout=self.retry.timeout)
+                except concurrent.futures.TimeoutError as exc:
+                    # The worker is wedged: the attempt cannot be cancelled,
+                    # only the pool can be killed out from under it.
+                    kind, error, pool_died = "hang", exc, True
+                except concurrent.futures.CancelledError as exc:
+                    # Collateral of another job's pool teardown.
+                    kind, error = "crash", exc
+                except concurrent.futures.BrokenExecutor as exc:
+                    kind, error, pool_died = "crash", exc, True
+                except Exception as exc:
+                    # A deterministic simulation error: a retry would fail
+                    # identically, so surface it after this one attempt.
+                    self._fail(future, "fatal", exc)
+                else:
+                    return self._complete(future, result)
+                future._inner = None
+                if pool_died:
+                    self._pool_died(wedged=(kind == "hang"))
+                if future.attempts >= self.retry.max_attempts:
+                    self._fail(future, kind, error)
+                future.attempts += 1
+                with self._lock:
+                    self.jobs_retried += 1
+                self._emit(
+                    job,
+                    time.perf_counter() - future.started,
+                    f"retry {future.attempts}/{self.retry.max_attempts} ({kind})",
+                )
+                time.sleep(self.retry.delay(job.key, future.attempts))
+
+    def _complete(
+        self, future: SweepFuture, result: SimulationResult
+    ) -> SimulationResult:
+        job = future.job
         with self._lock:
             self.jobs_executed += 1
-        self._store_cached(job.key, job.label, inner.result())
-        self._emit(job, time.perf_counter() - started, "miss")
+        self._store_cached(job.key, job.label, result)
+        if self._injector is not None and self.cache_dir is not None:
+            if self._injector.should_corrupt(job.key):
+                self._injector.corrupt_file(self._cache_path(job.key))
+        self._emit(job, time.perf_counter() - future.started, "miss")
+        future._value = result
+        return result
+
+    def _fail(self, future: SweepFuture, kind: str, exc: Exception) -> None:
+        job = future.job
+        failure = JobFailure(
+            job_id=job.job_id,
+            key=job.key,
+            label=job.label,
+            kind=kind,
+            attempts=future.attempts,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback="".join(
+                traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+        )
+        with self._lock:
+            self.jobs_failed += 1
+            self.failures.append(failure)
+            # Evict the poisoned key: accounting must reflect the failure
+            # and a resubmission must get a fresh future, not this one.
+            if self._futures.get(job.key) is future:
+                del self._futures[job.key]
+        future._failure = failure
+        self._emit(
+            job,
+            time.perf_counter() - future.started,
+            f"failed ({kind}, {future.attempts} attempt(s))",
+        )
+        raise SweepJobError(failure) from exc
+
+    def _pool_died(self, wedged: bool) -> None:
+        """Tear down a broken/wedged pool; degrade to inline past the limit."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+            if pool is None:
+                return  # another job's recovery already handled this death
+            self.pool_deaths += 1
+            if self.pool_deaths >= self.retry.max_pool_deaths:
+                self.degraded_inline = True
+        if wedged:
+            # shutdown() would join the wedged worker forever; kill first.
+            for process in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    process.kill()
+                except OSError:
+                    pass
+        pool.shutdown(wait=False, cancel_futures=True)
 
     def _emit(self, job: SweepJob, elapsed: float, status: str) -> None:
         if self.progress is not None:
@@ -306,23 +663,49 @@ class SweepRunner:
     def _load_cached(self, key: str) -> Optional[SimulationResult]:
         if self.cache_dir is None:
             return None
+        path = self._cache_path(key)
         try:
-            with open(self._cache_path(key)) as handle:
+            with open(path) as handle:
                 payload = json.load(handle)
-        except (OSError, ValueError):
-            return None
+        except OSError:
+            return None  # a missing entry is a normal cache miss
+        except ValueError:
+            return self._quarantine(key, path)
         if payload.get("format") != CACHE_FORMAT or payload.get("key") != key:
-            return None
+            return self._quarantine(key, path)
         try:
             return SimulationResult.from_dict(payload["result"])
         except (KeyError, TypeError):
-            return None
+            return self._quarantine(key, path)
+
+    def _quarantine(self, key: str, path: str) -> None:
+        """Move a corrupt/mismatched entry aside and make the damage visible.
+
+        Renaming (rather than deleting) preserves the evidence for a
+        post-mortem; counting it means a disk that corrupts every entry
+        shows up in ``summary()`` instead of silently resimulating forever.
+        """
+        with self._lock:
+            self.cache_corrupt += 1
+        try:
+            os.replace(path, f"{path}.corrupt")
+        except OSError:
+            pass
+        return None
 
     def _store_cached(self, key: str, label: str, result: SimulationResult) -> None:
         if self.cache_dir is None:
             return
         os.makedirs(self.cache_dir, exist_ok=True)
         path = self._cache_path(key)
+        existing = self._read_result_dict(path)
+        if existing is not None:
+            # A retried (or concurrently executed) job must reproduce the
+            # stored result exactly — the simulator is deterministic, so a
+            # divergence means an attempt double-counted a writeback or stat.
+            from repro.check.invariants import check_retry_consistency
+
+            check_retry_consistency(label, existing, result.to_dict())
         tmp = f"{path}.tmp.{os.getpid()}"
         payload = {
             "format": CACHE_FORMAT,
@@ -341,3 +724,13 @@ class SweepRunner:
                 os.unlink(tmp)
             except OSError:
                 pass
+
+    def _read_result_dict(self, path: str) -> Optional[Dict]:
+        """The stored result dict at ``path``, or None if absent/unreadable."""
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        result = payload.get("result")
+        return result if isinstance(result, dict) else None

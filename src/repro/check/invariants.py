@@ -36,6 +36,9 @@ Catalogue (names are stable; tests and docs reference them):
                              bound.
 ``writeback-conservation``   (full mode, engine-owned) every dirty block is
                              written back exactly once or explicitly discarded.
+``retry-consistency``        (runner-owned) a retried sweep job reproduces its
+                             previously stored result exactly — a retry never
+                             double-counts a writeback or any other stat.
 ===========================  ====================================================
 """
 
@@ -234,6 +237,41 @@ def check_port_sanity(port) -> None:
             )
 
 
+def check_retry_consistency(label: str, stored: dict, rerun: dict) -> None:
+    """``retry-consistency`` between two executions of one sweep job.
+
+    The simulator is deterministic, so a job retried after a worker crash
+    (or executed concurrently by two sweeps) must reproduce the stored
+    :class:`~repro.sim.system.SimulationResult` dict byte for byte. A
+    divergence means an attempt double-counted a writeback or stat — e.g. a
+    partially executed attempt leaked state into the retry.
+    """
+    name = "retry-consistency"
+    if stored == rerun:
+        return
+    stored_stats = stored.get("stats") or {}
+    rerun_stats = rerun.get("stats") or {}
+    for stat in sorted(set(stored_stats) | set(rerun_stats)):
+        if stored_stats.get(stat) != rerun_stats.get(stat):
+            _fail(
+                name,
+                f"{label}: retried execution disagrees with the stored "
+                f"result on stat {stat!r}: {stored_stats.get(stat)} stored "
+                f"vs {rerun_stats.get(stat)} on retry (double-counted "
+                f"writeback/stat?)",
+            )
+    diverging = sorted(
+        field
+        for field in set(stored) | set(rerun)
+        if stored.get(field) != rerun.get(field)
+    )
+    _fail(
+        name,
+        f"{label}: retried execution diverges from the stored result on "
+        f"field(s) {diverging}",
+    )
+
+
 def check_core_bounds(core) -> None:
     """``core-bounds`` for one :class:`repro.sim.core_model.OooCore`."""
     name = "core-bounds"
@@ -353,5 +391,8 @@ INVARIANTS: Tuple[Invariant, ...] = (
 
 
 def invariant_names() -> List[str]:
-    """Registry names plus the engine-owned conservation check (for docs/CLI)."""
-    return [invariant.name for invariant in INVARIANTS] + ["writeback-conservation"]
+    """Registry names plus the engine- and runner-owned checks (for docs/CLI)."""
+    return [invariant.name for invariant in INVARIANTS] + [
+        "writeback-conservation",
+        "retry-consistency",
+    ]

@@ -105,6 +105,16 @@ class DirtyBlockIndex:
     def is_dirty(self, block_addr: int) -> bool:
         """Paper's DBI semantics: valid entry AND bit set."""
         self.stats.counter("queries").increment()
+        return self.peek_dirty(block_addr)
+
+    def peek_dirty(self, block_addr: int) -> bool:
+        """Stat-free :meth:`is_dirty` for observational tooling.
+
+        ECC domains, invariant checkers and the soft-error injector must be
+        able to ask "is this block dirty?" without perturbing the query
+        counters a real lookup would pay — their runs are required to report
+        byte-identical statistics to uninstrumented ones.
+        """
         entry = self._entry(self.config.region_of(block_addr))
         if entry is None:
             return False

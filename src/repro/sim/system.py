@@ -178,13 +178,20 @@ class System:
     """One simulated machine: N cores over a shared LLC and one DRAM channel.
 
     ``check`` selects runtime verification ("off", "cheap" or "full"; see
-    :mod:`repro.check`). It is deliberately *not* part of
-    :class:`SystemConfig`: checking never changes results, so sweep-cache
-    keys (derived from the config) must not depend on it.
+    :mod:`repro.check`). ``soft_errors`` attaches a seeded
+    :class:`~repro.core.ecc.SoftErrorInjector` that upsets resident LLC
+    blocks during the run (the ``repro reliability`` experiment). Both are
+    deliberately *not* part of :class:`SystemConfig`: they only observe —
+    results are byte-identical either way — so sweep-cache keys (derived
+    from the config) must not depend on them.
     """
 
     def __init__(
-        self, config: SystemConfig, traces: Sequence[Trace], check: str = "off"
+        self,
+        config: SystemConfig,
+        traces: Sequence[Trace],
+        check: str = "off",
+        soft_errors: Optional["SoftErrorConfig"] = None,
     ) -> None:
         if len(traces) != config.num_cores:
             raise ValueError(
@@ -254,6 +261,13 @@ class System:
 
             self.check_engine = CheckEngine(self, CheckLevel.parse(check))
             self.check_engine.attach()
+
+        self.soft_errors = None
+        if soft_errors is not None:
+            from repro.core.ecc import SoftErrorInjector
+
+            self.soft_errors = SoftErrorInjector(self, soft_errors)
+            self.soft_errors.attach()
 
     def _all_stat_groups(self):
         groups = [
@@ -344,6 +358,8 @@ def run_system(
     traces: Sequence[Trace],
     max_events: Optional[int] = None,
     check: str = "off",
+    soft_errors: Optional["SoftErrorConfig"] = None,
 ) -> SimulationResult:
     """Convenience one-shot: build a System and run it."""
-    return System(config, traces, check=check).run(max_events=max_events)
+    system = System(config, traces, check=check, soft_errors=soft_errors)
+    return system.run(max_events=max_events)

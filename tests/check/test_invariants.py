@@ -23,6 +23,7 @@ from repro.check.invariants import (
     check_mshr,
     check_port_sanity,
     check_recency_stacks,
+    check_retry_consistency,
     check_write_buffer,
     invariant_names,
 )
@@ -332,6 +333,35 @@ class TestWritebackLedger:
         assert ledger.writebacks == 1
 
 
+class TestRetryConsistency:
+    """A retried sweep job must reproduce the stored result exactly."""
+
+    RESULT = {
+        "mechanism": "dbi",
+        "ipc": [1.25],
+        "stats": {"dram.dram_writes_performed": 40.0, "mech.tag_lookups": 9.0},
+    }
+
+    def test_identical_reruns_pass(self):
+        check_retry_consistency("dbi[lbm]", self.RESULT, dict(self.RESULT))
+
+    def test_double_counted_writeback_stat_fires(self):
+        doctored = {
+            **self.RESULT,
+            "stats": {**self.RESULT["stats"], "dram.dram_writes_performed": 80.0},
+        }
+        with pytest.raises(InvariantViolation) as excinfo:
+            check_retry_consistency("dbi[lbm]", self.RESULT, doctored)
+        assert "[retry-consistency]" in str(excinfo.value)
+        assert "dram.dram_writes_performed" in str(excinfo.value)
+
+    def test_non_stat_divergence_fires_too(self):
+        doctored = {**self.RESULT, "ipc": [1.5]}
+        with pytest.raises(InvariantViolation) as excinfo:
+            check_retry_consistency("dbi[lbm]", self.RESULT, doctored)
+        assert "ipc" in str(excinfo.value)
+
+
 class TestCatalogue:
     def test_every_documented_invariant_is_registered(self):
         assert set(invariant_names()) == {
@@ -344,6 +374,7 @@ class TestCatalogue:
             "port-sanity",
             "core-bounds",
             "writeback-conservation",
+            "retry-consistency",
         }
 
     def test_violation_message_names_the_invariant(self):

@@ -34,3 +34,55 @@ class TestExperiment:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_keep_going_writes_failure_manifest(self, capsys, tmp_path,
+                                                monkeypatch):
+        """Chaos that kills every attempt: the artifact still renders (all
+        cells n/a) and the failure manifest lands in results/."""
+        import json
+        import os
+
+        monkeypatch.chdir(tmp_path)
+        # max-attempts 1: jobs that reach a pool worker fail outright
+        # (with retries allowed, inline degradation would rescue them all
+        # and nothing would land in the manifest).
+        code = main([
+            "experiment", "fig6", "--scale", "quick",
+            "--benchmarks", "bzip2", "--workers", "2", "--quiet",
+            "--keep-going", "--max-attempts", "1", "--no-cache",
+            "--chaos", "seed=1,crash=1.0",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "n/a" in captured.out
+        assert "jobs failed" in captured.err
+        manifest_path = os.path.join("results", "sweep_failures.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        assert manifest["jobs_failed"] > 0
+        assert all(f["kind"] == "crash" for f in manifest["failures"])
+
+
+class TestReliability:
+    def test_reliability_reports_the_ecc_contrast(self, capsys):
+        """Acceptance smoke: DBI rows report zero data loss; the untracked
+        baseline with the same budget appears alongside."""
+        code = main([
+            "reliability", "--scale", "quick", "--refs", "6000",
+            "--mechanisms", "baseline,dbi", "--alphas", "1/4",
+            "--faults", "60", "--interval", "150",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DBI-tracked" in out
+        assert "untracked (coverage=1/4)" in out
+        assert "data loss" in out
+        assert "lost 0 blocks" in out  # tracked domains lose nothing
+
+    def test_reliability_accepts_fraction_alphas(self, capsys):
+        code = main([
+            "reliability", "--scale", "quick", "--refs", "3000",
+            "--mechanisms", "dbi", "--alphas", "1/2", "--faults", "20",
+        ])
+        assert code == 0
+        assert "alpha=1/2" in capsys.readouterr().out

@@ -15,6 +15,12 @@
 #   5. sweep cache smoke — one figure runner through the SweepRunner with 2
 #                          workers and a fresh cache, twice; the second pass
 #                          must be answered from the cache, byte-identically.
+#   6. chaos stage       — the same sweep under seeded worker crashes, hangs
+#                          and cache corruption at p=0.3 with --keep-going;
+#                          the recovered output must be byte-identical to
+#                          the fault-free run. Plus a reliability smoke: the
+#                          soft-error experiment must show zero data loss
+#                          for DBI-tracked domains.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
@@ -56,3 +62,29 @@ if ! cmp -s "$tmp/cold.txt" "$tmp/warm.txt"; then
 fi
 entries=$(ls "$tmp/cache" | wc -l)
 echo "ci: ok (sweep cache holds $entries entries; warm rerun byte-identical)"
+
+echo "== chaos stage: seeded crash/hang/corruption at p=0.3, --keep-going =="
+# hang_seconds must exceed --job-timeout for hangs to trigger recovery, and
+# the generous attempt budget lets every fault be retried through; recovery
+# must repair execution without touching data.
+python -m repro experiment fig6 --scale quick \
+    --benchmarks mcf,bzip2 --workers 2 --cache-dir "$tmp/chaos-cache" \
+    --quiet --keep-going --max-attempts 6 --job-timeout 10 \
+    --chaos "seed=7,crash=0.3,hang=0.3,corrupt=0.3,hang_seconds=20" \
+    > "$tmp/chaos.txt"
+if ! cmp -s "$tmp/cold.txt" "$tmp/chaos.txt"; then
+    echo "ci: FAIL — chaos sweep output differs from fault-free run" >&2
+    diff "$tmp/cold.txt" "$tmp/chaos.txt" >&2 || true
+    exit 1
+fi
+echo "ci: ok (chaos sweep byte-identical to fault-free run)"
+
+echo "== reliability smoke (heterogeneous ECC soft errors) =="
+python -m repro reliability --scale quick --refs 6000 \
+    --mechanisms baseline,dbi --alphas 1/4 --faults 60 --interval 150 \
+    | tee "$tmp/reliability.txt"
+if ! grep -q "lost 0 blocks" "$tmp/reliability.txt"; then
+    echo "ci: FAIL — DBI-tracked domain reported soft-error data loss" >&2
+    exit 1
+fi
+echo "ci: ok (DBI-tracked domains lost no data)"
