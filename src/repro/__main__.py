@@ -10,6 +10,9 @@ Commands:
                   DBI-tracked and untracked protection domains.
     check-diff  — differentially validate every mechanism against the
                   untimed golden reference model (see repro.check).
+    profile     — run one benchmark/mechanism with the per-event time-share
+                  profiler attached and report where simulation time goes
+                  (component shares and the costliest callback sites).
 
 ``run`` and ``experiment`` accept ``--check {off,cheap,full}`` to enable the
 runtime invariant engine (off by default; results are identical either way).
@@ -180,6 +183,47 @@ def _cmd_reliability(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import time
+
+    from repro.analysis.scaling import SCALES
+    from repro.sim.profiler import SimProfiler
+    from repro.sim.system import run_system
+
+    scale = SCALES[args.scale]
+    trace = scale.benchmark_trace(args.benchmark, refs=args.refs)
+    profiler = SimProfiler()
+    start = time.perf_counter()
+    result = run_system(
+        scale.system_config(args.mechanism), [trace], profiler=profiler
+    )
+    wall = time.perf_counter() - start
+    if args.json:
+        import json
+
+        payload = {
+            "benchmark": args.benchmark,
+            "mechanism": args.mechanism,
+            "scale": args.scale,
+            "events_processed": result.events_processed,
+            "events_per_second": result.events_processed / wall,
+        }
+        payload.update(profiler.to_dict(wall_seconds=wall))
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"benchmark {args.benchmark}  mechanism {args.mechanism}  "
+            f"scale {args.scale}"
+        )
+        print(
+            f"{result.events_processed} events in {wall:.3f}s "
+            f"({result.events_processed / wall:,.0f} events/s)"
+        )
+        print()
+        print(profiler.to_text(wall_seconds=wall))
+    return 0
+
+
 def _cmd_check_diff(args) -> int:
     from repro.analysis.scaling import SCALES
     from repro.check import run_check_diff
@@ -307,6 +351,21 @@ def main(argv=None) -> int:
         help="memory references per trace (default: scale profile's)",
     )
 
+    prof_parser = sub.add_parser(
+        "profile",
+        help="time-share profile of one simulation (per-component breakdown)",
+    )
+    prof_parser.add_argument("benchmark")
+    prof_parser.add_argument("mechanism")
+    prof_parser.add_argument("--scale", default="quick")
+    prof_parser.add_argument(
+        "--refs", type=int, default=None,
+        help="memory references in the trace (default: scale profile's)",
+    )
+    prof_parser.add_argument(
+        "--json", action="store_true", help="emit a JSON report"
+    )
+
     diff_parser = sub.add_parser(
         "check-diff",
         help="validate mechanisms against the untimed reference model",
@@ -333,6 +392,8 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "check-diff":
         return _cmd_check_diff(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "reliability":
         return _cmd_reliability(args)
     return _cmd_experiment(args)

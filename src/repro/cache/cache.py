@@ -68,11 +68,26 @@ class Cache:
         self.stats = StatGroup(stat_name or config.name)
         # addr -> way, for O(1) presence checks (the set is derivable).
         self._where: Dict[int, int] = {}
+        self._set_mask = config.num_sets - 1
+        self._assoc = config.associativity
+        # Valid blocks per set; lets a full set (the steady state) go
+        # straight to the victim instead of scanning every way for a hole.
+        self._set_fill = [0] * config.num_sets
+        # Hot-path counters, bound to their Counter object on first use so
+        # per-access increments skip the StatGroup dict lookup. Bound lazily
+        # (not in __init__) so the set of exported stats — and hence results
+        # — stays byte-identical to creation-on-first-increment.
+        self._c_lookups = None
+        self._c_hits = None
+        self._c_misses = None
+        self._c_evictions = None
+        self._c_dirty_evictions = None
+        self._c_fills = None
 
     # ------------------------------------------------------------- presence
 
     def set_index(self, addr: int) -> int:
-        return self.config.set_index(addr)
+        return addr & self._set_mask
 
     def contains(self, addr: int) -> bool:
         return addr in self._where
@@ -82,7 +97,7 @@ class Cache:
         way = self._where.get(addr)
         if way is None:
             return None
-        return self.sets[self.set_index(addr)][way]
+        return self.sets[addr & self._set_mask][way]
 
     def is_dirty(self, addr: int) -> bool:
         block = self.probe(addr)
@@ -92,14 +107,23 @@ class Cache:
 
     def lookup(self, addr: int, core_id: int = -1) -> bool:
         """Demand lookup: updates recency on hit, PSEL voting on miss."""
-        set_idx = self.set_index(addr)
+        set_idx = addr & self._set_mask
         way = self._where.get(addr)
-        self.stats.counter("lookups").increment()
+        counter = self._c_lookups
+        if counter is None:
+            counter = self._c_lookups = self.stats.counter("lookups")
+        counter.value += 1
         if way is not None:
-            self.stats.counter("hits").increment()
+            counter = self._c_hits
+            if counter is None:
+                counter = self._c_hits = self.stats.counter("hits")
+            counter.value += 1
             self.policy.on_hit(set_idx, way, core_id)
             return True
-        self.stats.counter("misses").increment()
+        counter = self._c_misses
+        if counter is None:
+            counter = self._c_misses = self.stats.counter("misses")
+        counter.value += 1
         self.policy.note_miss(set_idx, core_id)
         return False
 
@@ -108,7 +132,7 @@ class Cache:
         way = self._where.get(addr)
         if way is None:
             return False
-        self.policy.on_hit(self.set_index(addr), way, core_id)
+        self.policy.on_hit(addr & self._set_mask, way, core_id)
         return True
 
     # ---------------------------------------------------------------- fills
@@ -121,7 +145,7 @@ class Cache:
         If the block is already present this only updates its dirty bit
         (logical OR) and promotes it.
         """
-        set_idx = self.set_index(addr)
+        set_idx = addr & self._set_mask
         existing_way = self._where.get(addr)
         if existing_way is not None:
             block = self.sets[set_idx][existing_way]
@@ -133,19 +157,29 @@ class Cache:
 
         ways = self.sets[set_idx]
         victim_way = None
-        for way, block in enumerate(ways):
-            if not block.valid:
-                victim_way = way
-                break
+        if self._set_fill[set_idx] < self._assoc:
+            for way, block in enumerate(ways):
+                if not block.valid:
+                    victim_way = way
+                    self._set_fill[set_idx] += 1
+                    break
         evicted = None
         if victim_way is None:
             victim_way = self.policy.victim_way(set_idx)
             victim = ways[victim_way]
             evicted = EvictedBlock(victim.addr, victim.dirty, victim.owner_core)
             del self._where[victim.addr]
-            self.stats.counter("evictions").increment()
+            counter = self._c_evictions
+            if counter is None:
+                counter = self._c_evictions = self.stats.counter("evictions")
+            counter.value += 1
             if victim.dirty:
-                self.stats.counter("dirty_evictions").increment()
+                counter = self._c_dirty_evictions
+                if counter is None:
+                    counter = self._c_dirty_evictions = self.stats.counter(
+                        "dirty_evictions"
+                    )
+                counter.value += 1
                 if self.observer is not None:
                     self.observer.on_dirty_evicted(victim.addr)
 
@@ -156,7 +190,10 @@ class Cache:
             self.observer.on_block_dirtied(addr)
         self._where[addr] = victim_way
         self.policy.on_insert(set_idx, victim_way, core_id)
-        self.stats.counter("fills").increment()
+        counter = self._c_fills
+        if counter is None:
+            counter = self._c_fills = self.stats.counter("fills")
+        counter.value += 1
         return evicted
 
     # ------------------------------------------------------------ dirty bits
@@ -192,6 +229,7 @@ class Cache:
         if block.dirty and self.observer is not None:
             self.observer.on_dirty_invalidated(addr)
         block.invalidate()
+        self._set_fill[set_idx] -= 1
         self.policy.on_invalidate(set_idx, way)
         return state
 

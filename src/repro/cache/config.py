@@ -60,21 +60,33 @@ class CacheConfig:
         check_positive("data_latency", self.data_latency)
         check_non_negative("mshr_entries", self.mshr_entries)
         check_positive("port_occupancy", self.port_occupancy)
+        # set_index and the latency properties are consulted on every access;
+        # the geometry is frozen, so derive them once. Kept out of the
+        # dataclass fields so repr/eq (and repr-keyed caches) are unchanged.
+        object.__setattr__(
+            self, "_num_sets", self.num_blocks // self.associativity
+        )
+        object.__setattr__(self, "_set_mask", self._num_sets - 1)
+        object.__setattr__(
+            self,
+            "_hit_latency",
+            self.tag_latency + self.data_latency
+            if self.serial_lookup
+            else max(self.tag_latency, self.data_latency),
+        )
 
     @property
     def num_sets(self) -> int:
-        return self.num_blocks // self.associativity
+        return self._num_sets
 
     @property
     def set_index_bits(self) -> int:
-        return ilog2(self.num_sets)
+        return ilog2(self._num_sets)
 
     @property
     def hit_latency(self) -> int:
         """Latency of a hit, honouring serial vs parallel tag/data lookup."""
-        if self.serial_lookup:
-            return self.tag_latency + self.data_latency
-        return max(self.tag_latency, self.data_latency)
+        return self._hit_latency
 
     @property
     def miss_detect_latency(self) -> int:
@@ -83,7 +95,7 @@ class CacheConfig:
 
     def set_index(self, block_addr: int) -> int:
         """Set index for a block address (low-order index bits)."""
-        return block_addr & (self.num_sets - 1)
+        return block_addr & self._set_mask
 
 
 def paper_l1_config() -> CacheConfig:

@@ -24,6 +24,10 @@ class MshrFile:
         self.capacity = capacity
         self._pending: Dict[int, List[Callable[[int], None]]] = {}
         self.stats = StatGroup(name)
+        # Per-miss stats, bound lazily (see Cache for rationale).
+        self._c_merged = None
+        self._c_allocated = None
+        self._d_occupancy = None
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -52,13 +56,22 @@ class MshrFile:
         waiters = self._pending.get(addr)
         if waiters is not None:
             waiters.append(on_fill)
-            self.stats.counter("merged").increment()
+            counter = self._c_merged
+            if counter is None:
+                counter = self._c_merged = self.stats.counter("merged")
+            counter.value += 1
             return False
         if self.is_full:
             raise RuntimeError("MSHR file full; caller must check can_allocate")
         self._pending[addr] = [on_fill]
-        self.stats.counter("allocated").increment()
-        self.stats.distribution("occupancy").record(len(self._pending))
+        counter = self._c_allocated
+        if counter is None:
+            counter = self._c_allocated = self.stats.counter("allocated")
+        counter.value += 1
+        dist = self._d_occupancy
+        if dist is None:
+            dist = self._d_occupancy = self.stats.distribution("occupancy")
+        dist.record(len(self._pending))
         return True
 
     def complete(self, addr: int) -> int:

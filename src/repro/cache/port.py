@@ -47,6 +47,12 @@ class TagPort:
         self.stats = StatGroup(name)
         self._waiting: Tuple[Deque[Callable[[], None]], ...] = (deque(), deque())
         self._grant_event: Optional[Event] = None
+        # Per-priority request counters, bound on first use (lazily, so the
+        # exported stat set matches creation-on-first-increment) — the old
+        # per-request f-string + StatGroup lookup showed up in profiles.
+        self._c_requests = [None, None]
+        self._c_grants = None
+        self._d_queue_depth = None
 
     @property
     def queued(self) -> int:
@@ -56,7 +62,12 @@ class TagPort:
         self, callback: Callable[[], None], priority: PortPriority = PortPriority.DEMAND
     ) -> None:
         """Queue a lookup; ``callback`` runs when the port grants it."""
-        self.stats.counter(f"requests_{priority.name.lower()}").increment()
+        counter = self._c_requests[priority]
+        if counter is None:
+            counter = self._c_requests[priority] = self.stats.counter(
+                f"requests_{priority.name.lower()}"
+            )
+        counter.value += 1
         self._waiting[priority].append(callback)
         self._pump()
 
@@ -68,19 +79,26 @@ class TagPort:
 
     def _grant(self) -> None:
         self._grant_event = None
-        if self.queue.now < self.busy_until:
+        now = self.queue.now
+        if now < self.busy_until:
             self._pump()
             return
-        callback = None
-        for priority_queue in self._waiting:
-            if priority_queue:
-                callback = priority_queue.popleft()
-                break
-        if callback is None:
+        demand, background = self._waiting
+        if demand:
+            callback = demand.popleft()
+        elif background:
+            callback = background.popleft()
+        else:
             return
-        self.busy_until = self.queue.now + self.occupancy
-        self.stats.counter("grants").increment()
-        self.stats.distribution("queue_depth").record(self.queued)
+        self.busy_until = now + self.occupancy
+        counter = self._c_grants
+        if counter is None:
+            counter = self._c_grants = self.stats.counter("grants")
+        counter.value += 1
+        depth = self._d_queue_depth
+        if depth is None:
+            depth = self._d_queue_depth = self.stats.distribution("queue_depth")
+        depth.record(len(demand) + len(background))
         callback()
-        if self.queued:
+        if demand or background:
             self._pump()

@@ -48,6 +48,24 @@ class DbiConfig:
             object.__setattr__(self, "alpha", Fraction(self.alpha).limit_denominator(64))
         if self.alpha <= 0:
             raise ValueError(f"alpha must be positive, got {self.alpha}")
+        # region_of/offset_of/set_of sit on the per-writeback DBI path; the
+        # geometry is fixed at construction, so fold the Fraction arithmetic
+        # and power-of-two divisions into cached shifts/masks once. These are
+        # not dataclass fields: repr/eq (and the repr-keyed sweep cache) are
+        # untouched.
+        object.__setattr__(
+            self, "_tracked_blocks", int(self.cache_blocks * self.alpha)
+        )
+        object.__setattr__(
+            self, "_num_entries", self._tracked_blocks // self.granularity
+        )
+        object.__setattr__(
+            self, "_num_sets", self._num_entries // self.associativity
+        )
+        object.__setattr__(
+            self, "_granularity_shift", self.granularity.bit_length() - 1
+        )
+        object.__setattr__(self, "_granularity_mask", self.granularity - 1)
         if self.num_entries < 1:
             raise ValueError(
                 f"DBI would have no entries: cache_blocks={self.cache_blocks}, "
@@ -67,30 +85,30 @@ class DbiConfig:
     @property
     def tracked_blocks(self) -> int:
         """Cumulative blocks trackable by all entries (α × cache blocks)."""
-        return int(self.cache_blocks * self.alpha)
+        return self._tracked_blocks
 
     @property
     def num_entries(self) -> int:
-        return self.tracked_blocks // self.granularity
+        return self._num_entries
 
     @property
     def num_sets(self) -> int:
-        return self.num_entries // self.associativity
+        return self._num_sets
 
     def region_of(self, block_addr: int) -> int:
         """Region id (the DBI's 'row tag' space) of a block address."""
-        return block_addr // self.granularity
+        return block_addr >> self._granularity_shift
 
     def offset_of(self, block_addr: int) -> int:
         """Bit position of a block inside its region's bit vector."""
-        return block_addr % self.granularity
+        return block_addr & self._granularity_mask
 
     def block_of(self, region_id: int, offset: int) -> int:
         """Inverse mapping from (region, bit position) to block address."""
         if not 0 <= offset < self.granularity:
             raise ValueError(f"offset {offset} out of range 0..{self.granularity - 1}")
-        return region_id * self.granularity + offset
+        return (region_id << self._granularity_shift) | offset
 
     def set_of(self, region_id: int) -> int:
         """DBI set index for a region id."""
-        return region_id % self.num_sets
+        return region_id % self._num_sets

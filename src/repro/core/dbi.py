@@ -93,6 +93,9 @@ class DirtyBlockIndex:
         self.stats = StatGroup("dbi")
         # region_id -> way for O(1) lookup; the set index is derivable.
         self._where = {}
+        # Per-query counters, bound lazily (see Cache for rationale).
+        self._c_queries = None
+        self._c_writes = None
 
     # -------------------------------------------------------------- queries
 
@@ -102,9 +105,15 @@ class DirtyBlockIndex:
             return None
         return self.sets[self.config.set_of(region_id)][way]
 
+    def _count_query(self) -> None:
+        counter = self._c_queries
+        if counter is None:
+            counter = self._c_queries = self.stats.counter("queries")
+        counter.value += 1
+
     def is_dirty(self, block_addr: int) -> bool:
         """Paper's DBI semantics: valid entry AND bit set."""
-        self.stats.counter("queries").increment()
+        self._count_query()
         return self.peek_dirty(block_addr)
 
     def peek_dirty(self, block_addr: int) -> bool:
@@ -126,7 +135,7 @@ class DirtyBlockIndex:
         This is the single-lookup row enumeration that makes AWB cheap
         (paper Section 3.1, Figure 3).
         """
-        self.stats.counter("queries").increment()
+        self._count_query()
         region_id = self.config.region_of(block_addr)
         entry = self._entry(region_id)
         if entry is None:
@@ -146,7 +155,10 @@ class DirtyBlockIndex:
             existing one — the caller must write those blocks back to memory
             and transition them dirty → clean in the cache. None otherwise.
         """
-        self.stats.counter("writes").increment()
+        counter = self._c_writes
+        if counter is None:
+            counter = self._c_writes = self.stats.counter("writes")
+        counter.value += 1
         region_id = self.config.region_of(block_addr)
         offset = self.config.offset_of(block_addr)
         set_idx = self.config.set_of(region_id)
@@ -272,7 +284,7 @@ class DirtyBlockIndex:
         memory schedulers can steer writes using this without touching the
         tag store.
         """
-        self.stats.counter("queries").increment()
+        self._count_query()
         return region_id in self._where
 
     def any_dirty_in_range(self, start_block: int, end_block: int) -> bool:
@@ -284,7 +296,7 @@ class DirtyBlockIndex:
         """
         if end_block <= start_block:
             return False
-        self.stats.counter("queries").increment()
+        self._count_query()
         first_region = self.config.region_of(start_block)
         last_region = self.config.region_of(end_block - 1)
         granularity = self.config.granularity

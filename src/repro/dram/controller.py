@@ -58,18 +58,40 @@ class MemoryController:
         self._recent_activates: List[int] = []
         self.stats = StatGroup(name)
         self._wake_event: Optional[Event] = None
+        # Hot-path stats, bound to their Counter/RateStat object on first
+        # use (lazily, so the exported stat set stays byte-identical to
+        # creation-on-first-increment).
+        self._c_reads = None
+        self._c_writes = None
+        self._c_activates = None
+        self._c_bus_turnarounds = None
+        self._c_dram_writes = None
+        self._c_dram_reads = None
+        self._r_write_row_hit = None
+        self._r_read_row_hit = None
+        self._d_read_latency = None
 
     # ------------------------------------------------------------------ API
+
+    def _decode(self, request: MemoryRequest) -> None:
+        """Cache the request's (bank, row) so scheduling never re-decodes."""
+        addr = request.block_addr
+        request.bank = self.banks[self.mapper.bank_of(addr)]
+        request.row = self.mapper.row_of(addr)
 
     def enqueue_read(self, request: MemoryRequest) -> None:
         """Accept a demand read. Forwards from the write buffer when possible."""
         request.arrival_time = self.queue.now
-        self.stats.counter("reads").increment()
+        counter = self._c_reads
+        if counter is None:
+            counter = self._c_reads = self.stats.counter("reads")
+        counter.value += 1
         if self.write_buffer.contains(request.block_addr):
             # Data is newer in the write buffer than in DRAM; forward it.
             self.stats.counter("reads_forwarded_from_write_buffer").increment()
             self._complete_read(request, self.queue.now + self.config.t_burst)
             return
+        self._decode(request)
         self.read_queue.append(request)
         self._kick()
 
@@ -92,8 +114,12 @@ class MemoryController:
         if self.write_buffer.is_full:
             self.stats.counter("writes_rejected").increment()
             return False
+        self._decode(request)
         self.write_buffer.add(request)
-        self.stats.counter("writes").increment()
+        counter = self._c_writes
+        if counter is None:
+            counter = self._c_writes = self.stats.counter("writes")
+        counter.value += 1
         self._update_phase()
         self._kick()
         return True
@@ -138,50 +164,76 @@ class MemoryController:
             self.phase = Phase.READ
 
     def _candidates(self) -> List[MemoryRequest]:
-        """Requests eligible for scheduling in the current phase."""
+        """Requests eligible for scheduling in the current phase.
+
+        Returns live internal queues (never mutated while a scheduling scan
+        iterates them) rather than snapshots — the old per-pass
+        ``peek_all()`` copy was pure allocation churn.
+        """
         if self.phase is Phase.WRITE_DRAIN:
-            return self.write_buffer.peek_all()
+            return self.write_buffer.entries
         if self.read_queue:
             return self.read_queue
         # Read phase with an empty read queue: drain writes opportunistically.
-        return self.write_buffer.peek_all()
+        return self.write_buffer.entries
 
     def _dispatch(self) -> None:
-        """Issue as many requests as bank availability allows, then re-arm."""
-        issued = True
-        while issued:
-            issued = False
-            self._update_phase()
-            candidates = self._candidates()
+        """Issue as many requests as bank availability allows, then re-arm.
+
+        Runs once per controller wake, scanning every pending request per
+        pass — the phase update and candidate selection (`_update_phase` /
+        `_candidates`) are inlined here because the call overhead alone was
+        visible in whole-simulation profiles.
+        """
+        banks = self.banks
+        mapper = self.mapper
+        write_buffer = self.write_buffer
+        wb_entries = write_buffer.entries
+        read_queue = self.read_queue
+        capacity = write_buffer.capacity
+        low_watermark = self.config.drain_low_watermark
+        now = self.queue.now
+        while True:
+            phase = self.phase
+            if phase is Phase.READ:
+                if len(wb_entries) >= capacity:
+                    self.phase = phase = Phase.WRITE_DRAIN
+                    self.stats.counter("write_drain_phases").increment()
+            elif len(wb_entries) <= low_watermark:
+                self.phase = phase = Phase.READ
+            if phase is Phase.WRITE_DRAIN:
+                candidates = wb_entries
+            elif read_queue:
+                candidates = read_queue
+            else:
+                # Read phase, empty read queue: drain writes opportunistically.
+                candidates = wb_entries
             if not candidates:
                 return
-            request = select_fr_fcfs(candidates, self.banks, self.mapper, self.queue.now)
-            if request is not None:
-                bank = self.banks[self.mapper.bank_of(request.block_addr)]
-                row = self.mapper.row_of(request.block_addr)
-                if not bank.would_hit(row):
-                    # Row miss: an ACTIVATE is needed; honour tRRD/tFAW.
-                    act_ready = self._activate_ready_time()
-                    if act_ready > self.queue.now:
-                        # Wake at the ACT window or when a bank frees (a row
-                        # hit may become issueable first), whichever is sooner.
-                        now = self.queue.now
-                        busy = [
-                            b.busy_until for b in self.banks if b.busy_until > now
-                        ]
-                        self._schedule_wake(min([act_ready] + busy))
-                        return
-                self._issue(request)
-                issued = True
+            request = select_fr_fcfs(candidates, banks, mapper, now)
+            if request is None:
+                break
+            if request.row != request.bank.open_row:
+                # Row miss: an ACTIVATE is needed; honour tRRD/tFAW.
+                act_ready = self._activate_ready_time()
+                if act_ready > now:
+                    # Wake at the ACT window or when a bank frees (a row
+                    # hit may become issueable first), whichever is sooner.
+                    busy = [b.busy_until for b in banks if b.busy_until > now]
+                    self._schedule_wake(min([act_ready] + busy))
+                    return
+            self._issue(request)
         # The banks we need are blocked: wake when the first candidate's
         # bank becomes ready (command slot and write recovery considered).
-        now = self.queue.now
-        ready_times = []
-        for request in self._candidates():
-            bank = self.banks[self.mapper.bank_of(request.block_addr)]
-            ready_times.append(bank.ready_time(self.mapper.row_of(request.block_addr)))
-        future = [t for t in ready_times if t > now]
-        self._schedule_wake(min(future) if future else now + 1)
+        wake_at = None
+        for request in candidates:
+            bank = request.bank
+            ready = bank.busy_until
+            if request.row != bank.open_row and bank.write_recovery_until > ready:
+                ready = bank.write_recovery_until
+            if ready > now and (wake_at is None or ready < wake_at):
+                wake_at = ready
+        self._schedule_wake(wake_at if wake_at is not None else now + 1)
 
     def _activate_ready_time(self) -> int:
         """Earliest cycle the next ACTIVATE may issue (tRRD / tFAW)."""
@@ -196,13 +248,16 @@ class MemoryController:
         self._recent_activates.append(when)
         if len(self._recent_activates) > 4:
             del self._recent_activates[0]
-        self.stats.counter("activates").increment()
+        counter = self._c_activates
+        if counter is None:
+            counter = self._c_activates = self.stats.counter("activates")
+        counter.value += 1
 
     def _issue(self, request: MemoryRequest) -> None:
         now = self.queue.now
-        bank = self.banks[self.mapper.bank_of(request.block_addr)]
-        row = self.mapper.row_of(request.block_addr)
-        row_hit = bank.would_hit(row)
+        bank = request.bank
+        row = request.row
+        row_hit = row == bank.open_row
         if not row_hit:
             self._record_activate(now)
 
@@ -215,7 +270,12 @@ class MemoryController:
             self._last_was_write != request.is_write
         ):
             bus_ready += self.config.t_turnaround
-            self.stats.counter("bus_turnarounds").increment()
+            counter = self._c_bus_turnarounds
+            if counter is None:
+                counter = self._c_bus_turnarounds = self.stats.counter(
+                    "bus_turnarounds"
+                )
+            counter.value += 1
         burst_start = max(data_ready, bus_ready)
         finish = burst_start + self.config.t_burst
         self.bus_free_time = finish
@@ -229,16 +289,39 @@ class MemoryController:
         request.complete_time = finish
         if request.is_write:
             self.write_buffer.remove(request)
-            self.stats.rate("write_row_hit_rate").record(row_hit)
-            self.stats.counter("dram_writes_performed").increment()
+            rate = self._r_write_row_hit
+            if rate is None:
+                rate = self._r_write_row_hit = self.stats.rate("write_row_hit_rate")
+            rate.total += 1
+            if row_hit:
+                rate.hits += 1
+            counter = self._c_dram_writes
+            if counter is None:
+                counter = self._c_dram_writes = self.stats.counter(
+                    "dram_writes_performed"
+                )
+            counter.value += 1
         else:
             self.read_queue.remove(request)
-            self.stats.rate("read_row_hit_rate").record(row_hit)
-            self.stats.counter("dram_reads_performed").increment()
+            rate = self._r_read_row_hit
+            if rate is None:
+                rate = self._r_read_row_hit = self.stats.rate("read_row_hit_rate")
+            rate.total += 1
+            if row_hit:
+                rate.hits += 1
+            counter = self._c_dram_reads
+            if counter is None:
+                counter = self._c_dram_reads = self.stats.counter(
+                    "dram_reads_performed"
+                )
+            counter.value += 1
             self._complete_read(request, finish + self.config.bus_queue_latency)
 
     def _complete_read(self, request: MemoryRequest, when: int) -> None:
         request.complete_time = when
-        self.stats.distribution("read_latency").record(when - request.arrival_time)
+        dist = self._d_read_latency
+        if dist is None:
+            dist = self._d_read_latency = self.stats.distribution("read_latency")
+        dist.record(when - request.arrival_time)
         if request.on_complete is not None:
             self.queue.schedule(when, lambda req=request: req.on_complete(req))

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 
-@dataclass
+@dataclass(eq=False)
 class MemoryRequest:
     """One block-sized read or write issued to the memory controller.
 
@@ -19,6 +19,10 @@ class MemoryRequest:
         on_complete: callback fired (with this request) when data returns;
             writes typically pass None.
         issue_time / complete_time: filled in by the controller for stats.
+
+    Requests compare by identity (``eq=False``): each is a unique in-flight
+    transaction, and the controller's queue removals must not pay a
+    field-by-field comparison per scanned entry.
     """
 
     block_addr: int
@@ -30,6 +34,11 @@ class MemoryRequest:
     )
     issue_time: Optional[int] = None
     complete_time: Optional[int] = None
+    #: Cached address decode, filled in by the controller on acceptance so
+    #: the FR-FCFS scan does not re-decode every candidate on every pass.
+    #: ``bank`` is the Bank object itself; ``row`` its per-bank row index.
+    bank: Optional[object] = field(default=None, repr=False, compare=False)
+    row: Optional[int] = field(default=None, repr=False, compare=False)
 
     @property
     def latency(self) -> Optional[int]:

@@ -33,15 +33,27 @@ def select_fr_fcfs(
         The first row-hit request whose bank is free, else the oldest request
         whose bank is free, else None.
     """
+    # This scan runs on every controller dispatch pass over every pending
+    # request, so the bank-readiness checks are inlined rather than going
+    # through Bank.is_ready/would_hit, and the (bank, row) decode is cached
+    # on the request (the controller fills it in on acceptance; requests
+    # built directly by tests are decoded here on first sight).
     oldest_ready: Optional[MemoryRequest] = None
     for request in candidates:
-        bank = banks[mapper.bank_of(request.block_addr)]
-        row = mapper.row_of(request.block_addr)
-        if not bank.is_ready(row, now):
-            continue
-        if bank.would_hit(row):
-            return request  # first-ready row hit wins immediately
-        if oldest_ready is None:
+        bank = request.bank
+        if bank is None:
+            addr = request.block_addr
+            bank = request.bank = banks[mapper.bank_of(addr)]
+            request.row = mapper.row_of(addr)
+        row = request.row
+        if row == bank.open_row:
+            if bank.busy_until <= now:
+                return request  # first-ready row hit wins immediately
+        elif (
+            bank.busy_until <= now
+            and bank.write_recovery_until <= now
+            and oldest_ready is None
+        ):
             oldest_ready = request
     return oldest_ready
 

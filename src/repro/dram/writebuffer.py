@@ -59,6 +59,12 @@ class WriteBuffer:
         self._entries.append(request)
         self._by_addr[request.block_addr] = request
 
+    @property
+    def entries(self) -> List[MemoryRequest]:
+        """The live FIFO-ordered entry list. Callers must not mutate it;
+        the controller's scheduling scans use it to avoid per-pass copies."""
+        return self._entries
+
     def peek_all(self) -> List[MemoryRequest]:
         """Snapshot of buffered writes in FIFO order (for the scheduler)."""
         return list(self._entries)

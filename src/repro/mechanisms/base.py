@@ -61,12 +61,24 @@ class LlcMechanism:
         self._pending_fills: Dict[int, List[Callable[[int], None]]] = {}
         self._writeback_overflow: Deque[int] = deque()
         self._retry_pending = False
+        # Hot-path counters, bound lazily so the exported stat set stays
+        # byte-identical to creation-on-first-increment.
+        self._c_read_requests = None
+        self._c_read_hits = None
+        self._c_read_misses = None
+        self._c_writeback_requests = None
+        self._c_memory_writebacks = None
+        self._c_tag_lookups = None
+        self._c_tag_lookups_core: Dict[int, object] = {}
 
     # ------------------------------------------------------------ read path
 
     def read(self, core_id: int, addr: int, on_data: Callable[[int], None]) -> None:
         """Demand read from an L2 miss; ``on_data(addr)`` fires when served."""
-        self.stats.counter("read_requests").increment()
+        counter = self._c_read_requests
+        if counter is None:
+            counter = self._c_read_requests = self.stats.counter("read_requests")
+        counter.value += 1
         self._lookup_for_read(core_id, addr, on_data)
 
     def _lookup_for_read(
@@ -81,13 +93,19 @@ class LlcMechanism:
     ) -> None:
         self._count_tag_lookup(core_id)
         if self.llc.lookup(addr, core_id):
-            self.stats.counter("read_hits").increment()
+            counter = self._c_read_hits
+            if counter is None:
+                counter = self._c_read_hits = self.stats.counter("read_hits")
+            counter.value += 1
             self._train_predictor(core_id, addr, hit=True)
             self.queue.schedule_after(
                 self.llc.config.hit_latency, lambda: on_data(addr)
             )
             return
-        self.stats.counter("read_misses").increment()
+        counter = self._c_read_misses
+        if counter is None:
+            counter = self._c_read_misses = self.stats.counter("read_misses")
+        counter.value += 1
         self._train_predictor(core_id, addr, hit=False)
         self.queue.schedule_after(
             self.llc.config.miss_detect_latency,
@@ -138,7 +156,12 @@ class LlcMechanism:
 
     def writeback(self, core_id: int, addr: int) -> None:
         """Writeback request from the previous cache level (L2 dirty evict)."""
-        self.stats.counter("writeback_requests").increment()
+        counter = self._c_writeback_requests
+        if counter is None:
+            counter = self._c_writeback_requests = self.stats.counter(
+                "writeback_requests"
+            )
+        counter.value += 1
         self.port.request(
             lambda: self._writeback_granted(core_id, addr), PortPriority.DEMAND
         )
@@ -179,7 +202,12 @@ class LlcMechanism:
 
     def _send_memory_write(self, addr: int) -> None:
         """Queue a block writeback to memory, retrying under back-pressure."""
-        self.stats.counter("memory_writebacks").increment()
+        counter = self._c_memory_writebacks
+        if counter is None:
+            counter = self._c_memory_writebacks = self.stats.counter(
+                "memory_writebacks"
+            )
+        counter.value += 1
         if self.checker is not None:
             self.checker.on_memory_writeback(addr)
         accepted = self.memory.enqueue_write(
@@ -208,9 +236,17 @@ class LlcMechanism:
     # -------------------------------------------------------------- stats
 
     def _count_tag_lookup(self, core_id: int) -> None:
-        self.stats.counter("tag_lookups").increment()
+        counter = self._c_tag_lookups
+        if counter is None:
+            counter = self._c_tag_lookups = self.stats.counter("tag_lookups")
+        counter.value += 1
         if core_id >= 0:
-            self.stats.counter(f"tag_lookups_core{core_id}").increment()
+            per_core = self._c_tag_lookups_core.get(core_id)
+            if per_core is None:
+                per_core = self._c_tag_lookups_core[core_id] = self.stats.counter(
+                    f"tag_lookups_core{core_id}"
+                )
+            per_core.value += 1
 
     def is_idle(self) -> bool:
         """No fills in flight and no writebacks waiting (end-of-run check)."""

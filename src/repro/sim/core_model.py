@@ -64,6 +64,12 @@ class OooCore:
         self.warmed = warmup_instructions == 0
         self._measure_start_cycle = 0
         self.stats = StatGroup(f"core{core_id}")
+        # Per-instruction counters, bound lazily (see Cache for rationale).
+        self._c_loads = None
+        self._c_stores = None
+        self._c_window_stalls = None
+        self._c_mshr_stalls = None
+        self._d_load_latency = None
 
         self._records = trace.records
         self._pos = 0
@@ -112,14 +118,24 @@ class OooCore:
                 oldest = min(self._outstanding)
                 if oldest <= mem_instr_index - self.window:
                     self._waiting = True
-                    self.stats.counter("window_stalls").increment()
+                    counter = self._c_window_stalls
+                    if counter is None:
+                        counter = self._c_window_stalls = self.stats.counter(
+                            "window_stalls"
+                        )
+                    counter.value += 1
                     return
             if (
                 not is_write
                 and len(self._outstanding) >= self.max_outstanding_loads
             ):
                 self._waiting = True
-                self.stats.counter("mshr_stalls").increment()
+                counter = self._c_mshr_stalls
+                if counter is None:
+                    counter = self._c_mshr_stalls = self.stats.counter(
+                        "mshr_stalls"
+                    )
+                counter.value += 1
                 return
 
             if issue_at > self.queue.now:
@@ -135,10 +151,16 @@ class OooCore:
             self._issue_time = issue_cycle + 1
 
             if is_write:
-                self.stats.counter("stores").increment()
+                counter = self._c_stores
+                if counter is None:
+                    counter = self._c_stores = self.stats.counter("stores")
+                counter.value += 1
                 self.hierarchy.store(self.core_id, addr)
             else:
-                self.stats.counter("loads").increment()
+                counter = self._c_loads
+                if counter is None:
+                    counter = self._c_loads = self.stats.counter("loads")
+                counter.value += 1
                 index = mem_instr_index
                 hit = self.hierarchy.load(
                     self.core_id, addr, lambda a, index=index: self._load_done(index)
@@ -162,9 +184,12 @@ class OooCore:
     def _load_done(self, instr_index: int) -> None:
         issue_cycle = self._outstanding.pop(instr_index, None)
         if issue_cycle is not None:
-            self.stats.distribution("load_latency").record(
-                self.queue.now - issue_cycle
-            )
+            dist = self._d_load_latency
+            if dist is None:
+                dist = self._d_load_latency = self.stats.distribution(
+                    "load_latency"
+                )
+            dist.record(self.queue.now - issue_cycle)
         if self.measured_ipc is None and self._instr_count >= self.instruction_limit:
             self._maybe_record()
         if self._waiting and not self.finished:

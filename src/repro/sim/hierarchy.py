@@ -59,17 +59,27 @@ class Hierarchy:
             self.core_stats.append(StatGroup(f"hier_core{core}"))
         self._l1_config = l1_config
         self._l2_config = l2_config
+        # Per-(core, stat) counters, bound on first use so the per-access
+        # paths skip the StatGroup name lookup; lazy so the exported stat
+        # set stays byte-identical to creation-on-first-increment.
+        self._bound: List[dict] = [{} for _ in range(num_cores)]
+
+    def _count(self, core_id: int, name: str) -> None:
+        bound = self._bound[core_id]
+        counter = bound.get(name)
+        if counter is None:
+            counter = bound[name] = self.core_stats[core_id].counter(name)
+        counter.value += 1
 
     # ------------------------------------------------------------- loads
 
     def load(self, core_id: int, addr: int, on_complete: Callable[[int], None]) -> bool:
         """Issue a load. Returns True iff it hit in the L1 (synchronous)."""
-        stats = self.core_stats[core_id]
         l1 = self.l1s[core_id]
         if l1.lookup(addr, core_id):
-            stats.counter("l1_hits").increment()
+            self._count(core_id, "l1_hits")
             return True
-        stats.counter("l1_misses").increment()
+        self._count(core_id, "l1_misses")
         self._miss_to_l2(core_id, addr, on_complete)
         return False
 
@@ -86,23 +96,22 @@ class Hierarchy:
         )
 
     def _access_l2(self, core_id: int, addr: int) -> None:
-        stats = self.core_stats[core_id]
         l2 = self.l2s[core_id]
         if l2.lookup(addr, core_id):
-            stats.counter("l2_hits").increment()
+            self._count(core_id, "l2_hits")
             self.queue.schedule_after(
                 self._l2_config.hit_latency,
                 lambda: self._fill_l1(core_id, addr),
             )
             return
-        stats.counter("l2_misses").increment()
+        self._count(core_id, "l2_misses")
         self.queue.schedule_after(
             self._l2_config.miss_detect_latency,
             lambda: self._read_llc(core_id, addr),
         )
 
     def _read_llc(self, core_id: int, addr: int) -> None:
-        self.core_stats[core_id].counter("llc_reads").increment()
+        self._count(core_id, "llc_reads")
         self.mechanism.read(core_id, addr, lambda a: self._llc_data(core_id, a))
 
     def _llc_data(self, core_id: int, addr: int) -> None:
@@ -114,7 +123,7 @@ class Hierarchy:
     def _fill_l2(self, core_id: int, addr: int) -> None:
         evicted = self.l2s[core_id].insert(addr, core_id=core_id, dirty=False)
         if evicted is not None and evicted.dirty:
-            self.core_stats[core_id].counter("l2_writebacks").increment()
+            self._count(core_id, "l2_writebacks")
             self.mechanism.writeback(core_id, evicted.addr)
 
     def _fill_l1(self, core_id: int, addr: int) -> None:
@@ -127,7 +136,7 @@ class Hierarchy:
 
     def _writeback_to_l2(self, core_id: int, addr: int) -> None:
         """A dirty L1 victim lands in the L2 (writeback-allocate)."""
-        self.core_stats[core_id].counter("l1_writebacks").increment()
+        self._count(core_id, "l1_writebacks")
         l2 = self.l2s[core_id]
         if l2.contains(addr):
             l2.mark_dirty(addr)
@@ -135,20 +144,19 @@ class Hierarchy:
             return
         evicted = l2.insert(addr, core_id=core_id, dirty=True)
         if evicted is not None and evicted.dirty:
-            self.core_stats[core_id].counter("l2_writebacks").increment()
+            self._count(core_id, "l2_writebacks")
             self.mechanism.writeback(core_id, evicted.addr)
 
     # -------------------------------------------------------------- stores
 
     def store(self, core_id: int, addr: int) -> None:
         """Write-allocate store; never blocks the core (store buffer)."""
-        stats = self.core_stats[core_id]
         l1 = self.l1s[core_id]
         if l1.lookup(addr, core_id):
-            stats.counter("store_hits").increment()
+            self._count(core_id, "store_hits")
             l1.mark_dirty(addr)
             return
-        stats.counter("store_misses").increment()
+        self._count(core_id, "store_misses")
         self._miss_to_l2(
             core_id, addr, lambda a: self.l1s[core_id].mark_dirty(a)
         )

@@ -180,10 +180,12 @@ class System:
     ``check`` selects runtime verification ("off", "cheap" or "full"; see
     :mod:`repro.check`). ``soft_errors`` attaches a seeded
     :class:`~repro.core.ecc.SoftErrorInjector` that upsets resident LLC
-    blocks during the run (the ``repro reliability`` experiment). Both are
-    deliberately *not* part of :class:`SystemConfig`: they only observe —
-    results are byte-identical either way — so sweep-cache keys (derived
-    from the config) must not depend on them.
+    blocks during the run (the ``repro reliability`` experiment).
+    ``profiler`` attaches a per-event time-share hook (see
+    :mod:`repro.sim.profiler`). All three are deliberately *not* part of
+    :class:`SystemConfig`: they only observe — results are byte-identical
+    either way — so sweep-cache keys (derived from the config) must not
+    depend on them.
     """
 
     def __init__(
@@ -192,6 +194,7 @@ class System:
         traces: Sequence[Trace],
         check: str = "off",
         soft_errors: Optional["SoftErrorConfig"] = None,
+        profiler: Optional["SimProfiler"] = None,
     ) -> None:
         if len(traces) != config.num_cores:
             raise ValueError(
@@ -268,6 +271,9 @@ class System:
 
             self.soft_errors = SoftErrorInjector(self, soft_errors)
             self.soft_errors.attach()
+
+        if profiler is not None:
+            self.queue.profiler = profiler
 
     def _all_stat_groups(self):
         groups = [
@@ -359,7 +365,10 @@ def run_system(
     max_events: Optional[int] = None,
     check: str = "off",
     soft_errors: Optional["SoftErrorConfig"] = None,
+    profiler: Optional["SimProfiler"] = None,
 ) -> SimulationResult:
     """Convenience one-shot: build a System and run it."""
-    system = System(config, traces, check=check, soft_errors=soft_errors)
+    system = System(
+        config, traces, check=check, soft_errors=soft_errors, profiler=profiler
+    )
     return system.run(max_events=max_events)

@@ -3,35 +3,53 @@
 A single :class:`EventQueue` drives the whole system: cores, caches and the
 DRAM controller all schedule callbacks on it. Events at the same timestamp
 fire in scheduling order (FIFO), which keeps runs deterministic.
+
+The queue is a *calendar* structure: events land in a per-timestamp bucket
+(a plain list, so same-cycle FIFO order is the append order) and a small
+heap orders only the **distinct** timestamps. A simulated cycle typically
+carries several events (a port grant, a bank wake, a core advance), so the
+heap shrinks by the per-cycle fan-out factor and — unlike a heap of events —
+needs no per-event comparisons at all. The previous implementation heapified
+every event and spent a measurable share of the whole simulation inside the
+generated ``Event.__lt__``.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Callable, List
+from typing import Callable, Dict, List, Optional
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback. Ordered by (time, sequence number)."""
+    """A scheduled callback, handed back to the caller for cancellation."""
 
-    time: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    #: Audit events observe without being accounted: they are excluded from
-    #: ``events_processed`` and from ``run()``'s ``max_events`` budget, so an
-    #: attached checker cannot change what an unchecked run reports or does.
-    audit: bool = field(default=False, compare=False)
+    __slots__ = ("time", "callback", "cancelled", "audit")
+
+    def __init__(
+        self, time: int, callback: Callable[[], None], audit: bool = False
+    ) -> None:
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+        #: Audit events observe without being accounted: they are excluded
+        #: from ``events_processed`` and from ``run()``'s ``max_events``
+        #: budget, so an attached checker cannot change what an unchecked
+        #: run reports or does.
+        self.audit = audit
 
     def cancel(self) -> None:
         """Mark the event so it is skipped when popped."""
         self.cancelled = True
 
+    def __repr__(self) -> str:
+        flags = "cancelled" if self.cancelled else "pending"
+        if self.audit:
+            flags += ",audit"
+        return f"Event(t={self.time}, {flags})"
+
 
 class EventQueue:
-    """Priority queue of timed callbacks with a monotonically advancing clock.
+    """Calendar queue of timed callbacks with a monotonically advancing clock.
 
     Example:
         >>> q = EventQueue()
@@ -43,13 +61,25 @@ class EventQueue:
     """
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
-        self._seq = 0
+        self._buckets: Dict[int, List[Event]] = {}
+        self._times: List[int] = []  # heap of distinct bucket timestamps
+        self._pos = 0  # fired prefix of the earliest bucket
         self.now = 0
         self._events_processed = 0
+        #: Optional per-event timing hook (see :mod:`repro.sim.profiler`).
+        #: When set, every callback runs as ``profiler(callback)`` instead of
+        #: ``callback()``; when None the hot loop pays one attribute read.
+        self.profiler: Optional[Callable[[Callable[[], None]], None]] = None
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        head = self._times[0] if self._times else None
+        total = 0
+        for time, bucket in self._buckets.items():
+            start = self._pos if time == head else 0
+            for index in range(start, len(bucket)):
+                if not bucket[index].cancelled:
+                    total += 1
+        return total
 
     @property
     def events_processed(self) -> int:
@@ -66,9 +96,13 @@ class EventQueue:
         """
         if time < self.now:
             raise ValueError(f"cannot schedule at t={time} before now={self.now}")
-        event = Event(time, self._seq, callback, audit=audit)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        event = Event(time, callback, audit)
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [event]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(event)
         return event
 
     def schedule_after(
@@ -79,18 +113,44 @@ class EventQueue:
             raise ValueError(f"delay must be non-negative, got {delay}")
         return self.schedule(self.now + delay, callback, audit=audit)
 
+    def _next_event(self) -> Optional[Event]:
+        """The next live event, discarding cancelled ones and dry buckets."""
+        times = self._times
+        buckets = self._buckets
+        while times:
+            head = times[0]
+            bucket = buckets[head]
+            pos = self._pos
+            size = len(bucket)
+            while pos < size:
+                event = bucket[pos]
+                if not event.cancelled:
+                    self._pos = pos
+                    return event
+                pos += 1
+            # Bucket drained. A callback may still append to it at the
+            # current cycle before the next step, so only now is it safe to
+            # retire the timestamp.
+            self._pos = 0
+            heapq.heappop(times)
+            del buckets[head]
+        return None
+
     def step(self) -> bool:
         """Fire the next non-cancelled event. Returns False if queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.now = event.time
-            if not event.audit:
-                self._events_processed += 1
+        event = self._next_event()
+        if event is None:
+            return False
+        self._pos += 1
+        self.now = event.time
+        if not event.audit:
+            self._events_processed += 1
+        profiler = self.profiler
+        if profiler is None:
             event.callback()
-            return True
-        return False
+        else:
+            profiler(event.callback)
+        return True
 
     def run(self, until: int = None, max_events: int = None) -> None:
         """Run until the queue drains, ``until`` is reached, or event budget ends.
@@ -99,18 +159,62 @@ class EventQueue:
             until: stop once the clock would pass this timestamp (inclusive).
             max_events: safety valve against runaway simulations.
         """
+        # The hot loop of the whole simulator: the queue stays resident in
+        # one bucket until it drains, so per-event work is an index, a flag
+        # test and the callback — no heap traffic, no dict lookups.
+        times = self._times
+        buckets = self._buckets
+        heappop = heapq.heappop
+        bounded = max_events is not None
         fired = 0
-        while self._heap:
-            if max_events is not None and fired >= max_events:
-                return
-            next_event = self._heap[0]
-            if next_event.cancelled:
-                heapq.heappop(self._heap)
+        while times:
+            head = times[0]
+            bucket = buckets[head]
+            pos = self._pos
+            size = len(bucket)
+            while pos < size and bucket[pos].cancelled:
+                pos += 1
+            if pos == size:
+                self._pos = 0
+                heappop(times)
+                del buckets[head]
                 continue
-            if until is not None and next_event.time > until:
+            if until is not None and head > until:
+                self._pos = pos
                 self.now = until
                 return
-            if not self.step():
-                return
-            if not next_event.audit:
+            self.now = head
+            # Fire through the bucket. Callbacks may append same-cycle events
+            # to it, so the size is re-read every iteration; they never
+            # remove (cancel only flags), so positions are stable.
+            while pos < len(bucket):
+                event = bucket[pos]
+                if event.cancelled:
+                    pos += 1
+                    continue
+                if event.audit:
+                    pos += 1
+                    self._pos = pos
+                    profiler = self.profiler
+                    if profiler is None:
+                        event.callback()
+                    else:
+                        profiler(event.callback)
+                    continue
+                if bounded and fired >= max_events:
+                    self._pos = pos
+                    return
+                pos += 1
+                self._pos = pos
+                self._events_processed += 1
                 fired += 1
+                profiler = self.profiler
+                if profiler is None:
+                    event.callback()
+                else:
+                    profiler(event.callback)
+            # Drained; a later callback scheduling at this same cycle simply
+            # recreates the bucket (the timestamp re-enters the heap).
+            self._pos = 0
+            heappop(times)
+            del buckets[head]

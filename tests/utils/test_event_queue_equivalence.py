@@ -1,0 +1,185 @@
+"""Equivalence of the calendar EventQueue with a reference heap-of-events.
+
+The calendar queue (per-timestamp buckets + a heap of distinct timestamps)
+replaced a straightforward ``heapq`` of ``(time, seq)``-ordered events. These
+tests pin the contract the rest of the simulator relies on: identical firing
+order — including same-cycle FIFO, re-entrant scheduling and cancellation —
+on randomized schedules, and identical ``until``/``max_events`` semantics.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.utils.events import EventQueue
+
+
+class ReferenceQueue:
+    """The old implementation's semantics: one heap ordered by (time, seq)."""
+
+    def __init__(self):
+        self._heap = []
+        self._seq = 0
+        self.now = 0
+
+    def schedule(self, time, callback):
+        if time < self.now:
+            raise ValueError("past")
+        entry = [time, self._seq, callback, False]  # [time, seq, cb, cancelled]
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def run(self, until=None, max_events=None):
+        fired = 0
+        while self._heap:
+            entry = self._heap[0]
+            if entry[3]:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and entry[0] > until:
+                self.now = until
+                return
+            if max_events is not None and fired >= max_events:
+                return
+            heapq.heappop(self._heap)
+            self.now = entry[0]
+            entry[2]()
+            fired += 1
+
+
+def random_workload(queue, rng, log, depth=3):
+    """Schedule a randomized mix of plain, re-entrant and cancelled events."""
+    handles = []
+    for i in range(200):
+        time = rng.randrange(0, 50)
+
+        def make_cb(tag, time=None):
+            def cb():
+                log.append((queue.now, tag))
+
+            return cb
+
+        def make_reentrant(tag, offset):
+            def cb():
+                log.append((queue.now, tag))
+                # Same-cycle and future re-entrant scheduling.
+                queue.schedule(queue.now + offset, make_cb((tag, "child")))
+
+            return cb
+
+        kind = rng.random()
+        if kind < 0.2:
+            handles.append(queue.schedule(time, make_cb(i)))
+        elif kind < 0.4:
+            queue.schedule(time, make_reentrant(i, rng.choice((0, 0, 1, 7))))
+        else:
+            queue.schedule(time, make_cb(i))
+    # Cancel a deterministic subset of the plain events.
+    for index, handle in enumerate(handles):
+        if index % 3 == 0:
+            if isinstance(handle, list):
+                handle[3] = True
+            else:
+                handle.cancel()
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_randomized_schedules_fire_in_identical_order(seed):
+    actual_log, expected_log = [], []
+    actual = EventQueue()
+    expected = ReferenceQueue()
+    random_workload(actual, random.Random(seed), actual_log)
+    random_workload(expected, random.Random(seed), expected_log)
+    actual.run()
+    expected.run()
+    assert actual_log == expected_log
+    assert actual.now == expected.now
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("until", (0, 13, 49, 200))
+def test_until_matches_reference(seed, until):
+    actual_log, expected_log = [], []
+    actual = EventQueue()
+    expected = ReferenceQueue()
+    random_workload(actual, random.Random(seed), actual_log)
+    random_workload(expected, random.Random(seed), expected_log)
+    actual.run(until=until)
+    expected.run(until=until)
+    assert actual_log == expected_log
+    assert actual.now == expected.now
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("max_events", (0, 1, 17, 10_000))
+def test_max_events_matches_reference(seed, max_events):
+    actual_log, expected_log = [], []
+    actual = EventQueue()
+    expected = ReferenceQueue()
+    random_workload(actual, random.Random(seed), actual_log)
+    random_workload(expected, random.Random(seed), expected_log)
+    actual.run(max_events=max_events)
+    expected.run(max_events=max_events)
+    assert actual_log == expected_log
+
+
+def test_same_cycle_events_fire_fifo_across_bucket_recreation():
+    """A callback scheduling at the *current* cycle after its bucket drained
+    must still fire this cycle, after everything already scheduled there."""
+    queue = EventQueue()
+    log = []
+    queue.schedule(5, lambda: log.append("a"))
+    queue.schedule(
+        5, lambda: (log.append("b"), queue.schedule(5, lambda: log.append("d")))
+    )
+    queue.schedule(5, lambda: log.append("c"))
+    queue.run()
+    assert log == ["a", "b", "c", "d"]
+    assert queue.now == 5
+
+
+def test_cancelled_tail_does_not_stall_the_queue():
+    queue = EventQueue()
+    log = []
+    keep = queue.schedule(3, lambda: log.append("keep"))
+    for _ in range(5):
+        queue.schedule(3, lambda: log.append("cancelled")).cancel()
+    queue.schedule(9, lambda: log.append("later"))
+    queue.run()
+    assert log == ["keep", "later"]
+    assert not keep.cancelled
+
+
+def test_interleaved_run_calls_resume_mid_bucket():
+    queue = EventQueue()
+    log = []
+    for i in range(4):
+        queue.schedule(2, lambda i=i: log.append(i))
+    queue.run(max_events=2)
+    assert log == [0, 1]
+    queue.run()
+    assert log == [0, 1, 2, 3]
+    assert queue.events_processed == 4
+
+
+def test_audit_events_fire_but_are_not_accounted():
+    queue = EventQueue()
+    log = []
+    queue.schedule(1, lambda: log.append("real"))
+    queue.schedule(1, lambda: log.append("audit"), audit=True)
+    queue.schedule(2, lambda: log.append("real2"))
+    queue.run(max_events=2)
+    assert log == ["real", "audit", "real2"]
+    assert queue.events_processed == 2
+
+
+def test_len_counts_only_live_pending_events():
+    queue = EventQueue()
+    queue.schedule(1, lambda: None)
+    queue.schedule(1, lambda: None).cancel()
+    queue.schedule(4, lambda: None)
+    assert len(queue) == 2
+    queue.run(max_events=1)
+    assert len(queue) == 1

@@ -1,90 +1,142 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 test suite plus verification passes.
 #
+# Usage:
+#   tools/ci.sh                  # run every stage, in order
+#   tools/ci.sh tier1 chaos      # run only the named stages, in the order given
+#
 # Stages:
-#   1. tier-1 suite      — fast tests (slow/fuzz markers excluded by addopts);
-#                          runs under coverage when pytest-cov is installed,
-#                          enforcing the fail-under floor below.
-#   2. slow + fuzz suite — long-running integration tests and the hypothesis
-#                          fuzz layer over the checked simulator.
-#   3. differential      — `repro check-diff` replays a trace through every
-#                          mechanism and the untimed golden model; any
-#                          architectural divergence fails the build.
-#   4. checked smoke run — one full timing simulation with `--check full`
-#                          (invariant sweeps + writeback-conservation ledger).
-#   5. sweep cache smoke — one figure runner through the SweepRunner with 2
-#                          workers and a fresh cache, twice; the second pass
-#                          must be answered from the cache, byte-identically.
-#   6. chaos stage       — the same sweep under seeded worker crashes, hangs
-#                          and cache corruption at p=0.3 with --keep-going;
-#                          the recovered output must be byte-identical to
-#                          the fault-free run. Plus a reliability smoke: the
-#                          soft-error experiment must show zero data loss
-#                          for DBI-tracked domains.
+#   tier1        — fast tests (slow/fuzz markers excluded by addopts) with
+#                  --strict-markers; runs under coverage when pytest-cov is
+#                  installed, enforcing the fail-under floor below.
+#   slowfuzz     — long-running integration tests and the hypothesis fuzz
+#                  layer over the checked simulator.
+#   differential — `repro check-diff` replays a trace through every mechanism
+#                  and the untimed golden model; any architectural divergence
+#                  fails the build.
+#   checked      — one full timing simulation with `--check full` (invariant
+#                  sweeps + writeback-conservation ledger).
+#   sweep        — one figure runner through the SweepRunner with 2 workers
+#                  and a fresh cache, twice; the second pass must be answered
+#                  from the cache, byte-identically.
+#   chaos        — the same sweep under seeded worker crashes, hangs and
+#                  cache corruption at p=0.3 with --keep-going; the recovered
+#                  output must be byte-identical to the fault-free run.
+#   reliability  — soft-error smoke: the heterogeneous-ECC experiment must
+#                  show zero data loss for DBI-tracked domains.
+#   perf         — tools/perf_gate.py measures quick-scale fig6 cells and
+#                  fails on a >20% events/sec regression vs BENCH_baseline.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
 COV_FAIL_UNDER=${COV_FAIL_UNDER:-80}
+ALL_STAGES=(tier1 slowfuzz differential checked sweep chaos reliability perf)
 
-echo "== tier-1 test suite =="
-if python -c "import pytest_cov" 2>/dev/null; then
-    python -m pytest -x -q --cov=repro --cov-report=term-missing \
-        --cov-fail-under="$COV_FAIL_UNDER"
-else
-    echo "(pytest-cov not installed; running without coverage — install with"
-    echo " 'pip install .[cov]' to enforce the ${COV_FAIL_UNDER}% floor)"
-    python -m pytest -x -q
-fi
-
-echo "== slow + fuzz suite =="
-python -m pytest -x -q -m "slow or fuzz"
-
-echo "== differential validation (all mechanisms vs golden model) =="
-python -m repro check-diff --refs 2000
-
-echo "== checked-mode smoke run (--check full) =="
-python -m repro run lbm dbi+awb --scale quick --refs 4000 --check full
-
-echo "== 2-worker smoke sweep (figure 6 subset) =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
+
+stage_tier1() {
+    if python -c "import pytest_cov" 2>/dev/null; then
+        python -m pytest -x -q --strict-markers --cov=repro \
+            --cov-report=term-missing --cov-fail-under="$COV_FAIL_UNDER"
+    else
+        echo "(pytest-cov not installed; running without coverage — install with"
+        echo " 'pip install .[cov]' to enforce the ${COV_FAIL_UNDER}% floor)"
+        python -m pytest -x -q --strict-markers
+    fi
+}
+
+stage_slowfuzz() {
+    python -m pytest -x -q --strict-markers -m "slow or fuzz"
+}
+
+stage_differential() {
+    python -m repro check-diff --refs 2000
+}
+
+stage_checked() {
+    python -m repro run lbm dbi+awb --scale quick --refs 4000 --check full
+}
+
 sweep() {
     python -m repro experiment fig6 --scale quick \
         --benchmarks mcf,bzip2 --workers 2 --cache-dir "$tmp/cache" --quiet
 }
-sweep > "$tmp/cold.txt"
-sweep > "$tmp/warm.txt"
-if ! cmp -s "$tmp/cold.txt" "$tmp/warm.txt"; then
-    echo "ci: FAIL — warm-cache sweep output differs from cold run" >&2
-    diff "$tmp/cold.txt" "$tmp/warm.txt" >&2 || true
-    exit 1
-fi
-entries=$(ls "$tmp/cache" | wc -l)
-echo "ci: ok (sweep cache holds $entries entries; warm rerun byte-identical)"
 
-echo "== chaos stage: seeded crash/hang/corruption at p=0.3, --keep-going =="
-# hang_seconds must exceed --job-timeout for hangs to trigger recovery, and
-# the generous attempt budget lets every fault be retried through; recovery
-# must repair execution without touching data.
-python -m repro experiment fig6 --scale quick \
-    --benchmarks mcf,bzip2 --workers 2 --cache-dir "$tmp/chaos-cache" \
-    --quiet --keep-going --max-attempts 6 --job-timeout 10 \
-    --chaos "seed=7,crash=0.3,hang=0.3,corrupt=0.3,hang_seconds=20" \
-    > "$tmp/chaos.txt"
-if ! cmp -s "$tmp/cold.txt" "$tmp/chaos.txt"; then
-    echo "ci: FAIL — chaos sweep output differs from fault-free run" >&2
-    diff "$tmp/cold.txt" "$tmp/chaos.txt" >&2 || true
-    exit 1
-fi
-echo "ci: ok (chaos sweep byte-identical to fault-free run)"
+# The chaos stage diffs against the fault-free sweep output; produce it here
+# so `tools/ci.sh chaos` works standalone, and the sweep stage reuses it.
+ensure_fault_free_sweep() {
+    if [ ! -f "$tmp/cold.txt" ]; then
+        sweep > "$tmp/cold.txt"
+    fi
+}
 
-echo "== reliability smoke (heterogeneous ECC soft errors) =="
-python -m repro reliability --scale quick --refs 6000 \
-    --mechanisms baseline,dbi --alphas 1/4 --faults 60 --interval 150 \
-    | tee "$tmp/reliability.txt"
-if ! grep -q "lost 0 blocks" "$tmp/reliability.txt"; then
-    echo "ci: FAIL — DBI-tracked domain reported soft-error data loss" >&2
-    exit 1
+stage_sweep() {
+    ensure_fault_free_sweep
+    sweep > "$tmp/warm.txt"
+    if ! cmp -s "$tmp/cold.txt" "$tmp/warm.txt"; then
+        echo "ci: FAIL — warm-cache sweep output differs from cold run" >&2
+        diff "$tmp/cold.txt" "$tmp/warm.txt" >&2 || true
+        return 1
+    fi
+    entries=$(ls "$tmp/cache" | wc -l)
+    echo "ci: ok (sweep cache holds $entries entries; warm rerun byte-identical)"
+}
+
+stage_chaos() {
+    ensure_fault_free_sweep
+    # hang_seconds must exceed --job-timeout for hangs to trigger recovery,
+    # and the generous attempt budget lets every fault be retried through;
+    # recovery must repair execution without touching data.
+    python -m repro experiment fig6 --scale quick \
+        --benchmarks mcf,bzip2 --workers 2 --cache-dir "$tmp/chaos-cache" \
+        --quiet --keep-going --max-attempts 6 --job-timeout 10 \
+        --chaos "seed=7,crash=0.3,hang=0.3,corrupt=0.3,hang_seconds=20" \
+        > "$tmp/chaos.txt"
+    if ! cmp -s "$tmp/cold.txt" "$tmp/chaos.txt"; then
+        echo "ci: FAIL — chaos sweep output differs from fault-free run" >&2
+        diff "$tmp/cold.txt" "$tmp/chaos.txt" >&2 || true
+        return 1
+    fi
+    echo "ci: ok (chaos sweep byte-identical to fault-free run)"
+}
+
+stage_reliability() {
+    python -m repro reliability --scale quick --refs 6000 \
+        --mechanisms baseline,dbi --alphas 1/4 --faults 60 --interval 150 \
+        | tee "$tmp/reliability.txt"
+    if ! grep -q "lost 0 blocks" "$tmp/reliability.txt"; then
+        echo "ci: FAIL — DBI-tracked domain reported soft-error data loss" >&2
+        return 1
+    fi
+    echo "ci: ok (DBI-tracked domains lost no data)"
+}
+
+stage_perf() {
+    python tools/perf_gate.py
+}
+
+if [ "$#" -gt 0 ]; then
+    stages=("$@")
+else
+    stages=("${ALL_STAGES[@]}")
 fi
-echo "ci: ok (DBI-tracked domains lost no data)"
+
+for stage in "${stages[@]}"; do
+    case " ${ALL_STAGES[*]} " in
+        *" $stage "*) ;;
+        *)
+            echo "ci: unknown stage '$stage' (choose from: ${ALL_STAGES[*]})" >&2
+            exit 2
+            ;;
+    esac
+done
+
+for stage in "${stages[@]}"; do
+    echo "== stage: $stage =="
+    stage_start=$SECONDS
+    "stage_$stage"
+    echo "ci: stage $stage passed in $((SECONDS - stage_start))s"
+done
+echo "ci: all requested stages passed (${stages[*]})"

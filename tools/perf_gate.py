@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""CI performance gate: measure quick-scale fig6 cells against a baseline.
+
+Runs a fixed, representative subset of the Figure 6 sweep *inline* — one
+process, no workers, no sweep cache — so the aggregate events/sec is a clean
+measurement of per-event simulator cost, then:
+
+* writes ``BENCH_<UTC-date>.json`` (events/sec, wall-clock, peak RSS and the
+  per-cell breakdown) next to the baseline, extending the perf trajectory;
+* exits 1 if aggregate events/sec regressed more than ``--threshold``
+  (default 20%) against the committed ``BENCH_baseline.json``.
+
+``--update-baseline`` rewrites ``BENCH_baseline.json`` from this run instead
+of gating (used to seed the baseline, or to deliberately re-pin it after an
+accepted perf change — commit the result).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: The measured cells: a quick-scale fig6 subset that exercises the baseline
+#: tag path, the DRAM-aware writeback scan, and the full DBI+AWB stack.
+BENCHMARKS = ("lbm", "mcf")
+MECHANISMS = ("tadip", "dawb", "dbi+awb")
+
+BASELINE_PATH = REPO_ROOT / "BENCH_baseline.json"
+
+
+def measure(scale_name: str = "quick") -> dict:
+    """Run every cell inline and return the aggregate + per-cell report."""
+    from repro.analysis.scaling import SCALES
+    from repro.sim.system import run_system
+
+    scale = SCALES[scale_name]
+    cells = []
+    total_events = 0
+    total_wall = 0.0
+    for benchmark in BENCHMARKS:
+        trace = scale.benchmark_trace(benchmark)
+        for mechanism in MECHANISMS:
+            config = scale.system_config(mechanism)
+            start = time.perf_counter()
+            result = run_system(config, [trace])
+            wall = time.perf_counter() - start
+            total_events += result.events_processed
+            total_wall += wall
+            cells.append(
+                {
+                    "benchmark": benchmark,
+                    "mechanism": mechanism,
+                    "events": result.events_processed,
+                    "wall_seconds": round(wall, 4),
+                    "events_per_second": round(result.events_processed / wall),
+                }
+            )
+            print(
+                f"perf: {benchmark:>6} / {mechanism:<11} "
+                f"{result.events_processed:>8} events  {wall:6.3f}s  "
+                f"{result.events_processed / wall:>9,.0f} ev/s",
+                flush=True,
+            )
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    peak_rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if platform.system() == "Darwin":
+        peak_rss //= 1024
+    return {
+        "recorded_utc": datetime.now(timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+        "scale": scale_name,
+        "events_per_second": round(total_events / total_wall),
+        "total_events": total_events,
+        "wall_seconds": round(total_wall, 3),
+        "peak_rss_kib": peak_rss,
+        "python": platform.python_version(),
+        "cells": cells,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="max tolerated events/sec regression vs baseline (default 0.20)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite BENCH_baseline.json from this run instead of gating",
+    )
+    parser.add_argument(
+        "--scale", default="quick",
+        help="scale profile to measure (default: quick)",
+    )
+    args = parser.parse_args(argv)
+
+    report = measure(args.scale)
+    date = report["recorded_utc"][:10]
+    dated_path = REPO_ROOT / f"BENCH_{date}.json"
+    dated_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"perf: aggregate {report['events_per_second']:,} ev/s over "
+        f"{report['total_events']} events in {report['wall_seconds']}s "
+        f"(peak RSS {report['peak_rss_kib']} KiB) -> {dated_path.name}"
+    )
+
+    if args.update_baseline:
+        BASELINE_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"perf: baseline re-pinned at {BASELINE_PATH.name}")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(
+            "perf: FAIL — no committed BENCH_baseline.json; seed one with "
+            "--update-baseline",
+            file=sys.stderr,
+        )
+        return 1
+    baseline = json.loads(BASELINE_PATH.read_text())
+    floor = baseline["events_per_second"] * (1.0 - args.threshold)
+    ratio = report["events_per_second"] / baseline["events_per_second"]
+    print(
+        f"perf: baseline {baseline['events_per_second']:,} ev/s "
+        f"(recorded {baseline['recorded_utc']}); this run is {ratio:.2f}x, "
+        f"gate floor {floor:,.0f} ev/s"
+    )
+    if report["events_per_second"] < floor:
+        print(
+            f"perf: FAIL — events/sec regressed more than "
+            f"{args.threshold:.0%} vs baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print("perf: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
