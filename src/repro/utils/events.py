@@ -32,9 +32,10 @@ class Event:
         self.callback = callback
         self.cancelled = False
         #: Audit events observe without being accounted: they are excluded
-        #: from ``events_processed`` and from ``run()``'s ``max_events``
-        #: budget, so an attached checker cannot change what an unchecked
-        #: run reports or does.
+        #: from ``events_processed`` and consume none of ``run()``'s
+        #: ``max_events`` budget, so an attached checker cannot change what
+        #: an unchecked run reports or does. A spent budget stops them too —
+        #: a truncated run fires no further callbacks of any kind.
         self.audit = audit
 
     def cancel(self) -> None:
@@ -63,7 +64,13 @@ class EventQueue:
     def __init__(self) -> None:
         self._buckets: Dict[int, List[Event]] = {}
         self._times: List[int] = []  # heap of distinct bucket timestamps
-        self._pos = 0  # fired prefix of the earliest bucket
+        # Fired prefix of one bucket, valid only for the bucket at
+        # ``_pos_time``: an early-stopped run() can leave a partially fired
+        # head bucket, and a later schedule() may then push an *earlier*
+        # timestamp to the heap head, so the cursor must not be applied to
+        # whatever bucket happens to be the head when execution resumes.
+        self._pos = 0
+        self._pos_time: Optional[int] = None
         self.now = 0
         self._events_processed = 0
         #: Optional per-event timing hook (see :mod:`repro.sim.profiler`).
@@ -72,10 +79,9 @@ class EventQueue:
         self.profiler: Optional[Callable[[Callable[[], None]], None]] = None
 
     def __len__(self) -> int:
-        head = self._times[0] if self._times else None
         total = 0
         for time, bucket in self._buckets.items():
-            start = self._pos if time == head else 0
+            start = self._pos if time == self._pos_time else 0
             for index in range(start, len(bucket)):
                 if not bucket[index].cancelled:
                     total += 1
@@ -120,18 +126,20 @@ class EventQueue:
         while times:
             head = times[0]
             bucket = buckets[head]
-            pos = self._pos
+            pos = self._pos if head == self._pos_time else 0
             size = len(bucket)
             while pos < size:
                 event = bucket[pos]
                 if not event.cancelled:
                     self._pos = pos
+                    self._pos_time = head
                     return event
                 pos += 1
             # Bucket drained. A callback may still append to it at the
             # current cycle before the next step, so only now is it safe to
             # retire the timestamp.
             self._pos = 0
+            self._pos_time = None
             heapq.heappop(times)
             del buckets[head]
         return None
@@ -170,20 +178,31 @@ class EventQueue:
         while times:
             head = times[0]
             bucket = buckets[head]
-            pos = self._pos
+            pos = self._pos if head == self._pos_time else 0
             size = len(bucket)
             while pos < size and bucket[pos].cancelled:
                 pos += 1
             if pos == size:
                 self._pos = 0
+                self._pos_time = None
                 heappop(times)
                 del buckets[head]
                 continue
+            # The budget is spent before the clock moves: a run truncated by
+            # max_events fires nothing further — not even an audit event —
+            # matching the original heap implementation, which checked the
+            # budget before popping anything.
+            if bounded and fired >= max_events:
+                self._pos = pos
+                self._pos_time = head
+                return
             if until is not None and head > until:
                 self._pos = pos
+                self._pos_time = head
                 self.now = until
                 return
             self.now = head
+            self._pos_time = head
             # Fire through the bucket. Callbacks may append same-cycle events
             # to it, so the size is re-read every iteration; they never
             # remove (cancel only flags), so positions are stable.
@@ -192,23 +211,20 @@ class EventQueue:
                 if event.cancelled:
                     pos += 1
                     continue
-                if event.audit:
-                    pos += 1
-                    self._pos = pos
-                    profiler = self.profiler
-                    if profiler is None:
-                        event.callback()
-                    else:
-                        profiler(event.callback)
-                    continue
                 if bounded and fired >= max_events:
                     self._pos = pos
                     return
                 pos += 1
                 self._pos = pos
+                profiler = self.profiler
+                if event.audit:
+                    if profiler is None:
+                        event.callback()
+                    else:
+                        profiler(event.callback)
+                    continue
                 self._events_processed += 1
                 fired += 1
-                profiler = self.profiler
                 if profiler is None:
                     event.callback()
                 else:
@@ -216,5 +232,6 @@ class EventQueue:
             # Drained; a later callback scheduling at this same cycle simply
             # recreates the bucket (the timestamp re-enters the heap).
             self._pos = 0
+            self._pos_time = None
             heappop(times)
             del buckets[head]

@@ -16,17 +16,24 @@ from repro.utils.events import EventQueue
 
 
 class ReferenceQueue:
-    """The old implementation's semantics: one heap ordered by (time, seq)."""
+    """The old implementation's semantics: one heap ordered by (time, seq).
+
+    The check order inside ``run`` — budget, then cancelled-pop, then
+    ``until`` — mirrors the replaced heap implementation exactly, including
+    audit events: they fire without consuming the ``max_events`` budget, but
+    a spent budget stops them too.
+    """
 
     def __init__(self):
         self._heap = []
         self._seq = 0
         self.now = 0
 
-    def schedule(self, time, callback):
+    def schedule(self, time, callback, audit=False):
         if time < self.now:
             raise ValueError("past")
-        entry = [time, self._seq, callback, False]  # [time, seq, cb, cancelled]
+        # [time, seq, cb, cancelled, audit]
+        entry = [time, self._seq, callback, False, audit]
         self._seq += 1
         heapq.heappush(self._heap, entry)
         return entry
@@ -34,6 +41,8 @@ class ReferenceQueue:
     def run(self, until=None, max_events=None):
         fired = 0
         while self._heap:
+            if max_events is not None and fired >= max_events:
+                return
             entry = self._heap[0]
             if entry[3]:
                 heapq.heappop(self._heap)
@@ -41,12 +50,11 @@ class ReferenceQueue:
             if until is not None and entry[0] > until:
                 self.now = until
                 return
-            if max_events is not None and fired >= max_events:
-                return
             heapq.heappop(self._heap)
             self.now = entry[0]
             entry[2]()
-            fired += 1
+            if not entry[4]:
+                fired += 1
 
 
 def random_workload(queue, rng, log, depth=3):
@@ -74,6 +82,8 @@ def random_workload(queue, rng, log, depth=3):
             handles.append(queue.schedule(time, make_cb(i)))
         elif kind < 0.4:
             queue.schedule(time, make_reentrant(i, rng.choice((0, 0, 1, 7))))
+        elif kind < 0.55:
+            queue.schedule(time, make_cb(("audit", i)), audit=True)
         else:
             queue.schedule(time, make_cb(i))
     # Cancel a deterministic subset of the plain events.
@@ -173,6 +183,88 @@ def test_audit_events_fire_but_are_not_accounted():
     queue.run(max_events=2)
     assert log == ["real", "audit", "real2"]
     assert queue.events_processed == 2
+
+
+def test_schedule_earlier_than_head_after_until_stop_fires():
+    """Regression: run(until=...) that skipped a cancelled head-bucket prefix
+    must not apply that cursor to a *different* bucket scheduled afterwards
+    at an earlier timestamp — the new event would be silently dropped."""
+    queue = EventQueue()
+    log = []
+    first = queue.schedule(100, lambda: log.append("a"))
+    queue.schedule(100, lambda: log.append("b"))
+    first.cancel()
+    queue.run(until=50)
+    assert len(queue) == 1
+    queue.schedule(60, lambda: log.append("c"))
+    assert len(queue) == 2
+    queue.run()
+    assert log == ["c", "b"]
+    assert queue.events_processed == 2
+
+
+def test_step_after_until_stop_with_earlier_scheduling():
+    """Same stale-cursor scenario, resumed through step() instead of run()."""
+    queue = EventQueue()
+    log = []
+    first = queue.schedule(100, lambda: log.append("a"))
+    queue.schedule(100, lambda: log.append("b"))
+    first.cancel()
+    queue.run(until=50)
+    queue.schedule(60, lambda: log.append("c"))
+    while queue.step():
+        pass
+    assert log == ["c", "b"]
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_interleaved_until_and_scheduling_matches_reference(seed):
+    """Alternate run(until=...) stops with fresh scheduling — including times
+    *earlier* than the stopped-at head bucket — and compare firing order."""
+    actual_log, expected_log = [], []
+    actual = EventQueue()
+    expected = ReferenceQueue()
+
+    def round_trip(queue, rng, log):
+        handles = []
+        for i in range(40):
+            handles.append(
+                queue.schedule(rng.randrange(0, 120), lambda i=i: log.append(i))
+            )
+        for index, handle in enumerate(handles):
+            if index % 4 == 0:
+                if isinstance(handle, list):
+                    handle[3] = True
+                else:
+                    handle.cancel()
+        for stop in (10, 35, 60):
+            queue.run(until=stop)
+            # Earlier-than-head scheduling: anywhere from `now` upward.
+            for j in range(6):
+                queue.schedule(
+                    queue.now + rng.randrange(0, 30),
+                    lambda j=j, stop=stop: log.append(("late", stop, j)),
+                )
+        queue.run()
+
+    round_trip(actual, random.Random(seed), actual_log)
+    round_trip(expected, random.Random(seed), expected_log)
+    assert actual_log == expected_log
+    assert actual.now == expected.now
+
+
+def test_audit_event_not_fired_once_budget_is_spent():
+    """Regression: a run truncated by max_events must stop *before* a pending
+    audit event, exactly like the replaced heap implementation — a checked
+    run must not execute an extra invariant sweep at the truncation point."""
+    queue = EventQueue()
+    log = []
+    queue.schedule(1, lambda: log.append("e1"))
+    queue.schedule(1, lambda: log.append("audit"), audit=True)
+    queue.run(max_events=1)
+    assert log == ["e1"]
+    queue.run()
+    assert log == ["e1", "audit"]
 
 
 def test_len_counts_only_live_pending_events():

@@ -24,8 +24,11 @@
 #                  output must be byte-identical to the fault-free run.
 #   reliability  — soft-error smoke: the heterogeneous-ECC experiment must
 #                  show zero data loss for DBI-tracked domains.
-#   perf         — tools/perf_gate.py measures quick-scale fig6 cells and
-#                  fails on a >20% events/sec regression vs BENCH_baseline.json.
+#   perf         — tools/perf_gate.py measures quick-scale fig6 cells on HEAD
+#                  and on a pinned pre-overhaul reference commit (same
+#                  machine), and fails if the speedup ratio regresses >20%
+#                  vs the ratio pinned in BENCH_baseline.json. Ratios are
+#                  hardware-independent; absolute ev/s is recorded only.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
