@@ -13,9 +13,14 @@ Commands:
     profile     — run one benchmark/mechanism with the per-event time-share
                   profiler attached and report where simulation time goes
                   (component shares and the costliest callback sites).
+    timeline    — per-epoch telemetry view of one run (or a saved JSONL
+                  stream): ASCII sparklines and a table of any stat keys,
+                  with the measured warmup boundary marked.
 
 ``run`` and ``experiment`` accept ``--check {off,cheap,full}`` to enable the
-runtime invariant engine (off by default; results are identical either way).
+runtime invariant engine (off by default; results are identical either way),
+and ``--telemetry``/``--epoch-cycles`` to attach the epoch sampler (also
+observational: final statistics are byte-identical with it on or off).
 
 ``experiment`` is fault-tolerant: worker crashes and hangs are retried with
 exponential backoff (``--max-attempts``, ``--job-timeout``), and
@@ -44,13 +49,26 @@ def _cmd_list(_args) -> int:
 
 def _cmd_run(args) -> int:
     from repro.analysis.scaling import SCALES
-    from repro.sim.system import run_system
+    from repro.sim.system import System
 
     scale = SCALES[args.scale]
     trace = scale.benchmark_trace(args.benchmark, refs=args.refs)
-    result = run_system(
-        scale.system_config(args.mechanism), [trace], check=args.check
+    telemetry = None
+    if args.telemetry:
+        from repro.telemetry.sampler import TelemetryConfig
+
+        telemetry = TelemetryConfig(
+            epoch_cycles=args.epoch_cycles,
+            jsonl_path=args.telemetry,
+            meta=(("benchmark", args.benchmark), ("mechanism", args.mechanism)),
+        )
+    system = System(
+        scale.system_config(args.mechanism),
+        [trace],
+        check=args.check,
+        telemetry=telemetry,
     )
+    result = system.run()
     print(f"benchmark          {args.benchmark}")
     print(f"mechanism          {args.mechanism}")
     print(f"IPC                {result.ipc[0]:.4f}")
@@ -60,6 +78,23 @@ def _cmd_run(args) -> int:
     print(f"memory WPKI        {result.memory_wpki:.1f}")
     print(f"LLC MPKI           {result.llc_mpki:.1f}")
     print(f"events processed   {result.events_processed}")
+    if system.telemetry is not None:
+        from repro.telemetry.analysis import warmup_report
+
+        report = warmup_report(list(system.telemetry.records))
+        boundary = report["boundary_epoch"]
+        print(f"epochs sampled     {system.telemetry.epochs_emitted}")
+        if boundary is None:
+            print("measured warmup    not reached (IPC never settled)")
+        else:
+            print(
+                f"measured warmup    epoch {boundary} "
+                f"({report['measured_warmup_fraction']:.0%} of instructions; "
+                f"configured warmup is 40%)"
+            )
+            steady = report["steady_state"]
+            print(f"steady-state IPC   {steady['ipc']:.4f}")
+        print(f"telemetry written  {args.telemetry}")
     return 0
 
 
@@ -82,6 +117,13 @@ def make_sweep_runner(args):
         parse_chaos_spec(chaos_spec) if chaos_spec is not None
         else chaos_from_env()
     )
+    telemetry = None
+    if getattr(args, "telemetry", False):
+        from repro.telemetry.sampler import TelemetryConfig
+
+        telemetry = TelemetryConfig(
+            epoch_cycles=getattr(args, "epoch_cycles", None) or 5_000
+        )
     return SweepRunner(
         workers=args.workers,
         cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
@@ -91,6 +133,9 @@ def make_sweep_runner(args):
         retry=retry,
         keep_going=getattr(args, "keep_going", False),
         chaos=chaos,
+        telemetry=telemetry,
+        telemetry_dir=getattr(args, "telemetry_dir", None),
+        retain_failed_telemetry=getattr(args, "retain_failed_telemetry", False),
     )
 
 
@@ -224,6 +269,59 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_timeline(args) -> int:
+    from repro.telemetry.timeline import DEFAULT_KEYS, render_timeline
+
+    if args.input:
+        from repro.telemetry.sampler import read_jsonl
+
+        header, records = read_jsonl(args.input)
+        parts = [
+            f"{key}={header[key]}"
+            for key in ("benchmark", "mechanism", "label", "traces")
+            if key in header
+        ]
+        title = f"telemetry from {args.input}" + (
+            f" ({', '.join(parts)})" if parts else ""
+        )
+    else:
+        if not args.benchmark or not args.mechanism:
+            print(
+                "timeline needs either --input FILE or a benchmark and "
+                "a mechanism to run",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.analysis.scaling import SCALES
+        from repro.sim.system import System
+        from repro.telemetry.sampler import TelemetryConfig
+
+        scale = SCALES[args.scale]
+        trace = scale.benchmark_trace(args.benchmark, refs=args.refs)
+        system = System(
+            scale.system_config(args.mechanism),
+            [trace],
+            telemetry=TelemetryConfig(epoch_cycles=args.epoch_cycles),
+        )
+        system.run()
+        records = list(system.telemetry.records)
+        title = (
+            f"{args.benchmark} under {args.mechanism} "
+            f"({args.scale} scale, {args.epoch_cycles}-cycle epochs)"
+        )
+    keys = args.stat or list(DEFAULT_KEYS)
+    print(
+        render_timeline(
+            records,
+            keys=keys,
+            width=args.width,
+            max_rows=args.max_rows,
+            title=title,
+        )
+    )
+    return 0
+
+
 def _cmd_check_diff(args) -> int:
     from repro.analysis.scaling import SCALES
     from repro.check import run_check_diff
@@ -259,6 +357,15 @@ def main(argv=None) -> int:
     run_parser.add_argument(
         "--check", choices=("off", "cheap", "full"), default="off",
         help="runtime invariant checking level (default: off)",
+    )
+    run_parser.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="stream per-epoch telemetry to this JSONL file and print the "
+             "measured warmup boundary (observational: metrics unchanged)",
+    )
+    run_parser.add_argument(
+        "--epoch-cycles", type=int, default=5_000, metavar="N",
+        help="telemetry epoch length in cycles (default: 5000)",
     )
 
     exp_parser = sub.add_parser("experiment", help="regenerate a paper artifact")
@@ -311,6 +418,25 @@ def main(argv=None) -> int:
         help="fault-injection spec for testing the retry machinery, e.g. "
              "'seed=7,crash=0.3,hang=0.1,corrupt=0.2' (default: the "
              "REPRO_CHAOS environment variable; 'off' disables)",
+    )
+    exp_parser.add_argument(
+        "--telemetry", action="store_true",
+        help="attach the epoch sampler to every simulated job, writing one "
+             "<key>.telemetry.jsonl per job (cache hits skip simulating and "
+             "produce no artifact)",
+    )
+    exp_parser.add_argument(
+        "--epoch-cycles", type=int, default=5_000, metavar="N",
+        help="telemetry epoch length in cycles (default: 5000)",
+    )
+    exp_parser.add_argument(
+        "--telemetry-dir", default=None, metavar="DIR",
+        help="telemetry artifact directory (default: the sweep cache dir)",
+    )
+    exp_parser.add_argument(
+        "--retain-failed-telemetry", action="store_true",
+        help="keep the .partial epoch stream of terminally failed jobs as "
+             "a forensic trail instead of deleting it",
     )
 
     rel_parser = sub.add_parser(
@@ -366,6 +492,50 @@ def main(argv=None) -> int:
         "--json", action="store_true", help="emit a JSON report"
     )
 
+    tl_parser = sub.add_parser(
+        "timeline",
+        help="per-epoch telemetry table and sparklines for one run",
+    )
+    tl_parser.add_argument(
+        "benchmark", nargs="?", default=None,
+        help="benchmark to simulate (omit when using --input)",
+    )
+    tl_parser.add_argument(
+        "mechanism", nargs="?", default=None,
+        help="mechanism to simulate (omit when using --input)",
+    )
+    tl_parser.add_argument(
+        "--input", default=None, metavar="PATH",
+        help="render a saved telemetry JSONL stream instead of simulating "
+             "(e.g. an artifact from 'run --telemetry' or "
+             "'experiment --telemetry')",
+    )
+    tl_parser.add_argument("--scale", default="quick")
+    tl_parser.add_argument(
+        "--refs", type=int, default=None,
+        help="memory references in the trace (default: scale profile's)",
+    )
+    tl_parser.add_argument(
+        "--epoch-cycles", type=int, default=2_000, metavar="N",
+        help="epoch length in cycles (default: 2000 — finer than run's "
+             "5000 because this view is about within-run structure)",
+    )
+    tl_parser.add_argument(
+        "--stat", action="append", default=None, metavar="KEY",
+        help="stat key to plot (repeatable; counter deltas like "
+             "'mech.read_hits', gauges like 'mech.dbi_occupancy', or "
+             "record fields like 'ipc'; default: ipc and "
+             "dram.write_buffer_depth)",
+    )
+    tl_parser.add_argument(
+        "--width", type=int, default=60,
+        help="sparkline width in columns (default: 60)",
+    )
+    tl_parser.add_argument(
+        "--max-rows", type=int, default=40,
+        help="table rows before subsampling every Nth epoch (default: 40)",
+    )
+
     diff_parser = sub.add_parser(
         "check-diff",
         help="validate mechanisms against the untimed reference model",
@@ -396,6 +566,8 @@ def main(argv=None) -> int:
         return _cmd_profile(args)
     if args.command == "reliability":
         return _cmd_reliability(args)
+    if args.command == "timeline":
+        return _cmd_timeline(args)
     return _cmd_experiment(args)
 
 

@@ -78,9 +78,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.analysis.chaos import ChaosConfig, FaultInjector, chaos_from_env
 from repro.sim.system import SimulationResult, SystemConfig, run_system
 from repro.sim.trace import Trace
+from repro.telemetry.sampler import TelemetryConfig
 
 #: Default location of the on-disk result cache (relative to the cwd).
 DEFAULT_CACHE_DIR = os.path.join("results", "sweep_cache")
+
+#: Default telemetry artifact directory when the disk cache is disabled.
+DEFAULT_TELEMETRY_DIR = os.path.join("results", "telemetry")
 
 #: Default location of the per-sweep failure manifest (``--keep-going``).
 DEFAULT_FAILURE_MANIFEST = os.path.join("results", "sweep_failures.json")
@@ -231,7 +235,12 @@ class SweepJobError(RuntimeError):
 
 @dataclass(frozen=True)
 class SweepJob:
-    """Picklable spec of one simulation (what a worker process receives)."""
+    """Picklable spec of one simulation (what a worker process receives).
+
+    ``telemetry``/``telemetry_path`` are observational riders: they are NOT
+    part of :func:`job_key` (telemetry cannot change results), so a cache
+    hit legitimately skips producing a telemetry artifact.
+    """
 
     job_id: int
     key: str
@@ -239,6 +248,8 @@ class SweepJob:
     traces: Tuple[Trace, ...]
     max_events: Optional[int] = None
     check: str = "off"
+    telemetry: Optional[TelemetryConfig] = None
+    telemetry_path: Optional[str] = None
 
     @property
     def label(self) -> str:
@@ -246,11 +257,50 @@ class SweepJob:
         return f"{self.config.mechanism}[{names}]"
 
 
+def _telemetry_partial_path(path: str) -> str:
+    """Where a job streams epochs while running (see :func:`_execute`)."""
+    return f"{path}.partial"
+
+
 def _execute(job: SweepJob) -> SimulationResult:
-    """Run one job (module-level so the process pool can pickle it)."""
-    return run_system(
-        job.config, list(job.traces), max_events=job.max_events, check=job.check
+    """Run one job (module-level so the process pool can pickle it).
+
+    Telemetry-enabled jobs stream epochs to ``<telemetry_path>.partial``
+    while running and rename to the final path on success, so a crashed or
+    hung attempt leaves a ``.partial`` forensic trail of exactly the epochs
+    it completed, while finished artifacts are never torn.
+    """
+    if job.telemetry is None or job.telemetry_path is None:
+        return run_system(
+            job.config,
+            list(job.traces),
+            max_events=job.max_events,
+            check=job.check,
+        )
+    import dataclasses
+
+    partial = _telemetry_partial_path(job.telemetry_path)
+    directory = os.path.dirname(partial)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    meta = (
+        ("label", job.label),
+        ("key", job.key),
+        ("mechanism", job.config.mechanism),
+        ("traces", ",".join(trace.name for trace in job.traces)),
     )
+    telemetry = dataclasses.replace(
+        job.telemetry, jsonl_path=partial, meta=meta
+    )
+    result = run_system(
+        job.config,
+        list(job.traces),
+        max_events=job.max_events,
+        check=job.check,
+        telemetry=telemetry,
+    )
+    os.replace(partial, job.telemetry_path)
+    return result
 
 
 def _execute_in_worker(
@@ -345,6 +395,18 @@ class SweepRunner:
             :class:`SweepJobError` per job and render partial artifacts.
         chaos: deterministic fault injection (tests/CI); defaults to the
             ``REPRO_CHAOS`` environment spec, i.e. off.
+        telemetry: epoch-sampling config attached to every *simulated* job;
+            each produces a ``<key>.telemetry.jsonl`` artifact. Telemetry is
+            observational (results are byte-identical with it on or off), so
+            it is excluded from :func:`job_key` — which also means cache
+            hits skip simulating and therefore produce no artifact; delete
+            the cache entry (or disable the cache) to regenerate a trace.
+        telemetry_dir: where telemetry artifacts land; defaults to the
+            cache directory (so traces sit next to the results they
+            describe) or ``results/telemetry`` when the cache is off.
+        retain_failed_telemetry: keep the ``.partial`` epoch stream of a
+            terminally failed job as a forensic trail instead of deleting
+            it (chaos-killed and hung runs show exactly how far they got).
 
     Usage::
 
@@ -363,9 +425,15 @@ class SweepRunner:
         retry: Optional[RetryPolicy] = None,
         keep_going: bool = False,
         chaos: Optional[ChaosConfig] = None,
+        telemetry: Optional[TelemetryConfig] = None,
+        telemetry_dir: Optional[str] = None,
+        retain_failed_telemetry: bool = False,
     ) -> None:
         self.workers = default_workers() if workers is None else max(0, workers)
         self.cache_dir = cache_dir if (use_cache and cache_dir) else None
+        self.telemetry = telemetry
+        self.telemetry_dir = telemetry_dir or self.cache_dir or DEFAULT_TELEMETRY_DIR
+        self.retain_failed_telemetry = retain_failed_telemetry
         self.progress = progress
         self.check = str(check).lower()
         self.retry = retry or RetryPolicy()
@@ -440,8 +508,20 @@ class SweepRunner:
             if existing is not None:
                 self.memo_hits += 1
                 return existing
+            telemetry_path = (
+                os.path.join(self.telemetry_dir, f"{key}.telemetry.jsonl")
+                if self.telemetry is not None
+                else None
+            )
             job = SweepJob(
-                self._next_id, key, config, traces, max_events, self.check
+                self._next_id,
+                key,
+                config,
+                traces,
+                max_events,
+                self.check,
+                telemetry=self.telemetry,
+                telemetry_path=telemetry_path,
             )
             self._next_id += 1
             self.jobs_submitted += 1
@@ -623,6 +703,14 @@ class SweepRunner:
             if self._futures.get(job.key) is future:
                 del self._futures[job.key]
         future._failure = failure
+        if job.telemetry_path is not None and not self.retain_failed_telemetry:
+            # Without retention, a dead job's half-written epoch stream is
+            # just litter; with it, the .partial is the forensic record of
+            # exactly where the run died.
+            try:
+                os.unlink(_telemetry_partial_path(job.telemetry_path))
+            except OSError:
+                pass
         self._emit(
             job,
             time.perf_counter() - future.started,

@@ -116,6 +116,21 @@ class DirtyBlockIndex:
         self._count_query()
         return self.peek_dirty(block_addr)
 
+    @property
+    def live_entries(self) -> int:
+        """Valid entries right now (telemetry occupancy gauge; stat-free)."""
+        return len(self._where)
+
+    @property
+    def live_dirty_blocks(self) -> int:
+        """Dirty bits set across all valid entries (stat-free)."""
+        return sum(
+            entry.dirty_count
+            for ways in self.sets
+            for entry in ways
+            if entry.valid
+        )
+
     def peek_dirty(self, block_addr: int) -> bool:
         """Stat-free :meth:`is_dirty` for observational tooling.
 

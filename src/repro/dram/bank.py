@@ -23,7 +23,7 @@ class Bank:
     """Tracks the open row and command occupancy of one bank."""
 
     __slots__ = ("bank_id", "_config", "open_row", "busy_until",
-                 "write_recovery_until")
+                 "write_recovery_until", "row_hits", "row_conflicts")
 
     def __init__(self, bank_id: int, config: DramConfig) -> None:
         self.bank_id = bank_id
@@ -33,6 +33,10 @@ class Bank:
         # Precharge is blocked until write recovery (tWR) elapses, so a
         # row *change* after a write waits; same-row accesses do not.
         self.write_recovery_until = 0
+        # Plain per-bank access tallies (not StatGroup counters: they feed
+        # the telemetry sampler only and must never enter exported stats).
+        self.row_hits = 0
+        self.row_conflicts = 0
 
     def is_free(self, now: int) -> bool:
         return self.busy_until <= now
@@ -75,6 +79,10 @@ class Bank:
             )
         cas_time = start_time + self.prep_latency(row)
         data_ready = cas_time + self._config.t_cas
+        if row == self.open_row:
+            self.row_hits += 1
+        else:
+            self.row_conflicts += 1
         self.open_row = row
         self.busy_until = cas_time + self._config.t_burst
         return data_ready

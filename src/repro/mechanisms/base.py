@@ -248,6 +248,19 @@ class LlcMechanism:
                 )
             per_core.value += 1
 
+    def telemetry_gauges(self) -> Dict[str, Callable[[], float]]:
+        """Instantaneous probes for the epoch sampler (stat-free reads only).
+
+        Subclasses extend the dict with mechanism-specific state (DBI
+        occupancy, probe rounds in flight, bypassing cores). Every probe
+        must be purely observational — reading it cannot touch a counter.
+        """
+        return {
+            "pending_fills": lambda: len(self._pending_fills),
+            "writeback_overflow": lambda: len(self._writeback_overflow),
+            "llc_dirty_blocks": lambda: self.llc.dirty_count,
+        }
+
     def is_idle(self) -> bool:
         """No fills in flight and no writebacks waiting (end-of-run check)."""
         return (

@@ -12,7 +12,12 @@ from repro.mechanisms.base import LlcMechanism
 
 
 class BaselineMechanism(LlcMechanism):
-    """Paper's Baseline: LRU cache, dirty bits in the tag store."""
+    """Paper's Baseline: LRU cache, dirty bits in the tag store.
+
+    Telemetry note: the inherited ``llc_dirty_blocks`` gauge *is* this
+    mechanism's whole dirty-tracking state — in-tag bits have no separate
+    structure to sample, unlike the DBI's occupancy gauges.
+    """
 
     name = "baseline"
 

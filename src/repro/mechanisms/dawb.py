@@ -25,6 +25,11 @@ class DawbMechanism(LlcMechanism):
         # (the writeback-queue coalescing of [27]).
         self._rows_in_flight = set()
 
+    def telemetry_gauges(self):
+        gauges = super().telemetry_gauges()
+        gauges["probe_rows_in_flight"] = lambda: len(self._rows_in_flight)
+        return gauges
+
     def _after_dirty_eviction(self, addr: int) -> None:
         row = self.mapper.global_row_id(addr)
         if row in self._rows_in_flight:

@@ -61,6 +61,14 @@ class DbiMechanism(LlcMechanism):
             parts.append("clb")
         self.name = "+".join(parts)
 
+    def telemetry_gauges(self):
+        gauges = super().telemetry_gauges()
+        gauges["dbi_occupancy"] = lambda: self.dbi.live_entries
+        gauges["dbi_dirty_blocks"] = lambda: self.dbi.live_dirty_blocks
+        if self.predictor is not None:
+            gauges["bypassing_cores"] = lambda: self.predictor.bypassing_cores
+        return gauges
+
     # ------------------------------------------------------------ read path
 
     def read(self, core_id: int, addr: int, on_data: Callable[[int], None]) -> None:

@@ -48,6 +48,12 @@ class MissPredictor:
         self._accesses: List[int] = [0] * num_cores
         self._predict_miss: List[bool] = [False] * num_cores
 
+    @property
+    def bypassing_cores(self) -> int:
+        """Cores whose accesses are currently predicted to miss (stat-free;
+        telemetry reads this without rolling the epoch forward)."""
+        return sum(self._predict_miss)
+
     def is_monitor_set(self, set_idx: int) -> bool:
         """Monitor sets are never bypassed; they keep training the predictor."""
         return set_idx % self.sample_modulus == self.sample_offset

@@ -31,6 +31,11 @@ class SkipCacheMechanism(LlcMechanism):
         super().__init__(*args, **kwargs)
         self.predictor = predictor
 
+    def telemetry_gauges(self):
+        gauges = super().telemetry_gauges()
+        gauges["bypassing_cores"] = lambda: self.predictor.bypassing_cores
+        return gauges
+
     # ------------------------------------------------------------ read path
 
     def read(self, core_id: int, addr: int, on_data: Callable[[int], None]) -> None:

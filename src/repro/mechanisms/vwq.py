@@ -29,6 +29,11 @@ class VwqMechanism(LlcMechanism):
         # Rows with a probe round in flight (same coalescing as DAWB).
         self._rows_in_flight = set()
 
+    def telemetry_gauges(self):
+        gauges = super().telemetry_gauges()
+        gauges["probe_rows_in_flight"] = lambda: len(self._rows_in_flight)
+        return gauges
+
     def _ssv_bit(self, set_idx: int) -> bool:
         """Does this set hold a dirty block in an LRU-half way?
 

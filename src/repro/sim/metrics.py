@@ -11,6 +11,7 @@ running alone on the same machine:
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 
@@ -51,12 +52,14 @@ def maximum_slowdown(shared: Sequence[float], alone: Sequence[float]) -> float:
 
 
 def geometric_mean(values: Sequence[float]) -> float:
-    """Geometric mean (used for Figure 6's gmean column)."""
+    """Geometric mean (used for Figure 6's gmean column).
+
+    Computed in the log domain: a running product of many small (or large)
+    values underflows to 0.0 (or overflows to inf) long before the mean
+    itself leaves float range.
+    """
     if not values:
         raise ValueError("need at least one value")
     if any(v <= 0 for v in values):
         raise ValueError("values must be positive")
-    product = 1.0
-    for value in values:
-        product *= value
-    return product ** (1.0 / len(values))
+    return math.exp(math.fsum(math.log(v) for v in values) / len(values))

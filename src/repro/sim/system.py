@@ -182,10 +182,13 @@ class System:
     :class:`~repro.core.ecc.SoftErrorInjector` that upsets resident LLC
     blocks during the run (the ``repro reliability`` experiment).
     ``profiler`` attaches a per-event time-share hook (see
-    :mod:`repro.sim.profiler`). All three are deliberately *not* part of
-    :class:`SystemConfig`: they only observe — results are byte-identical
-    either way — so sweep-cache keys (derived from the config) must not
-    depend on them.
+    :mod:`repro.sim.profiler`). ``telemetry`` attaches an epoch sampler
+    (see :mod:`repro.telemetry`) that snapshots stat deltas and gauges
+    every ``epoch_cycles``; the sampler object is exposed as
+    ``self.telemetry`` after construction. All four are deliberately *not*
+    part of :class:`SystemConfig`: they only observe — results are
+    byte-identical either way — so sweep-cache keys (derived from the
+    config) must not depend on them.
     """
 
     def __init__(
@@ -195,6 +198,7 @@ class System:
         check: str = "off",
         soft_errors: Optional["SoftErrorConfig"] = None,
         profiler: Optional["SimProfiler"] = None,
+        telemetry: Optional["TelemetryConfig"] = None,
     ) -> None:
         if len(traces) != config.num_cores:
             raise ValueError(
@@ -275,6 +279,57 @@ class System:
         if profiler is not None:
             self.queue.profiler = profiler
 
+        self.telemetry = None
+        if telemetry is not None:
+            # Imported here so telemetry-free runs never touch the package.
+            from repro.telemetry.sampler import TelemetrySampler
+
+            self.telemetry = TelemetrySampler(
+                telemetry,
+                groups=self._all_stat_groups(),
+                counters=self._telemetry_counters(),
+                gauges=self._telemetry_gauges(),
+            )
+            self.queue.telemetry = self.telemetry
+
+    def _telemetry_counters(self):
+        """Cumulative-integer probes outside the stat groups.
+
+        These never reset at the warmup boundary, so the sampler's IPC
+        series stays meaningful across the whole run (the stat groups all
+        zero at ``_core_warmed``).
+        """
+        probes = [
+            (
+                "instructions",
+                lambda: sum(core.instructions_issued for core in self.cores),
+            )
+        ]
+        for bank in self.memory.banks:
+            probes.append(
+                (f"dram.bank{bank.bank_id}.row_hits", lambda b=bank: b.row_hits)
+            )
+            probes.append(
+                (
+                    f"dram.bank{bank.bank_id}.row_conflicts",
+                    lambda b=bank: b.row_conflicts,
+                )
+            )
+        return probes
+
+    def _telemetry_gauges(self):
+        """Instantaneous depth/occupancy probes (sampled, never summed)."""
+        gauges = [
+            ("dram.write_buffer_depth", lambda: len(self.memory.write_buffer)),
+            ("dram.read_queue_depth", lambda: len(self.memory.read_queue)),
+            ("port.queued", lambda: self.port.queued),
+        ]
+        for index, mshr in enumerate(self.hierarchy.l1_mshrs):
+            gauges.append((f"l1mshr{index}.occupancy", lambda m=mshr: len(m)))
+        for name, probe in self.mechanism.telemetry_gauges().items():
+            gauges.append((f"mech.{name}", probe))
+        return gauges
+
     def _all_stat_groups(self):
         groups = [
             self.mechanism.stats,
@@ -331,6 +386,8 @@ class System:
             )
         if self.check_engine is not None:
             self.check_engine.finalize()
+        if self.telemetry is not None:
+            self.telemetry.finalize(self.queue.now)
         return self._collect()
 
     def _collect(self) -> SimulationResult:
@@ -366,9 +423,15 @@ def run_system(
     check: str = "off",
     soft_errors: Optional["SoftErrorConfig"] = None,
     profiler: Optional["SimProfiler"] = None,
+    telemetry: Optional["TelemetryConfig"] = None,
 ) -> SimulationResult:
     """Convenience one-shot: build a System and run it."""
     system = System(
-        config, traces, check=check, soft_errors=soft_errors, profiler=profiler
+        config,
+        traces,
+        check=check,
+        soft_errors=soft_errors,
+        profiler=profiler,
+        telemetry=telemetry,
     )
     return system.run(max_events=max_events)

@@ -1,0 +1,39 @@
+"""Epoch-based time-series telemetry (zero-perturbation sampling).
+
+Everything the repository reported before this package existed was an
+end-of-run aggregate: one number per counter per simulation. Telemetry adds
+the *time axis*: a :class:`~repro.telemetry.sampler.TelemetrySampler` hooks
+into the event kernel (``EventQueue.telemetry`` — the same nullable-hook
+pattern as ``EventQueue.profiler``) and, every ``epoch_cycles`` simulated
+cycles, snapshots the delta of every component stat counter plus a set of
+instantaneous gauges (write-buffer depth, DBI occupancy, MSHR occupancy)
+into an in-memory ring of :class:`~repro.telemetry.sampler.EpochRecord`
+objects, optionally streaming each record to a JSONL file as it closes.
+
+The sampler is strictly observational — it reads counters and container
+lengths and never calls a stat-recording method — so a telemetry-enabled
+run produces **byte-identical final statistics** to a disabled one
+(``tests/telemetry/test_sampler.py`` pins this on multiple cells).
+
+Layers:
+
+* :mod:`repro.telemetry.sampler` — the sampler, epoch records, JSONL I/O.
+* :mod:`repro.telemetry.analysis` — warmup-boundary detection, per-phase
+  summaries, steady-state recomputation of the headline metrics.
+* :mod:`repro.telemetry.timeline` — ASCII per-epoch tables and sparklines
+  (the ``repro timeline`` subcommand).
+"""
+
+from repro.telemetry.sampler import (
+    EpochRecord,
+    TelemetryConfig,
+    TelemetrySampler,
+    read_jsonl,
+)
+
+__all__ = [
+    "EpochRecord",
+    "TelemetryConfig",
+    "TelemetrySampler",
+    "read_jsonl",
+]

@@ -1,0 +1,127 @@
+"""ASCII rendering of epoch streams (the ``repro timeline`` subcommand).
+
+Pure text: a per-epoch table of selected stat keys plus an ASCII sparkline
+per key, with the measured warmup boundary marked. Keys resolve through
+:meth:`EpochRecord.value`, so counter deltas ("mech.read_hits"), gauges
+("dram.write_buffer_depth") and record fields ("ipc") all work.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.telemetry.analysis import detect_warmup
+from repro.telemetry.sampler import EpochRecord
+
+#: ASCII intensity ramp, lowest to highest (terminal-safe everywhere).
+SPARK_CHARS = " .:-=+*#%@"
+
+#: Rendered when no stat keys are requested.
+DEFAULT_KEYS = ("ipc", "dram.write_buffer_depth")
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """Map a series onto the ASCII ramp, resampling to ``width`` columns."""
+    values = list(values)
+    if not values:
+        return ""
+    if width is not None and width > 0 and len(values) > width:
+        # Mean-pool into `width` buckets so spikes are averaged, not dropped.
+        size = len(values) / width
+        values = [
+            _mean(values[int(i * size) : max(int((i + 1) * size), int(i * size) + 1)])
+            for i in range(width)
+        ]
+    low, high = min(values), max(values)
+    span = high - low
+    if span == 0:
+        return SPARK_CHARS[0] * len(values)
+    top = len(SPARK_CHARS) - 1
+    return "".join(
+        SPARK_CHARS[round((value - low) / span * top)] for value in values
+    )
+
+
+def _mean(chunk: Sequence[float]) -> float:
+    return sum(chunk) / len(chunk) if chunk else 0.0
+
+
+def _format(value: float) -> str:
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.4f}"
+
+
+def render_table(
+    records: Sequence[EpochRecord],
+    keys: Sequence[str],
+    max_rows: Optional[int] = None,
+) -> str:
+    """One row per epoch; a ``*`` marks stats-reset epochs."""
+    records = list(records)
+    step = 1
+    if max_rows is not None and max_rows > 0 and len(records) > max_rows:
+        step = -(-len(records) // max_rows)  # ceil division
+    header = ["epoch", "cycle", "cycles", "instr"] + list(keys)
+    rows = [header]
+    for record in records[::step]:
+        rows.append(
+            [
+                f"{record.epoch}{'*' if record.stats_reset else ''}",
+                str(record.cycle),
+                str(record.cycles),
+                str(record.instructions),
+            ]
+            + [_format(record.value(key)) for key in keys]
+        )
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    if step > 1:
+        lines.append(f"(every {step}th of {len(records)} epochs)")
+    return "\n".join(lines)
+
+
+def render_timeline(
+    records: Sequence[EpochRecord],
+    keys: Sequence[str] = DEFAULT_KEYS,
+    width: int = 60,
+    max_rows: Optional[int] = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Full report: sparkline per key, warmup marker, then the epoch table."""
+    records = list(records)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not records:
+        lines.append("(no epochs sampled — run longer or shrink --epoch-cycles)")
+        return "\n".join(lines)
+    lines.append(
+        f"{len(records)} epochs over {records[-1].cycle} cycles, "
+        f"{sum(r.instructions for r in records)} instructions"
+    )
+    boundary = detect_warmup(records)
+    if boundary is not None:
+        lines.append(
+            f"measured warmup boundary: epoch {records[boundary].epoch} "
+            f"(cycle {records[boundary].cycle - records[boundary].cycles})"
+        )
+    else:
+        lines.append("measured warmup boundary: not reached (IPC never settled)")
+    lines.append("")
+    label_width = max(len(key) for key in keys)
+    for key in keys:
+        values = [record.value(key) for record in records]
+        lines.append(
+            f"{key:<{label_width}} |{sparkline(values, width)}| "
+            f"min {_format(min(values))}  max {_format(max(values))}"
+        )
+    lines.append("")
+    lines.append(render_table(records, keys, max_rows=max_rows))
+    return "\n".join(lines)

@@ -77,6 +77,14 @@ class EventQueue:
         #: When set, every callback runs as ``profiler(callback)`` instead of
         #: ``callback()``; when None the hot loop pays one attribute read.
         self.profiler: Optional[Callable[[Callable[[], None]], None]] = None
+        #: Optional epoch sampler (see :mod:`repro.telemetry`). Consulted
+        #: once per *distinct timestamp*, not per event: when the clock is
+        #: about to advance to a bucket at or past ``telemetry.next_cycle``,
+        #: the kernel calls ``telemetry.sample(time)`` *before* firing that
+        #: bucket's callbacks. The sampler only reads component state, so a
+        #: sampled run is byte-identical to an unsampled one; when None the
+        #: loop pays one attribute read per bucket.
+        self.telemetry: Optional["TelemetrySampler"] = None
 
     def __len__(self) -> int:
         total = 0
@@ -151,6 +159,9 @@ class EventQueue:
             return False
         self._pos += 1
         self.now = event.time
+        telemetry = self.telemetry
+        if telemetry is not None and event.time >= telemetry.next_cycle:
+            telemetry.sample(event.time)
         if not event.audit:
             self._events_processed += 1
         profiler = self.profiler
@@ -203,6 +214,11 @@ class EventQueue:
                 return
             self.now = head
             self._pos_time = head
+            telemetry = self.telemetry
+            if telemetry is not None and head >= telemetry.next_cycle:
+                # Sampled before the bucket fires: an epoch covers every
+                # event strictly below its closing boundary.
+                telemetry.sample(head)
             # Fire through the bucket. Callbacks may append same-cycle events
             # to it, so the size is re-read every iteration; they never
             # remove (cancel only flags), so positions are stable.

@@ -1,0 +1,113 @@
+"""Sweep-runner telemetry integration: artifacts, keys, failure cleanup."""
+
+import os
+
+import pytest
+
+from repro.analysis.runner import SweepJobError, SweepRunner, job_key
+from repro.telemetry.sampler import TelemetryConfig, read_jsonl
+from tests.analysis.test_runner import tiny_job
+
+TELEMETRY = TelemetryConfig(epoch_cycles=500)
+
+
+class TestArtifacts:
+    def test_simulated_job_writes_final_artifact(self, tmp_path):
+        config, traces = tiny_job()
+        runner = SweepRunner(
+            workers=0, cache_dir=None, telemetry=TELEMETRY,
+            telemetry_dir=str(tmp_path),
+        )
+        runner.run(config, traces)
+        key = job_key(config, traces)
+        path = tmp_path / f"{key}.telemetry.jsonl"
+        assert path.exists()
+        assert not path.with_suffix(".jsonl.partial").exists()
+        header, records = read_jsonl(str(path))
+        assert header["key"] == key
+        assert records and records[-1].final
+
+    def test_results_identical_with_and_without_telemetry(self, tmp_path):
+        config, traces = tiny_job()
+        plain = SweepRunner(workers=0, cache_dir=None).run(config, traces)
+        sampled = SweepRunner(
+            workers=0, cache_dir=None, telemetry=TELEMETRY,
+            telemetry_dir=str(tmp_path),
+        ).run(config, traces)
+        assert sampled.to_dict() == plain.to_dict()
+
+    def test_artifacts_default_next_to_cache(self, tmp_path):
+        config, traces = tiny_job()
+        cache = str(tmp_path / "cache")
+        SweepRunner(workers=0, cache_dir=cache, telemetry=TELEMETRY).run(
+            config, traces
+        )
+        key = job_key(config, traces)
+        assert os.path.exists(os.path.join(cache, f"{key}.json"))
+        assert os.path.exists(os.path.join(cache, f"{key}.telemetry.jsonl"))
+
+    def test_cache_hit_produces_no_artifact(self, tmp_path):
+        config, traces = tiny_job()
+        cache = str(tmp_path / "cache")
+        SweepRunner(workers=0, cache_dir=cache).run(config, traces)
+        telemetry_dir = tmp_path / "tel"
+        runner = SweepRunner(
+            workers=0, cache_dir=cache, telemetry=TELEMETRY,
+            telemetry_dir=str(telemetry_dir),
+        )
+        runner.run(config, traces)
+        # Telemetry is excluded from job_key, so the cached result answers
+        # the job and nothing is simulated — hence no epoch stream.
+        assert runner.cache_hits == 1
+        assert not telemetry_dir.exists() or not list(telemetry_dir.iterdir())
+
+
+class TestKeyExclusion:
+    def test_telemetry_does_not_change_job_key(self, tmp_path):
+        config, traces = tiny_job()
+        # job_key has no telemetry parameter at all; the riders live on the
+        # job spec only. Two runners with/without telemetry share keys, so
+        # they share cache entries.
+        key = job_key(config, traces)
+        runner = SweepRunner(
+            workers=0, cache_dir=None, telemetry=TELEMETRY,
+            telemetry_dir=str(tmp_path),
+        )
+        future = runner.submit(config, traces)
+        assert future.job.key == key
+        assert future.job.telemetry is TELEMETRY
+
+
+class TestFailureCleanup:
+    def failing_submit(self, runner):
+        # An impossible event budget fails deterministically *mid-run*,
+        # after the sampler has already streamed epochs to the .partial.
+        config, traces = tiny_job()
+        with pytest.raises(SweepJobError):
+            runner.submit(config, traces, max_events=2_000).result()
+
+    def test_partial_deleted_by_default(self, tmp_path):
+        runner = SweepRunner(
+            workers=0, cache_dir=None,
+            telemetry=TelemetryConfig(epoch_cycles=100),
+            telemetry_dir=str(tmp_path),
+        )
+        self.failing_submit(runner)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_partial_retained_on_request(self, tmp_path):
+        runner = SweepRunner(
+            workers=0, cache_dir=None,
+            telemetry=TelemetryConfig(epoch_cycles=100),
+            telemetry_dir=str(tmp_path),
+            retain_failed_telemetry=True,
+        )
+        self.failing_submit(runner)
+        partials = [
+            p for p in tmp_path.iterdir() if p.name.endswith(".partial")
+        ]
+        assert len(partials) == 1
+        # The forensic trail holds every epoch closed before the death.
+        header, records = read_jsonl(str(partials[0]))
+        assert header["kind"] == "header"
+        assert records

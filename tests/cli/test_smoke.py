@@ -1,0 +1,130 @@
+"""End-to-end smoke coverage of every ``python -m repro`` subcommand.
+
+Each test drives ``main(argv)`` exactly as a shell would, on inputs small
+enough for tier-1, and asserts exit code 0 plus a non-empty artifact
+(stdout report, JSONL file, sweep cache entry). Flag-level behavior has
+dedicated suites (``tests/integration/test_cli.py``, ``tests/telemetry/``);
+this file guards the one property those can miss: *every* command still
+wires end to end.
+"""
+
+import json
+import os
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "benchmarks" in out and "mechanisms" in out and "scales" in out
+
+
+class TestRun:
+    def test_run(self, capsys):
+        assert main(["run", "lbm", "baseline", "--refs", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "events processed" in out
+
+    def test_run_with_telemetry_artifact(self, capsys, tmp_path):
+        jsonl = str(tmp_path / "run.jsonl")
+        code = main([
+            "run", "lbm", "dbi+awb", "--refs", "2500",
+            "--telemetry", jsonl, "--epoch-cycles", "2000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epochs sampled" in out
+        assert "measured warmup" in out
+        assert os.path.getsize(jsonl) > 0
+        with open(jsonl) as handle:
+            header = json.loads(handle.readline())
+        assert header["kind"] == "header"
+
+
+class TestExperiment:
+    def test_experiment_renders_and_caches(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main([
+            "experiment", "fig6", "--benchmarks", "bzip2",
+            "--workers", "0", "--quiet",
+        ])
+        assert code == 0
+        assert "Figure 6" in capsys.readouterr().out
+        cache = os.path.join("results", "sweep_cache")
+        assert any(name.endswith(".json") for name in os.listdir(cache))
+
+    def test_experiment_with_telemetry_artifacts(self, capsys, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main([
+            "experiment", "fig6", "--benchmarks", "bzip2",
+            "--workers", "0", "--quiet", "--telemetry",
+            "--epoch-cycles", "2000",
+        ])
+        assert code == 0
+        cache = os.path.join("results", "sweep_cache")
+        artifacts = [
+            name for name in os.listdir(cache)
+            if name.endswith(".telemetry.jsonl")
+        ]
+        assert artifacts  # one per simulated job, next to the cached result
+        with open(os.path.join(cache, artifacts[0])) as handle:
+            assert json.loads(handle.readline())["kind"] == "header"
+
+
+class TestProfile:
+    def test_profile_json(self, capsys):
+        assert main(["profile", "lbm", "baseline", "--refs", "2000",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["events_processed"] > 0
+
+
+class TestReliability:
+    def test_reliability(self, capsys):
+        code = main([
+            "reliability", "--refs", "2500", "--mechanisms", "dbi",
+            "--alphas", "1/4", "--faults", "20", "--interval", "200",
+        ])
+        assert code == 0
+        assert "data loss" in capsys.readouterr().out
+
+
+class TestCheckDiff:
+    def test_check_diff(self, capsys):
+        code = main([
+            "check-diff", "--refs", "1500",
+            "--benchmarks", "lbm", "--mechanisms", "baseline,dbi",
+        ])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+
+class TestTimeline:
+    def test_timeline_runs_a_simulation(self, capsys):
+        code = main([
+            "timeline", "lbm", "dbi+awb", "--refs", "2500",
+            "--epoch-cycles", "2000", "--stat", "mech.dbi_occupancy",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epochs over" in out
+        assert "mech.dbi_occupancy" in out
+        assert "epoch" in out  # table header
+
+    def test_timeline_renders_saved_stream(self, capsys, tmp_path):
+        jsonl = str(tmp_path / "t.jsonl")
+        assert main(["run", "mcf", "baseline", "--refs", "2000",
+                     "--telemetry", jsonl]) == 0
+        capsys.readouterr()
+        assert main(["timeline", "--input", jsonl]) == 0
+        out = capsys.readouterr().out
+        assert f"telemetry from {jsonl}" in out
+        assert "ipc" in out
+
+    def test_timeline_without_inputs_is_an_error(self, capsys):
+        assert main(["timeline"]) == 2
+        assert "needs either" in capsys.readouterr().err

@@ -56,3 +56,16 @@ class TestOtherMetrics:
     def test_geometric_mean_rejects_empty(self):
         with pytest.raises(ValueError):
             geometric_mean([])
+
+    def test_geometric_mean_many_tiny_values_no_underflow(self):
+        # A running product of 10k values of 1e-300 underflows to 0.0 by
+        # the second factor; the log-domain form returns the exact mean.
+        assert geometric_mean([1e-300] * 10_000) == pytest.approx(1e-300)
+
+    def test_geometric_mean_many_huge_values_no_overflow(self):
+        assert geometric_mean([1e300] * 10_000) == pytest.approx(1e300)
+
+    def test_geometric_mean_mixed_magnitudes(self):
+        # gmean(1e-300, 1e300) = 1 exactly; the naive product hits 0 or inf
+        # depending on evaluation order.
+        assert geometric_mean([1e-300, 1e300]) == pytest.approx(1.0)

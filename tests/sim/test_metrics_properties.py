@@ -1,0 +1,85 @@
+"""Property-based tests for the multi-programmed metrics (hypothesis).
+
+Runs under the ``fuzz`` marker (excluded from tier-1 by addopts; the CI
+``slowfuzz`` stage selects it), matching ``tests/check/test_fuzz.py``.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.metrics import (
+    geometric_mean,
+    harmonic_speedup,
+    instruction_throughput,
+    maximum_slowdown,
+    weighted_speedup,
+)
+
+pytestmark = [pytest.mark.fuzz]
+
+#: Positive IPC-like floats, bounded to keep ratios well inside float range.
+ipcs = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False)
+
+#: A shared/alone IPC pair of equal length.
+ipc_pairs = st.integers(min_value=1, max_value=16).flatmap(
+    lambda n: st.tuples(
+        st.lists(ipcs, min_size=n, max_size=n),
+        st.lists(ipcs, min_size=n, max_size=n),
+    )
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(ipcs, min_size=1, max_size=16))
+def test_weighted_speedup_of_identical_vectors_is_core_count(values):
+    # No interference: every app runs at its alone speed, so the system
+    # throughput metric must be exactly N.
+    assert weighted_speedup(values, values) == pytest.approx(len(values))
+
+
+@settings(max_examples=200, deadline=None)
+@given(ipc_pairs, st.randoms(use_true_random=False))
+def test_metrics_are_permutation_invariant(pair, rng):
+    shared, alone = pair
+    order = list(range(len(shared)))
+    rng.shuffle(order)
+    shuffled = ([shared[i] for i in order], [alone[i] for i in order])
+    rel = 1e-9
+    assert weighted_speedup(*shuffled) == pytest.approx(
+        weighted_speedup(shared, alone), rel=rel
+    )
+    assert harmonic_speedup(*shuffled) == pytest.approx(
+        harmonic_speedup(shared, alone), rel=rel
+    )
+    assert maximum_slowdown(*shuffled) == pytest.approx(
+        maximum_slowdown(shared, alone), rel=rel
+    )
+    assert instruction_throughput(shuffled[0]) == pytest.approx(
+        instruction_throughput(shared), rel=rel
+    )
+    assert geometric_mean(shuffled[0]) == pytest.approx(
+        geometric_mean(shared), rel=rel
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(ipc_pairs)
+def test_harmonic_never_exceeds_weighted_speedup(pair):
+    # AM-HM inequality on the per-app speedups: N * hmean <= sum.
+    shared, alone = pair
+    harmonic = harmonic_speedup(shared, alone) * len(shared)
+    assert harmonic <= weighted_speedup(shared, alone) * (1 + 1e-9)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ipc_pairs)
+def test_max_slowdown_at_least_one_when_sharing_never_helps(pair):
+    # Clamp shared <= alone elementwise (contention can only slow an app
+    # down); then at least one app's slowdown ratio is >= 1.
+    shared, alone = pair
+    shared = [min(s, a) for s, a in zip(shared, alone)]
+    assert maximum_slowdown(shared, alone) >= 1.0 - 1e-12

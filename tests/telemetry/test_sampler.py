@@ -1,0 +1,204 @@
+"""Unit tests for the epoch sampler: framing, ring, JSONL, resets.
+
+The zero-perturbation acceptance tests (telemetry-enabled run produces
+byte-identical final stats) live in ``test_zero_perturbation.py``.
+"""
+
+import pytest
+
+from repro.telemetry.sampler import (
+    EpochRecord,
+    TelemetryConfig,
+    TelemetrySampler,
+    read_jsonl,
+)
+from repro.utils.stats import StatGroup
+
+
+def make_sampler(**kwargs):
+    group = StatGroup("g")
+    group.counter("events")
+    group.rate("hits")
+    config = TelemetryConfig(**{"epoch_cycles": 100, **kwargs})
+    instructions = {"value": 0}
+    sampler = TelemetrySampler(
+        config,
+        groups=[group],
+        counters=[("instructions", lambda: instructions["value"])],
+        gauges=[("depth", lambda: 7.0)],
+    )
+    return sampler, group, instructions
+
+
+class TestConfig:
+    def test_rejects_non_positive_epoch(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(epoch_cycles=0)
+
+    def test_rejects_non_positive_ring(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(ring_size=0)
+
+
+class TestFraming:
+    def test_first_boundary_is_one_epoch_in(self):
+        sampler, _, _ = make_sampler()
+        assert sampler.next_cycle == 100
+
+    def test_sample_advances_to_next_multiple(self):
+        sampler, _, _ = make_sampler()
+        sampler.sample(100)
+        assert sampler.next_cycle == 200
+        # A sample past the boundary (event landed mid-epoch) still aims
+        # at the next multiple, not boundary + epoch_cycles.
+        sampler.sample(250)
+        assert sampler.next_cycle == 300
+
+    def test_skipped_epochs_collapse_into_one_record(self):
+        sampler, _, _ = make_sampler()
+        sampler.sample(100)
+        sampler.sample(550)  # epochs 1..4 had no events
+        assert len(sampler.records) == 2
+        assert sampler.records[-1].cycles == 450
+
+    def test_epoch_index_is_opening_boundary(self):
+        sampler, _, _ = make_sampler()
+        sampler.sample(100)
+        sampler.sample(550)
+        assert [r.epoch for r in sampler.records] == [0, 1]
+
+    def test_deltas_are_per_epoch_not_cumulative(self):
+        sampler, group, _ = make_sampler()
+        group.counter("events").increment(5)
+        sampler.sample(100)
+        group.counter("events").increment(3)
+        sampler.sample(200)
+        assert [r.deltas.get("g.events") for r in sampler.records] == [5, 3]
+
+    def test_zero_deltas_are_omitted(self):
+        sampler, group, _ = make_sampler()
+        group.counter("events").increment()
+        sampler.sample(100)
+        sampler.sample(200)
+        assert "g.events" not in sampler.records[-1].deltas
+
+    def test_ipc_from_instruction_probe(self):
+        sampler, _, instructions = make_sampler()
+        instructions["value"] = 50
+        sampler.sample(100)
+        record = sampler.records[-1]
+        assert record.instructions == 50
+        assert record.ipc == pytest.approx(0.5)
+        assert "instructions" not in record.deltas
+
+    def test_gauges_recorded_as_is(self):
+        sampler, _, _ = make_sampler()
+        sampler.sample(100)
+        assert sampler.records[-1].gauges == {"depth": 7.0}
+
+
+class TestStatsReset:
+    def test_negative_delta_flags_record(self):
+        sampler, group, _ = make_sampler()
+        group.counter("events").increment(10)
+        sampler.sample(100)
+        group.reset()
+        group.counter("events").increment(2)
+        sampler.sample(200)
+        record = sampler.records[-1]
+        assert record.stats_reset
+        # Post-reset value reported as the delta.
+        assert record.deltas["g.events"] == 2
+
+    def test_following_epoch_is_clean_again(self):
+        sampler, group, _ = make_sampler()
+        group.counter("events").increment(10)
+        sampler.sample(100)
+        group.reset()
+        sampler.sample(200)
+        group.counter("events").increment(4)
+        sampler.sample(300)
+        assert not sampler.records[-1].stats_reset
+        assert sampler.records[-1].deltas["g.events"] == 4
+
+
+class TestRing:
+    def test_ring_caps_memory_but_not_emission_count(self):
+        sampler, _, _ = make_sampler(ring_size=3)
+        for cycle in range(100, 1100, 100):
+            sampler.sample(cycle)
+        assert len(sampler.records) == 3
+        assert sampler.epochs_emitted == 10
+        assert [r.cycle for r in sampler.records] == [800, 900, 1000]
+
+
+class TestFinalize:
+    def test_trailing_partial_epoch(self):
+        sampler, _, _ = make_sampler()
+        sampler.sample(100)
+        sampler.finalize(130)
+        record = sampler.records[-1]
+        assert record.final
+        assert record.cycles == 30
+
+    def test_idempotent(self):
+        sampler, _, _ = make_sampler()
+        sampler.finalize(50)
+        sampler.finalize(80)
+        assert len(sampler.records) == 1
+
+    def test_nothing_to_flush(self):
+        sampler, _, _ = make_sampler()
+        sampler.sample(100)
+        sampler.finalize(100)  # clock exactly on the boundary
+        assert len(sampler.records) == 1
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sampler, group, instructions = make_sampler(
+            jsonl_path=path, meta=(("benchmark", "lbm"),)
+        )
+        group.counter("events").increment(5)
+        group.rate("hits").record(True)
+        instructions["value"] = 42
+        sampler.sample(100)
+        sampler.finalize(150)
+        header, records = read_jsonl(path)
+        assert header["epoch_cycles"] == 100
+        assert header["benchmark"] == "lbm"
+        assert [r.to_dict() for r in records] == [
+            r.to_dict() for r in sampler.records
+        ]
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"epoch": 0}\n')
+        with pytest.raises(ValueError, match="header"):
+            read_jsonl(str(path))
+
+    def test_newer_format_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text('{"kind": "header", "format": 99}\n')
+        with pytest.raises(ValueError, match="newer"):
+            read_jsonl(str(path))
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_jsonl(str(path))
+
+
+class TestRecordValue:
+    def test_resolution_order(self):
+        record = EpochRecord(
+            epoch=2, cycle=300, cycles=100, instructions=40, ipc=0.4,
+            deltas={"mech.read_hits": 9.0}, gauges={"depth": 3.0},
+        )
+        assert record.value("ipc") == 0.4
+        assert record.value("epoch") == 2
+        assert record.value("mech.read_hits") == 9.0
+        assert record.value("depth") == 3.0
+        assert record.value("no.such.key") == 0.0

@@ -1,0 +1,79 @@
+"""Unit tests for the ASCII timeline renderer."""
+
+from repro.telemetry.sampler import EpochRecord
+from repro.telemetry.timeline import (
+    SPARK_CHARS,
+    render_table,
+    render_timeline,
+    sparkline,
+)
+
+
+def make_record(epoch, ipc, stats_reset=False):
+    return EpochRecord(
+        epoch=epoch,
+        cycle=(epoch + 1) * 100,
+        cycles=100,
+        instructions=int(ipc * 100),
+        ipc=ipc,
+        stats_reset=stats_reset,
+        gauges={"depth": float(epoch)},
+    )
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_renders_lowest_char(self):
+        assert sparkline([3.0, 3.0, 3.0]) == SPARK_CHARS[0] * 3
+
+    def test_extremes_hit_ramp_ends(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == SPARK_CHARS[0]
+        assert line[-1] == SPARK_CHARS[-1]
+
+    def test_resampled_to_width(self):
+        assert len(sparkline(list(range(100)), width=10)) == 10
+
+    def test_no_upsampling(self):
+        assert len(sparkline([1.0, 2.0], width=10)) == 2
+
+
+class TestRenderTable:
+    def test_marks_reset_epochs(self):
+        records = [make_record(0, 0.5), make_record(1, 0.4, stats_reset=True)]
+        table = render_table(records, keys=["ipc"])
+        assert "1*" in table
+        assert "0*" not in table
+
+    def test_subsamples_long_streams(self):
+        records = [make_record(i, 0.5) for i in range(20)]
+        table = render_table(records, keys=["ipc"], max_rows=5)
+        assert "(every 4th of 20 epochs)" in table
+        assert len(table.splitlines()) <= 5 + 3  # header + rule + note
+
+    def test_gauge_column(self):
+        table = render_table([make_record(3, 0.5)], keys=["depth"])
+        assert "depth" in table
+        assert "3" in table
+
+
+class TestRenderTimeline:
+    def test_empty_stream_hint(self):
+        out = render_timeline([], title="t")
+        assert "no epochs sampled" in out
+
+    def test_full_render(self):
+        records = [make_record(i, 0.2 if i < 4 else 0.5) for i in range(16)]
+        out = render_timeline(records, keys=["ipc"], title="lbm under dbi")
+        assert out.startswith("lbm under dbi")
+        assert "16 epochs" in out
+        assert "measured warmup boundary: epoch 4" in out
+        assert "ipc" in out
+        assert "|" in out  # sparkline gutter
+
+    def test_unsettled_run_says_so(self):
+        records = [make_record(i, 0.1 if i % 2 else 0.9) for i in range(12)]
+        out = render_timeline(records, keys=["ipc"])
+        assert "not reached" in out
