@@ -22,6 +22,14 @@ runtime invariant engine (off by default; results are identical either way),
 and ``--telemetry``/``--epoch-cycles`` to attach the epoch sampler (also
 observational: final statistics are byte-identical with it on or off).
 
+Both also accept ``--sampled [SPEC]`` for SMARTS-style sampled simulation
+(detailed measurement windows with functional fast-forward between them,
+reported with 95% confidence intervals), and ``experiment`` accepts
+``--checkpoint-dir DIR`` for fork-from-warm sweeps (one warm image per
+benchmark/config group, every mechanism cell forked from it). Both are
+documented approximations of full runs — cached under distinct keys, and
+mutually exclusive with ``--check``/``--telemetry``.
+
 ``experiment`` is fault-tolerant: worker crashes and hangs are retried with
 exponential backoff (``--max-attempts``, ``--job-timeout``), and
 ``--keep-going`` renders partial artifacts — failed cells become ``n/a`` and
@@ -47,12 +55,62 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _cmd_run_sampled(args, scale, trace) -> int:
+    """``run --sampled``: SMARTS windows + per-metric confidence intervals."""
+    from repro.checkpoint import run_sampled
+    from repro.checkpoint.sampled import SampledConfig
+
+    if args.check != "off" or args.telemetry:
+        print(
+            "--sampled does not compose with --check or --telemetry "
+            "(functional fast-forward breaks the ledger invariants and "
+            "the epoch stream)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        sampled_config = SampledConfig.parse(args.sampled)
+    except ValueError as exc:
+        print(f"bad --sampled spec: {exc}", file=sys.stderr)
+        return 2
+    outcome = run_sampled(
+        scale.system_config(args.mechanism), [trace], sampled_config
+    )
+    result = outcome.result
+    total = outcome.detailed_instructions + outcome.skipped_instructions
+    print(f"benchmark          {args.benchmark}")
+    print(f"mechanism          {args.mechanism}")
+    print(f"IPC                {result.ipc[0]:.4f}")
+    print(f"write row hit rate {result.write_row_hit_rate:.2%}")
+    print(f"read row hit rate  {result.read_row_hit_rate:.2%}")
+    print(f"tag lookups / ki   {result.tag_lookups_pki:.1f}")
+    print(f"memory WPKI        {result.memory_wpki:.1f}")
+    print(f"LLC MPKI           {result.llc_mpki:.1f}")
+    print(
+        f"sampling           {outcome.windows_run} windows, "
+        f"{outcome.detailed_instructions} detailed + "
+        f"{outcome.skipped_instructions} fast-forwarded instructions "
+        f"({outcome.detailed_instructions / max(1, total):.0%} detailed)"
+    )
+    print("95% confidence intervals over the windows:")
+    for name in sorted(outcome.estimates):
+        estimate = outcome.estimates[name]
+        print(
+            f"  {name:<22s} {estimate.mean:10.4f}  "
+            f"[{estimate.ci_low:.4f}, {estimate.ci_high:.4f}]  "
+            f"n={estimate.samples}"
+        )
+    return 0
+
+
 def _cmd_run(args) -> int:
     from repro.analysis.scaling import SCALES
     from repro.sim.system import System
 
     scale = SCALES[args.scale]
     trace = scale.benchmark_trace(args.benchmark, refs=args.refs)
+    if args.sampled is not None:
+        return _cmd_run_sampled(args, scale, trace)
     telemetry = None
     if args.telemetry:
         from repro.telemetry.sampler import TelemetryConfig
@@ -124,7 +182,15 @@ def make_sweep_runner(args):
         telemetry = TelemetryConfig(
             epoch_cycles=getattr(args, "epoch_cycles", None) or 5_000
         )
+    sampled = None
+    sampled_spec = getattr(args, "sampled", None)
+    if sampled_spec is not None:
+        from repro.checkpoint.sampled import SampledConfig
+
+        sampled = SampledConfig.parse(sampled_spec)
     return SweepRunner(
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        sampled=sampled,
         workers=args.workers,
         cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
         use_cache=not args.no_cache,
@@ -145,7 +211,13 @@ def _cmd_experiment(args) -> int:
 
     scale = SCALES[args.scale]
     benchmarks = args.benchmarks.split(",") if args.benchmarks else None
-    sweep = make_sweep_runner(args)
+    try:
+        sweep = make_sweep_runner(args)
+    except ValueError as exc:
+        # e.g. --checkpoint-dir/--sampled combined with --check/--telemetry,
+        # or a malformed --sampled spec.
+        print(str(exc), file=sys.stderr)
+        return 2
     runners = {
         "fig6": lambda: "\n\n".join(
             r.to_text()
@@ -367,6 +439,14 @@ def main(argv=None) -> int:
         "--epoch-cycles", type=int, default=5_000, metavar="N",
         help="telemetry epoch length in cycles (default: 5000)",
     )
+    run_parser.add_argument(
+        "--sampled", nargs="?", const="default", default=None, metavar="SPEC",
+        help="SMARTS-style sampled run: detailed windows with functional "
+             "fast-forward between them, reporting per-metric 95%% "
+             "confidence intervals. SPEC tunes the schedule, e.g. "
+             "'windows=8,window_cycles=2000,warmup_cycles=2000' (defaults "
+             "shown); incompatible with --check/--telemetry",
+    )
 
     exp_parser = sub.add_parser("experiment", help="regenerate a paper artifact")
     exp_parser.add_argument("name")
@@ -437,6 +517,22 @@ def main(argv=None) -> int:
         "--retain-failed-telemetry", action="store_true",
         help="keep the .partial epoch stream of terminally failed jobs as "
              "a forensic trail instead of deleting it",
+    )
+    exp_parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="enable fork-from-warm sweeps: warm each (benchmark, config) "
+             "group once, snapshot into DIR, and fork every per-mechanism "
+             "cell from the shared warm image (documented approximation of "
+             "cold runs; cached under distinct keys; incompatible with "
+             "--check/--telemetry)",
+    )
+    exp_parser.add_argument(
+        "--sampled", nargs="?", const="default", default=None, metavar="SPEC",
+        help="run every cell in SMARTS-style sampled mode (detailed windows "
+             "+ functional fast-forward); composes with --checkpoint-dir "
+             "for the fastest sweeps. SPEC e.g. "
+             "'windows=8,window_cycles=2000' (incompatible with "
+             "--check/--telemetry)",
     )
 
     rel_parser = sub.add_parser(

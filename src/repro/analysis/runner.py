@@ -61,6 +61,16 @@ Fault tolerance
     The :mod:`repro.analysis.chaos` layer injects all three fault kinds
     deterministically (``REPRO_CHAOS`` env or the ``chaos=`` argument) so
     tests can prove recovered sweeps are byte-identical to fault-free ones.
+
+Checkpoint acceleration
+    ``checkpoint_dir=`` turns on fork-from-warm sweeps: each (traces,
+    shared-config) group warms once, snapshots at the warmup boundary, and
+    every per-mechanism cell forks from the shared image. ``sampled=`` runs
+    SMARTS-style detailed windows with functional fast-forward between them.
+    Both are documented approximations of cold full-length runs, carry their
+    own :func:`job_key` components (their cache entries never collide with
+    cold ones), and refuse to compose with ``check`` or ``telemetry``. See
+    :mod:`repro.checkpoint` and ``docs/architecture.md`` §11.
 """
 
 from __future__ import annotations
@@ -73,12 +83,15 @@ import threading
 import time
 import traceback as traceback_module
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.chaos import ChaosConfig, FaultInjector, chaos_from_env
 from repro.sim.system import SimulationResult, SystemConfig, run_system
 from repro.sim.trace import Trace
 from repro.telemetry.sampler import TelemetryConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.checkpoint.sampled import SampledConfig
 
 #: Default location of the on-disk result cache (relative to the cwd).
 DEFAULT_CACHE_DIR = os.path.join("results", "sweep_cache")
@@ -109,6 +122,8 @@ def job_key(
     traces: Sequence[Trace],
     max_events: Optional[int] = None,
     check: str = "off",
+    fork: Optional[str] = None,
+    sampled: Optional[str] = None,
 ) -> str:
     """Stable content hash identifying one simulation.
 
@@ -122,6 +137,11 @@ def job_key(
     so checked runs may *reuse* entries cached by unchecked sweeps, but a
     result produced under ``--check`` gets its own entry — a pre-existing
     cache must never let a verification sweep silently skip simulating.
+
+    ``fork`` (the warm-image mechanism of a fork-from-warm job) and
+    ``sampled`` (a :meth:`SampledConfig.key` spec) are hashed whenever set:
+    both modes are documented approximations of a cold full-length run, so
+    their entries must never collide with — or be served to — cold sweeps.
     """
     import hashlib
 
@@ -135,6 +155,10 @@ def job_key(
         hasher.update(f"|max_events:{max_events}".encode())
     if str(check).lower() != "off":
         hasher.update(f"|check:{str(check).lower()}".encode())
+    if fork is not None:
+        hasher.update(f"|fork:{fork}".encode())
+    if sampled is not None:
+        hasher.update(f"|sampled:{sampled}".encode())
     return hasher.hexdigest()
 
 
@@ -240,6 +264,12 @@ class SweepJob:
     ``telemetry``/``telemetry_path`` are observational riders: they are NOT
     part of :func:`job_key` (telemetry cannot change results), so a cache
     hit legitimately skips producing a telemetry artifact.
+
+    ``fork_checkpoint`` points a fork-from-warm job at its group's warm
+    image on disk — the worker restores its own private copy of the image
+    from the (read-only) file, so any number of cells fork from one snapshot
+    concurrently. ``sampled`` switches the job to SMARTS-style sampled
+    execution. Both change results, so both are part of :func:`job_key`.
     """
 
     job_id: int
@@ -250,16 +280,47 @@ class SweepJob:
     check: str = "off"
     telemetry: Optional[TelemetryConfig] = None
     telemetry_path: Optional[str] = None
+    fork_checkpoint: Optional[str] = None
+    warm_mechanism: Optional[str] = None
+    sampled: Optional["SampledConfig"] = None
 
     @property
     def label(self) -> str:
         names = ",".join(trace.name for trace in self.traces)
-        return f"{self.config.mechanism}[{names}]"
+        tags = ""
+        if self.fork_checkpoint is not None:
+            tags += "+fork"
+        if self.sampled is not None:
+            tags += "+sampled"
+        return f"{self.config.mechanism}[{names}]{tags}"
 
 
 def _telemetry_partial_path(path: str) -> str:
     """Where a job streams epochs while running (see :func:`_execute`)."""
     return f"{path}.partial"
+
+
+def _execute_checkpoint(job: SweepJob) -> SimulationResult:
+    """Run one fork-from-warm and/or sampled job.
+
+    The checkpoint package is imported lazily so plain sweeps never pay for
+    it. The runner refuses to construct checkpoint-mode sweeps with check or
+    telemetry riders, so this path never streams epochs or audits ledgers.
+    """
+    from repro.checkpoint import fork_system, load_snapshot, quiesce
+    from repro.checkpoint.sampled import run_sampled, run_windows
+
+    if job.fork_checkpoint is None:
+        return run_sampled(job.config, list(job.traces), job.sampled).result
+    system = load_snapshot(job.fork_checkpoint)
+    fork_system(system, job.config)
+    if job.sampled is not None:
+        # Dirty-state adoption may have queued DBI-eviction writeback probes
+        # behind the tag port; drain them (quiesce re-pauses the cores, as
+        # run_windows expects) before the first sampled window opens.
+        quiesce(system)
+        return run_windows(system, job.sampled).result
+    return system.resume(max_events=job.max_events)
 
 
 def _execute(job: SweepJob) -> SimulationResult:
@@ -270,6 +331,8 @@ def _execute(job: SweepJob) -> SimulationResult:
     hung attempt leaves a ``.partial`` forensic trail of exactly the epochs
     it completed, while finished artifacts are never torn.
     """
+    if job.fork_checkpoint is not None or job.sampled is not None:
+        return _execute_checkpoint(job)
     if job.telemetry is None or job.telemetry_path is None:
         return run_system(
             job.config,
@@ -407,6 +470,30 @@ class SweepRunner:
         retain_failed_telemetry: keep the ``.partial`` epoch stream of a
             terminally failed job as a forensic trail instead of deleting
             it (chaos-killed and hung runs show exactly how far they got).
+        checkpoint_dir: enables fork-from-warm sweeps. Each (traces,
+            shared-config) group warms *once* under its normalized
+            mechanism, snapshots at the warmup boundary into
+            ``<checkpoint_dir>/warm-<key>.ckpt``, and every cell forks from
+            that shared image (see :mod:`repro.checkpoint.fork`). Forked
+            results are a documented approximation of cold runs; their
+            cache entries carry a distinct key component. Existing warm
+            images are digest-verified before reuse; corrupt ones are
+            quarantined to ``.ckpt.corrupt`` and rebuilt.
+        sampled: switches every job to SMARTS-style sampled execution
+            (:mod:`repro.checkpoint.sampled`): detailed measurement windows
+            separated by functional fast-forward. Composes with
+            ``checkpoint_dir`` (fork, then sample) or stands alone (warm
+            under the cell's own mechanism, then sample). Sampled results
+            are estimates with confidence intervals; the cached
+            :class:`SimulationResult` is synthesized from the window sums
+            and keyed separately from full runs.
+
+        Neither checkpoint mode composes with ``check`` or ``telemetry``:
+        the mechanism swap and functional fast-forward violate the ledger
+        invariants the check engine audits, and sampled epoch streams would
+        be full of fast-forward discontinuities. Construction raises
+        ``ValueError`` on those combinations rather than producing
+        quietly-wrong artifacts.
 
     Usage::
 
@@ -428,6 +515,8 @@ class SweepRunner:
         telemetry: Optional[TelemetryConfig] = None,
         telemetry_dir: Optional[str] = None,
         retain_failed_telemetry: bool = False,
+        checkpoint_dir: Optional[str] = None,
+        sampled: Optional["SampledConfig"] = None,
     ) -> None:
         self.workers = default_workers() if workers is None else max(0, workers)
         self.cache_dir = cache_dir if (use_cache and cache_dir) else None
@@ -436,6 +525,22 @@ class SweepRunner:
         self.retain_failed_telemetry = retain_failed_telemetry
         self.progress = progress
         self.check = str(check).lower()
+        self.checkpoint_dir = checkpoint_dir
+        self.sampled = sampled
+        if checkpoint_dir is not None or sampled is not None:
+            mode = "fork-from-warm" if checkpoint_dir is not None else "sampled"
+            if self.check != "off":
+                raise ValueError(
+                    f"{mode} sweeps do not compose with --check: the "
+                    "mechanism swap / functional fast-forward violates the "
+                    "writeback-ledger invariants the check engine audits"
+                )
+            if telemetry is not None:
+                raise ValueError(
+                    f"{mode} sweeps do not compose with telemetry riders: "
+                    "epoch streams would be full of fast-forward and "
+                    "mechanism-swap discontinuities"
+                )
         self.retry = retry or RetryPolicy()
         self.keep_going = keep_going
         self.chaos = chaos if chaos is not None else chaos_from_env()
@@ -454,7 +559,11 @@ class SweepRunner:
         self.cache_corrupt = 0  # cache entries quarantined on load
         self.pool_deaths = 0  # pools torn down after a crash or hang
         self.degraded_inline = False  # too many pool deaths: running inline
+        self.warm_images_built = 0  # fork groups whose image was produced
+        self.checkpoints_quarantined = 0  # corrupt warm images set aside
         self.failures: List[JobFailure] = []
+        self._warm_lock = threading.Lock()
+        self._warm_verified: set = set()  # warm-image paths already vetted
 
     # ------------------------------------------------------------ lifecycle
 
@@ -502,7 +611,25 @@ class SweepRunner:
         schedules a fresh future instead of returning the poisoned one.
         """
         traces = tuple(traces)
-        key = job_key(config, traces, max_events, check=self.check)
+        if self.sampled is not None and max_events is not None:
+            raise ValueError(
+                "sampled mode schedules its own detailed windows; "
+                "max_events is not supported"
+            )
+        fork_checkpoint = None
+        warm_mechanism = None
+        if self.checkpoint_dir is not None:
+            warm_mechanism, fork_checkpoint = self._ensure_warm_image(
+                config, traces
+            )
+        key = job_key(
+            config,
+            traces,
+            max_events,
+            check=self.check,
+            fork=warm_mechanism,
+            sampled=self.sampled.key() if self.sampled is not None else None,
+        )
         with self._lock:
             existing = self._futures.get(key)
             if existing is not None:
@@ -522,6 +649,9 @@ class SweepRunner:
                 self.check,
                 telemetry=self.telemetry,
                 telemetry_path=telemetry_path,
+                fork_checkpoint=fork_checkpoint,
+                warm_mechanism=warm_mechanism,
+                sampled=self.sampled,
             )
             self._next_id += 1
             self.jobs_submitted += 1
@@ -549,6 +679,13 @@ class SweepRunner:
             extra += f", {self.jobs_retried} retried"
         if self.cache_corrupt:
             extra += f", {self.cache_corrupt} corrupt cache entries quarantined"
+        if self.warm_images_built:
+            extra += f", {self.warm_images_built} warm image(s) built"
+        if self.checkpoints_quarantined:
+            extra += (
+                f", {self.checkpoints_quarantined} corrupt warm image(s) "
+                "quarantined"
+            )
         if self.degraded_inline:
             extra += f", degraded to inline after {self.pool_deaths} pool deaths"
         return (
@@ -580,6 +717,60 @@ class SweepRunner:
             json.dump(payload, handle, indent=2)
         os.replace(tmp, path)
         return path
+
+    # ---------------------------------------------------------- warm images
+
+    def _ensure_warm_image(
+        self, config: SystemConfig, traces: Tuple[Trace, ...]
+    ) -> Tuple[str, str]:
+        """The (mechanism, path) of ``config``'s fork-group warm image.
+
+        The image is content-addressed by the *warm* config — mechanism
+        normalized away, LLC resolution pinned (see
+        :func:`~repro.checkpoint.warm.warm_config_for`) — so every cell of a
+        (traces, shared-config) group resolves to the same file and the
+        0.4 × run warmup cost is paid once per group. Pre-existing files are
+        digest-verified before reuse; a corrupt image is quarantined to
+        ``.ckpt.corrupt`` and rebuilt. Concurrent sweeps racing on the build
+        are harmless: :func:`~repro.checkpoint.snapshot.save_snapshot`
+        writes atomically and the simulator is deterministic, so both racers
+        produce identical bytes.
+        """
+        from repro.checkpoint import (
+            CheckpointError,
+            make_warm_system,
+            save_snapshot,
+            verify_snapshot,
+            warm_config_for,
+        )
+
+        warm_config = warm_config_for(config)
+        key = job_key(warm_config, traces)
+        path = os.path.join(self.checkpoint_dir, f"warm-{key}.ckpt")
+        with self._warm_lock:
+            if path not in self._warm_verified:
+                if os.path.exists(path):
+                    try:
+                        verify_snapshot(path)
+                    except CheckpointError:
+                        self._quarantine_checkpoint(path)
+                if not os.path.exists(path):
+                    save_snapshot(
+                        make_warm_system(warm_config, list(traces)), path
+                    )
+                    with self._lock:
+                        self.warm_images_built += 1
+                self._warm_verified.add(path)
+        return warm_config.mechanism, path
+
+    def _quarantine_checkpoint(self, path: str) -> None:
+        """Set a corrupt warm image aside (evidence kept) and count it."""
+        with self._lock:
+            self.checkpoints_quarantined += 1
+        try:
+            os.replace(path, f"{path}.corrupt")
+        except OSError:
+            pass
 
     # ------------------------------------------------------------- dispatch
 

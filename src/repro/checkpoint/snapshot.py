@@ -1,0 +1,278 @@
+"""Snapshot protocol: serialize a live :class:`~repro.sim.system.System`.
+
+A snapshot captures the *entire* simulation graph — event queue (with every
+pending event), cores, L1/L2/LLC caches and replacement state, MSHRs, tag
+port, mechanism (including DBI / predictor state), DRAM banks, controller and
+write buffer — by pickling the ``System`` object. Every callback in the event
+graph is a bound method or a :func:`functools.partial` of one (closures were
+eliminated for exactly this reason), so the graph round-trips losslessly: a
+restored system continues byte-identically to the uninterrupted run.
+
+Two attachments are handled specially because they hold unpicklable state:
+
+* the profiler (``queue.profiler``) times wall-clock, which is meaningless
+  across a restore; it is detached for the snapshot and *not* restored.
+* the telemetry sampler holds a file handle and probe lambdas; its plain
+  counters (epoch cursor, previous-snapshot dict, emitted records) are
+  captured separately and a fresh sampler is rebuilt around them on restore,
+  so epoch numbering and deltas continue exactly where they left off. The
+  restored sampler never reopens the original JSONL path (which would
+  truncate it); pass ``jsonl_path`` to :func:`restore_system` to stream
+  post-restore epochs somewhere new.
+
+On-disk container (``.ckpt``)::
+
+    DBICKPT\\0 | u32 header length | header JSON | zlib(pickle payload)
+
+The header records the payload's SHA-256; :func:`load_snapshot` refuses any
+container whose digest, magic or format does not check out by raising
+:class:`CheckpointError` (a ``ValueError``, so sweep-cache-style quarantine
+handling applies). Unpickling is restricted to this package's own modules
+plus a small stdlib allowlist — a snapshot cannot smuggle in arbitrary
+globals.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pickle
+import struct
+import zlib
+from collections import deque
+from typing import Dict, Optional
+
+#: Bump when the payload layout changes; readers reject newer formats.
+SNAPSHOT_FORMAT = 1
+
+MAGIC = b"DBICKPT\x00"
+
+#: Non-``repro`` modules a snapshot payload may reference. Bound methods
+#: pickle via ``builtins.getattr``; partials via ``functools``; the system
+#: graph uses deques, Fractions and enums internally.
+_ALLOWED_MODULES = frozenset(
+    {
+        "builtins",
+        "collections",
+        "_collections",
+        "functools",
+        "_functools",
+        "fractions",
+        "copyreg",
+        "enum",
+    }
+)
+
+
+class CheckpointError(ValueError):
+    """A snapshot could not be taken, parsed or verified."""
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    """Unpickler that only resolves simulator and allowlisted stdlib names."""
+
+    def find_class(self, module: str, name: str):
+        if module == "repro" or module.startswith("repro."):
+            return super().find_class(module, name)
+        if module in _ALLOWED_MODULES:
+            return super().find_class(module, name)
+        raise pickle.UnpicklingError(
+            f"snapshot references forbidden global {module}.{name}"
+        )
+
+
+# --------------------------------------------------------------- telemetry
+
+
+def _capture_telemetry(sampler) -> Dict:
+    """The sampler's plain state (everything but handles and probe lambdas)."""
+    return {
+        "config": sampler.config,
+        "next_cycle": sampler.next_cycle,
+        "last_cycle": sampler._last_cycle,
+        "prev": dict(sampler._prev),
+        "prev_instructions": sampler._prev_instructions,
+        "epochs_emitted": sampler.epochs_emitted,
+        "finalized": sampler._finalized,
+        "records": list(sampler.records),
+    }
+
+
+def _rebuild_telemetry(system, state: Dict, jsonl_path: Optional[str]):
+    """A fresh sampler continuing exactly where the captured one stopped."""
+    import dataclasses
+
+    from repro.telemetry.sampler import TelemetrySampler
+
+    config = dataclasses.replace(state["config"], jsonl_path=jsonl_path)
+    sampler = TelemetrySampler(
+        config,
+        groups=system._all_stat_groups(),
+        counters=system._telemetry_counters(),
+        gauges=system._telemetry_gauges(),
+    )
+    sampler.next_cycle = state["next_cycle"]
+    sampler._last_cycle = state["last_cycle"]
+    sampler._prev = dict(state["prev"])
+    sampler._prev_instructions = state["prev_instructions"]
+    sampler.epochs_emitted = state["epochs_emitted"]
+    sampler._finalized = state["finalized"]
+    sampler.records = deque(state["records"], maxlen=config.ring_size)
+    return sampler
+
+
+# ---------------------------------------------------------------- snapshot
+
+
+def snapshot_system(system) -> bytes:
+    """Serialize a live system into a self-verifying ``.ckpt`` container.
+
+    The system is left exactly as it was (observational hooks are detached
+    only for the duration of the pickle), so a run can be snapshotted
+    mid-flight and continue.
+    """
+    profiler = system.queue.profiler
+    sampler = system.telemetry
+    telemetry_state = None
+    system.queue.profiler = None
+    if sampler is not None:
+        telemetry_state = _capture_telemetry(sampler)
+        system.telemetry = None
+        system.queue.telemetry = None
+    try:
+        payload = pickle.dumps(
+            {
+                "format": SNAPSHOT_FORMAT,
+                "system": system,
+                "telemetry": telemetry_state,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    except Exception as exc:  # unpicklable attachment, recursion, ...
+        raise CheckpointError(f"snapshot failed: {exc}") from exc
+    finally:
+        system.queue.profiler = profiler
+        if sampler is not None:
+            system.telemetry = sampler
+            system.queue.telemetry = sampler
+
+    compressed = zlib.compress(payload, level=6)
+    header = {
+        "format": SNAPSHOT_FORMAT,
+        "payload_sha256": hashlib.sha256(compressed).hexdigest(),
+        "payload_bytes": len(compressed),
+        "pickle_bytes": len(payload),
+        "cycle": system.queue.now,
+        "events_processed": system.queue.events_processed,
+        "mechanism": system.config.mechanism,
+        "traces": [trace.name for trace in system.traces],
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    return b"".join(
+        (MAGIC, struct.pack("<I", len(header_bytes)), header_bytes, compressed)
+    )
+
+
+def _split_container(data: bytes, source: str) -> tuple:
+    """Validate framing and digest; returns ``(header, compressed payload)``."""
+    if len(data) < len(MAGIC) + 4 or not data.startswith(MAGIC):
+        raise CheckpointError(f"{source}: not a DBI checkpoint (bad magic)")
+    offset = len(MAGIC)
+    (header_len,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    if offset + header_len > len(data):
+        raise CheckpointError(f"{source}: truncated checkpoint header")
+    try:
+        header = json.loads(data[offset : offset + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"{source}: corrupt checkpoint header") from exc
+    if header.get("format", 0) > SNAPSHOT_FORMAT:
+        raise CheckpointError(
+            f"{source}: snapshot format {header.get('format')} is newer than "
+            f"supported ({SNAPSHOT_FORMAT})"
+        )
+    payload = data[offset + header_len :]
+    if len(payload) != header.get("payload_bytes"):
+        raise CheckpointError(
+            f"{source}: payload is {len(payload)} bytes, header says "
+            f"{header.get('payload_bytes')}"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header.get("payload_sha256"):
+        raise CheckpointError(f"{source}: payload digest mismatch")
+    return header, payload
+
+
+def restore_system(data: bytes, jsonl_path: Optional[str] = None, source: str = "<bytes>"):
+    """Rebuild a :class:`System` from :func:`snapshot_system` bytes.
+
+    Args:
+        data: the full container, framing included.
+        jsonl_path: where the rebuilt telemetry sampler (if the snapshotted
+            system carried one) should stream post-restore epochs. ``None``
+            keeps it in-memory only — never the original path, which a
+            reopen would truncate.
+        source: label used in error messages (the file path, typically).
+    """
+    _header, compressed = _split_container(data, source)
+    try:
+        payload = zlib.decompress(compressed)
+    except zlib.error as exc:
+        raise CheckpointError(f"{source}: payload does not decompress") from exc
+    try:
+        envelope = _RestrictedUnpickler(io.BytesIO(payload)).load()
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointError(f"{source}: snapshot payload is corrupt: {exc}") from exc
+    if not isinstance(envelope, dict) or "system" not in envelope:
+        raise CheckpointError(f"{source}: snapshot payload has no system")
+    system = envelope["system"]
+    system.queue.profiler = None
+    system.queue.telemetry = None
+    system.telemetry = None
+    state = envelope.get("telemetry")
+    if state is not None:
+        sampler = _rebuild_telemetry(system, state, jsonl_path)
+        system.telemetry = sampler
+        system.queue.telemetry = sampler
+    return system
+
+
+# -------------------------------------------------------------------- disk
+
+
+def save_snapshot(system, path: str) -> Dict:
+    """Atomically write a snapshot of ``system`` to ``path``; returns header."""
+    data = snapshot_system(system)
+    header, _ = _split_container(data, str(path))
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+    os.replace(tmp, path)
+    return header
+
+
+def load_snapshot(path: str, jsonl_path: Optional[str] = None):
+    """Load and restore a system from a ``.ckpt`` file."""
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as exc:
+        raise CheckpointError(f"{path}: cannot read checkpoint: {exc}") from exc
+    return restore_system(data, jsonl_path=jsonl_path, source=str(path))
+
+
+def verify_snapshot(path: str) -> Dict:
+    """Check framing and payload digest without unpickling; returns header."""
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as exc:
+        raise CheckpointError(f"{path}: cannot read checkpoint: {exc}") from exc
+    header, _ = _split_container(data, str(path))
+    return header

@@ -1,0 +1,156 @@
+"""Warm-image production: run to the warmup boundary and quiesce.
+
+Fork-from-warm (see :mod:`repro.checkpoint.fork`) snapshots one run per
+(benchmark, shared-config) group at its warmup boundary and forks every
+per-mechanism cell from that image. The helpers here produce that image:
+
+* :func:`run_until_warm` drives the queue in bounded chunks until every core
+  has crossed its warmup boundary (chunked so the hot ``run()`` loop does
+  the work, with only a per-chunk flag poll on top);
+* :func:`quiesce` pauses instruction issue and drains all in-flight traffic
+  so the snapshot's mechanism is idle — a forked mechanism swap must not
+  leave events bound to the old mechanism object;
+* :func:`rebase_measurement` zeroes every stat group and re-anchors the IPC
+  measurement window at the (post-drain) current cycle.
+
+The quiesce perturbs event timing relative to an uninterrupted run, so a
+fork-from-warm result is a documented approximation (gem5-style checkpoint
+methodology), *not* byte-identical to a cold run of the same cell. Snapshots
+taken without quiescing — plain ``run(max_events=N)`` boundaries — restore
+byte-identically; that is what the restore-equivalence tests and CI stage
+enforce.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.checkpoint.snapshot import CheckpointError
+from repro.sim.system import System, SystemConfig
+
+#: Events per ``queue.run`` chunk while polling for the warmup boundary.
+WARM_CHUNK_EVENTS = 25_000
+
+#: Default event budget for draining in-flight traffic during a quiesce.
+QUIESCE_EVENT_BUDGET = 2_000_000
+
+
+def warm_config_for(config: SystemConfig) -> SystemConfig:
+    """The shared-group config a warm image is produced under.
+
+    The mechanism is normalized away (cells of one group differ only by
+    mechanism): groups whose LLC runs TA-DIP warm under ``tadip``; an LRU
+    LLC (the baseline, or an explicit override) warms under ``baseline``.
+    The resolved LLC config is pinned so the group key — and the fork-time
+    compatibility check — cannot drift with mechanism-dependent resolution.
+    """
+    resolved = config.resolve_llc()
+    mechanism = "baseline" if resolved.replacement == "lru" else "tadip"
+    return dataclasses.replace(
+        config,
+        mechanism=mechanism,
+        llc=resolved,
+        llc_replacement=resolved.replacement,
+    )
+
+
+def run_until_warm(
+    system: System,
+    chunk_events: int = WARM_CHUNK_EVENTS,
+    max_events: Optional[int] = None,
+) -> int:
+    """Start the cores and run until every core crossed its warmup boundary.
+
+    Returns the number of events fired. Overshoots the boundary by at most
+    ``chunk_events`` (the boundary is detected between chunks); the chunk is
+    capped near the warmup target so a run much shorter than the default
+    chunk is not consumed whole between boundary polls.
+    """
+    # ~3-4 events fire per instruction, so a chunk of warm-target events
+    # polls a tiny run several times before its boundary while leaving
+    # full-size runs on the fast default.
+    warm_target = sum(core.warmup_instructions for core in system.cores)
+    if warm_target:
+        chunk_events = max(1_000, min(chunk_events, warm_target))
+    for core in system.cores:
+        core.start()
+    fired = 0
+    while system._warmed < len(system.cores):
+        if max_events is not None and fired >= max_events:
+            raise CheckpointError(
+                f"warmup boundary not reached within {max_events} events"
+            )
+        before = system.queue.events_processed
+        system.queue.run(max_events=chunk_events)
+        chunk = system.queue.events_processed - before
+        fired += chunk
+        if chunk == 0:
+            raise CheckpointError(
+                "event queue drained before the warmup boundary — "
+                "warmup_fraction too close to the trace length?"
+            )
+    return fired
+
+
+def quiesce(system: System, max_events: int = QUIESCE_EVENT_BUDGET) -> None:
+    """Pause issue and drain every in-flight access and fill.
+
+    On return the hierarchy is idle — no MSHR waiters, no pending LLC fills,
+    no queued tag-port grants — so the event graph holds no callbacks bound
+    to the mechanism and a fork can swap it out safely. The DRAM write
+    buffer is deliberately *not* flushed: its entries are callback-free
+    plain requests, and force-draining them would destroy the controller's
+    steady state (sampled windows would start with an empty buffer and
+    under-count write-drain interference). The cores stay paused —
+    ``unpause()`` them (or fork, which does) to continue.
+    """
+    for core in system.cores:
+        core.pause()
+    queue = system.queue
+    fired = 0
+    while not system.hierarchy.is_idle():
+        if fired >= max_events:
+            raise CheckpointError(
+                f"system failed to quiesce within {max_events} events"
+            )
+        if not queue.step():
+            break
+        fired += 1
+    if not system.hierarchy.is_idle():
+        raise CheckpointError("event queue drained but traffic is still in flight")
+
+
+def rebase_measurement(system: System) -> None:
+    """Drop all statistics and restart IPC measurement at the current cycle.
+
+    Called after a quiesce (whose drain pollutes the post-warmup-reset stats)
+    and after a fork's mechanism swap, so every cell measures from the same
+    clean anchor.
+    """
+    for group in system._all_stat_groups():
+        group.reset()
+    system._issued_at_reset = sum(
+        core.instructions_issued for core in system.cores
+    )
+    for core in system.cores:
+        core._measure_start_cycle = system.queue.now
+
+
+def make_warm_system(
+    config: SystemConfig,
+    traces: Sequence,
+    chunk_events: int = WARM_CHUNK_EVENTS,
+    max_events: Optional[int] = None,
+) -> System:
+    """Build, warm and quiesce the shared image for ``config``'s fork group.
+
+    The returned system runs under :func:`warm_config_for`'s normalized
+    config, is paused and fully drained, and has its measurement window
+    rebased — ready to :func:`~repro.checkpoint.snapshot.snapshot_system`.
+    """
+    system = System(warm_config_for(config), traces)
+    run_until_warm(system, chunk_events=chunk_events, max_events=max_events)
+    quiesce(system)
+    rebase_measurement(system)
+    return system

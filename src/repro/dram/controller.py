@@ -324,4 +324,4 @@ class MemoryController:
             dist = self._d_read_latency = self.stats.distribution("read_latency")
         dist.record(when - request.arrival_time)
         if request.on_complete is not None:
-            self.queue.schedule(when, lambda req=request: req.on_complete(req))
+            self.queue.schedule(when, request.fire_completion)

@@ -40,6 +40,15 @@ class MemoryRequest:
     bank: Optional[object] = field(default=None, repr=False, compare=False)
     row: Optional[int] = field(default=None, repr=False, compare=False)
 
+    def fire_completion(self) -> None:
+        """Invoke ``on_complete`` with this request.
+
+        Scheduled as an event callback by the controller; a bound method of
+        a plain dataclass, unlike the closure it replaced, survives pickling
+        (see :mod:`repro.checkpoint`).
+        """
+        self.on_complete(self)
+
     @property
     def latency(self) -> Optional[int]:
         """Queue-to-data latency once completed, else None."""

@@ -18,6 +18,7 @@ lookups-per-kilo-instruction comparison falls directly out of this counter.
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import Callable, Deque, Dict, List
 
 from repro.cache.cache import Cache, EvictedBlock
@@ -30,6 +31,21 @@ from repro.utils.stats import StatGroup
 
 #: Cycles between attempts to re-enqueue a writeback the controller rejected.
 WRITEBACK_RETRY_INTERVAL = 50
+
+
+def _invoke(callback: Callable[[int], None], addr: int) -> None:
+    """Module-level trampoline so deferred data deliveries pickle.
+
+    ``partial(_invoke, on_data, addr)`` replaces ``lambda: on_data(addr)``:
+    the event graph must contain no closures or a checkpoint cannot
+    serialize it (see :mod:`repro.checkpoint`).
+    """
+    callback(addr)
+
+
+def _deliver_block(on_data: Callable[[int], None], request) -> None:
+    """Picklable ``MemoryRequest.on_complete`` that forwards the block."""
+    on_data(request.block_addr)
 
 
 class LlcMechanism:
@@ -85,7 +101,8 @@ class LlcMechanism:
         self, core_id: int, addr: int, on_data: Callable[[int], None]
     ) -> None:
         self.port.request(
-            lambda: self._read_granted(core_id, addr, on_data), PortPriority.DEMAND
+            partial(self._read_granted, core_id, addr, on_data),
+            PortPriority.DEMAND,
         )
 
     def _read_granted(
@@ -99,7 +116,7 @@ class LlcMechanism:
             counter.value += 1
             self._train_predictor(core_id, addr, hit=True)
             self.queue.schedule_after(
-                self.llc.config.hit_latency, lambda: on_data(addr)
+                self.llc.config.hit_latency, partial(_invoke, on_data, addr)
             )
             return
         counter = self._c_read_misses
@@ -109,7 +126,7 @@ class LlcMechanism:
         self._train_predictor(core_id, addr, hit=False)
         self.queue.schedule_after(
             self.llc.config.miss_detect_latency,
-            lambda: self._fetch_block(core_id, addr, on_data),
+            partial(self._fetch_block, core_id, addr, on_data),
         )
 
     def _fetch_block(
@@ -127,9 +144,12 @@ class LlcMechanism:
                 block_addr=addr,
                 is_write=False,
                 core_id=core_id,
-                on_complete=lambda req: self._fill_arrived(core_id, req.block_addr),
+                on_complete=partial(self._fill_request_done, core_id),
             )
         )
+
+    def _fill_request_done(self, core_id: int, request: MemoryRequest) -> None:
+        self._fill_arrived(core_id, request.block_addr)
 
     def _fill_arrived(self, core_id: int, addr: int) -> None:
         waiters = self._pending_fills.pop(addr, [])
@@ -148,7 +168,7 @@ class LlcMechanism:
                 block_addr=addr,
                 is_write=False,
                 core_id=core_id,
-                on_complete=lambda req: on_data(req.block_addr),
+                on_complete=partial(_deliver_block, on_data),
             )
         )
 
@@ -163,7 +183,7 @@ class LlcMechanism:
             )
         counter.value += 1
         self.port.request(
-            lambda: self._writeback_granted(core_id, addr), PortPriority.DEMAND
+            partial(self._writeback_granted, core_id, addr), PortPriority.DEMAND
         )
 
     def _writeback_granted(self, core_id: int, addr: int) -> None:

@@ -9,6 +9,8 @@ blocks, which is exactly the 1.95× tag-lookup blowup of Figure 6c.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.cache.port import PortPriority
 from repro.mechanisms.base import LlcMechanism
 
@@ -40,8 +42,7 @@ class DawbMechanism(LlcMechanism):
         last = span[-1]
         for other in span:
             self.port.request(
-                lambda other=other, done=(other == last), row=row:
-                    self._probe_for_writeback(other, row, done),
+                partial(self._probe_for_writeback, other, row, other == last),
                 PortPriority.BACKGROUND,
             )
 

@@ -23,6 +23,7 @@ in the cache; the dirty working set never exceeds α × cache blocks.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Optional
 
 from repro.cache.cache import EvictedBlock
@@ -85,7 +86,7 @@ class DbiMechanism(LlcMechanism):
         self.stats.counter("clb_predicted_misses").increment()
         self.queue.schedule_after(
             self.dbi.config.latency,
-            lambda: self._clb_dbi_checked(core_id, addr, on_data),
+            partial(self._clb_dbi_checked, core_id, addr, on_data),
         )
 
     def _clb_dbi_checked(
@@ -162,7 +163,7 @@ class DbiMechanism(LlcMechanism):
             self.dbi.mark_clean(other)
             self.stats.counter("awb_writebacks").increment()
             self.port.request(
-                lambda other=other: self._writeback_probe(other),
+                partial(self._writeback_probe, other),
                 PortPriority.BACKGROUND,
             )
 
@@ -186,7 +187,7 @@ class DbiMechanism(LlcMechanism):
         )
         for block in eviction.dirty_blocks:
             self.port.request(
-                lambda block=block: self._writeback_probe(block),
+                partial(self._writeback_probe, block),
                 PortPriority.BACKGROUND,
             )
 

@@ -15,6 +15,8 @@ behaviour this implementation reproduces.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.cache.port import PortPriority
 from repro.mechanisms.base import LlcMechanism
 
@@ -63,8 +65,7 @@ class VwqMechanism(LlcMechanism):
         last = probes[-1]
         for other in probes:
             self.port.request(
-                lambda other=other, done=(other == last), row=row:
-                    self._probe_lru_ways(other, row, done),
+                partial(self._probe_lru_ways, other, row, other == last),
                 PortPriority.BACKGROUND,
             )
 

@@ -20,6 +20,7 @@ simulation retains its memory contention until every core has been measured
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, Optional
 
 from repro.sim.trace import Trace
@@ -78,6 +79,7 @@ class OooCore:
         self._outstanding: Dict[int, int] = {}  # instr index -> issue cycle
         self._waiting = False  # blocked on a load completion
         self._advance_scheduled = False
+        self._paused = False  # checkpoint quiesce: issue nothing new
         self.keep_running = True  # cleared by the System once all measured
 
         self.measured_ipc: Optional[float] = None
@@ -94,6 +96,22 @@ class OooCore:
         self.keep_running = False
         self.finished = True
 
+    def pause(self) -> None:
+        """Suspend issue so in-flight traffic can drain (checkpoint quiesce).
+
+        Pending advance events still fire but return without issuing; loads
+        that complete while paused do not reschedule the front-end.
+        """
+        self._paused = True
+
+    def unpause(self) -> None:
+        """Resume issue after :meth:`pause` (no-op if never paused)."""
+        if not self._paused:
+            return
+        self._paused = False
+        if not self.finished:
+            self._schedule_advance(self.queue.now)
+
     # ------------------------------------------------------------ mainloop
 
     def _schedule_advance(self, when: int) -> None:
@@ -107,6 +125,8 @@ class OooCore:
         self._advance()
 
     def _advance(self) -> None:
+        if self._paused:
+            return
         while not self.finished:
             gap, is_write, addr = self._records[self._pos]
             mem_instr_index = self._instr_count + gap
@@ -163,7 +183,7 @@ class OooCore:
                 counter.value += 1
                 index = mem_instr_index
                 hit = self.hierarchy.load(
-                    self.core_id, addr, lambda a, index=index: self._load_done(index)
+                    self.core_id, addr, partial(self._load_done_cb, index)
                 )
                 if not hit:
                     self._outstanding[index] = issue_cycle
@@ -180,6 +200,10 @@ class OooCore:
                     return
 
     # --------------------------------------------------------- completions
+
+    def _load_done_cb(self, instr_index: int, _addr: int) -> None:
+        """Fill-callback shape (addr-taking, picklable) over :meth:`_load_done`."""
+        self._load_done(instr_index)
 
     def _load_done(self, instr_index: int) -> None:
         issue_cycle = self._outstanding.pop(instr_index, None)

@@ -21,6 +21,7 @@ The hierarchy is non-inclusive, as in the paper.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, List
 
 from repro.cache.cache import Cache
@@ -92,7 +93,7 @@ class Hierarchy:
             return  # merged with an in-flight miss to the same block
         self.queue.schedule_after(
             self._l1_config.miss_detect_latency,
-            lambda: self._access_l2(core_id, addr),
+            partial(self._access_l2, core_id, addr),
         )
 
     def _access_l2(self, core_id: int, addr: int) -> None:
@@ -101,18 +102,18 @@ class Hierarchy:
             self._count(core_id, "l2_hits")
             self.queue.schedule_after(
                 self._l2_config.hit_latency,
-                lambda: self._fill_l1(core_id, addr),
+                partial(self._fill_l1, core_id, addr),
             )
             return
         self._count(core_id, "l2_misses")
         self.queue.schedule_after(
             self._l2_config.miss_detect_latency,
-            lambda: self._read_llc(core_id, addr),
+            partial(self._read_llc, core_id, addr),
         )
 
     def _read_llc(self, core_id: int, addr: int) -> None:
         self._count(core_id, "llc_reads")
-        self.mechanism.read(core_id, addr, lambda a: self._llc_data(core_id, a))
+        self.mechanism.read(core_id, addr, partial(self._llc_data, core_id))
 
     def _llc_data(self, core_id: int, addr: int) -> None:
         self._fill_l2(core_id, addr)
@@ -157,9 +158,11 @@ class Hierarchy:
             l1.mark_dirty(addr)
             return
         self._count(core_id, "store_misses")
-        self._miss_to_l2(
-            core_id, addr, lambda a: self.l1s[core_id].mark_dirty(a)
-        )
+        self._miss_to_l2(core_id, addr, partial(self._store_fill, core_id))
+
+    def _store_fill(self, core_id: int, addr: int) -> None:
+        """A store-miss fill arrived: the allocated L1 block becomes dirty."""
+        self.l1s[core_id].mark_dirty(addr)
 
     # ---------------------------------------------------------- inspection
 

@@ -378,6 +378,16 @@ class System:
         """
         for core in self.cores:
             core.start()
+        return self.resume(max_events=max_events)
+
+    def resume(self, max_events: Optional[int] = None) -> SimulationResult:
+        """Continue an already-started system to completion and collect.
+
+        Unlike :meth:`run` this does not (re)start the cores: a system
+        restored from a checkpoint (see :mod:`repro.checkpoint`) already has
+        its advance events in the queue, and a second ``start()`` on a
+        window-stalled core would schedule a spurious advance.
+        """
         self.queue.run(max_events=max_events)
         if self._measured < len(self.cores):
             raise RuntimeError(

@@ -22,6 +22,26 @@ from repro.sim.trace import Trace
 MAGIC = b"DBITRACE"
 VERSION = 1
 
+#: Longest accepted varint: 10 × 7 payload bits = 70 bits, enough for any
+#: zig-zagged 64-bit address delta. A continuation bit past this is corrupt
+#: data (or an adversarial unbounded-length stream), not a bigger number.
+_MAX_VARINT_BYTES = 10
+
+
+def _read_exact(data: BinaryIO, size: int, what: str) -> bytes:
+    """Read exactly ``size`` bytes or raise the documented ``ValueError``.
+
+    Bare ``data.read(n)`` returns *up to* n bytes: a truncated header would
+    otherwise surface as ``struct.error`` (undocumented) or, worse, decode a
+    short name silently.
+    """
+    blob = data.read(size)
+    if len(blob) != size:
+        raise ValueError(
+            f"truncated {what}: wanted {size} bytes, got {len(blob)}"
+        )
+    return blob
+
 
 def _write_varint(out: BinaryIO, value: int) -> None:
     if value < 0:
@@ -48,10 +68,17 @@ def _read_varint(data: BinaryIO) -> int:
         if not byte & 0x80:
             return result
         shift += 7
+        if shift >= 7 * _MAX_VARINT_BYTES:
+            raise ValueError(
+                f"varint longer than {_MAX_VARINT_BYTES} bytes (corrupt stream)"
+            )
 
 
 def _zigzag(value: int) -> int:
-    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+    # Python ints are unbounded, so the C idiom ``(v << 1) ^ (v >> 63)``
+    # would corrupt non-negative values >= 2**63 (their arithmetic shift is
+    # non-zero). Branch on sign instead; decode-compatible with _unzigzag.
+    return (value << 1) if value >= 0 else ((-value) << 1) - 1
 
 
 def _unzigzag(value: int) -> int:
@@ -87,12 +114,12 @@ def load_trace(path: Union[str, Path]) -> Trace:
     data = io.BytesIO(Path(path).read_bytes())
     if data.read(len(MAGIC)) != MAGIC:
         raise ValueError(f"{path}: not a DBITRACE file")
-    (version,) = struct.unpack("<H", data.read(2))
+    (version,) = struct.unpack("<H", _read_exact(data, 2, "version field"))
     if version != VERSION:
         raise ValueError(f"{path}: unsupported version {version}")
-    (name_len,) = struct.unpack("<H", data.read(2))
-    name = data.read(name_len).decode("utf-8")
-    (count,) = struct.unpack("<Q", data.read(8))
+    (name_len,) = struct.unpack("<H", _read_exact(data, 2, "name length"))
+    name = _read_exact(data, name_len, "trace name").decode("utf-8")
+    (count,) = struct.unpack("<Q", _read_exact(data, 8, "record count"))
     records = []
     previous_addr = 0
     for _ in range(count):

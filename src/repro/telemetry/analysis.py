@@ -181,7 +181,12 @@ def warmup_report(
         "measured_warmup_fraction": (
             warm_instructions / total_instructions if total_instructions else 0.0
         ),
-        "warmup": summarize(records[:boundary]) if boundary else None,
+        # Identity check, not truthiness: boundary == 0 is a valid measured
+        # boundary (steady from the first epoch) and must yield an explicit
+        # zero-epoch warmup summary, distinguishable from "never settled".
+        "warmup": (
+            summarize(records[:boundary]) if boundary is not None else None
+        ),
         "steady_state": (
             summarize(records[boundary:]) if boundary is not None else None
         ),

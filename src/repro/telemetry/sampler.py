@@ -247,20 +247,32 @@ class TelemetrySampler:
 def read_jsonl(path: str) -> Tuple[Dict, List[EpochRecord]]:
     """Load a telemetry stream: ``(header, records)``.
 
+    Streams the file line by line — a long-running sweep's epoch stream can
+    be far larger than the parsed records (each line also carries its JSON
+    framing), so the raw text is never held in memory all at once. The
+    header is validated on the first non-blank line, *before* any record
+    parsing: a foreign file fails fast instead of after a full parse.
+
     Raises:
         ValueError: on a missing/foreign header or an unsupported format.
     """
+    header: Optional[Dict] = None
+    records: List[EpochRecord] = []
     with open(path) as handle:
-        lines = [line for line in handle if line.strip()]
-    if not lines:
+        for line in handle:
+            if not line.strip():
+                continue
+            if header is None:
+                header = json.loads(line)
+                if header.get("kind") != "header":
+                    raise ValueError(f"{path}: missing telemetry header line")
+                if header.get("format", 0) > JSONL_FORMAT:
+                    raise ValueError(
+                        f"{path}: format {header.get('format')} is newer "
+                        f"than supported ({JSONL_FORMAT})"
+                    )
+                continue
+            records.append(EpochRecord.from_dict(json.loads(line)))
+    if header is None:
         raise ValueError(f"{path}: empty telemetry stream")
-    header = json.loads(lines[0])
-    if header.get("kind") != "header":
-        raise ValueError(f"{path}: missing telemetry header line")
-    if header.get("format", 0) > JSONL_FORMAT:
-        raise ValueError(
-            f"{path}: format {header.get('format')} is newer than supported "
-            f"({JSONL_FORMAT})"
-        )
-    records = [EpochRecord.from_dict(json.loads(line)) for line in lines[1:]]
     return header, records

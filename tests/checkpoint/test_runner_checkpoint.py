@@ -1,0 +1,160 @@
+"""SweepRunner integration: fork-from-warm caching, keys, quarantine."""
+
+import os
+
+import pytest
+
+from repro.analysis.runner import SweepRunner, job_key
+from repro.analysis.scaling import QUICK_SCALE
+from repro.checkpoint.sampled import SampledConfig
+
+REFS = 3_000
+
+
+def quick_config(mechanism):
+    return QUICK_SCALE.system_config(mechanism)
+
+
+@pytest.fixture()
+def trace():
+    return QUICK_SCALE.benchmark_trace("mcf", refs=REFS)
+
+
+def make_runner(tmp_path, **kwargs):
+    kwargs.setdefault("workers", 0)
+    kwargs.setdefault("cache_dir", str(tmp_path / "cache"))
+    kwargs.setdefault("progress", None)
+    return SweepRunner(**kwargs)
+
+
+class TestJobKey:
+    def test_fork_and_sampled_get_distinct_keys(self, trace):
+        config = quick_config("dbi")
+        cold = job_key(config, [trace])
+        forked = job_key(config, [trace], fork="tadip")
+        sampled = job_key(config, [trace], sampled=SampledConfig().key())
+        both = job_key(
+            config, [trace], fork="tadip", sampled=SampledConfig().key()
+        )
+        assert len({cold, forked, sampled, both}) == 4
+
+    def test_sampled_key_tracks_parameters(self, trace):
+        config = quick_config("dbi")
+        default = job_key(config, [trace], sampled=SampledConfig().key())
+        tuned = job_key(
+            config, [trace], sampled=SampledConfig(windows=4).key()
+        )
+        assert default != tuned
+
+
+class TestConstruction:
+    def test_checkpoint_dir_refuses_check(self, tmp_path):
+        with pytest.raises(ValueError, match="check"):
+            make_runner(
+                tmp_path, checkpoint_dir=str(tmp_path / "ckpt"), check="full"
+            )
+
+    def test_checkpoint_dir_refuses_telemetry(self, tmp_path):
+        from repro.telemetry.sampler import TelemetryConfig
+
+        with pytest.raises(ValueError, match="telemetry"):
+            make_runner(
+                tmp_path,
+                checkpoint_dir=str(tmp_path / "ckpt"),
+                telemetry=TelemetryConfig(epoch_cycles=1000),
+            )
+
+    def test_sampled_refuses_check(self, tmp_path):
+        with pytest.raises(ValueError, match="check"):
+            make_runner(tmp_path, sampled=SampledConfig(), check="cheap")
+
+    def test_sampled_refuses_max_events(self, tmp_path, trace):
+        runner = make_runner(tmp_path, sampled=SampledConfig())
+        with pytest.raises(ValueError, match="max_events"):
+            runner.submit(quick_config("dbi"), [trace], max_events=1_000)
+
+
+class TestForkSweep:
+    def test_one_warm_image_serves_the_group(self, tmp_path, trace):
+        ckpt = str(tmp_path / "ckpt")
+        with make_runner(tmp_path, checkpoint_dir=ckpt) as runner:
+            results = {
+                mech: runner.run(quick_config(mech), [trace])
+                for mech in ("tadip", "dbi", "dbi+awb+clb")
+            }
+        images = [f for f in os.listdir(ckpt) if f.endswith(".ckpt")]
+        assert len(images) == 1, "one group => one warm image"
+        assert runner.warm_images_built == 1
+        for result in results.values():
+            assert result.total_instructions_issued > 0
+        assert (
+            results["dbi"].tag_lookups_pki != results["tadip"].tag_lookups_pki
+        )
+        assert "warm image" in runner.summary()
+
+    def test_forked_results_cached_and_reused(self, tmp_path, trace):
+        ckpt = str(tmp_path / "ckpt")
+        config = quick_config("dbi")
+        with make_runner(tmp_path, checkpoint_dir=ckpt) as first:
+            original = first.run(config, [trace])
+        assert first.jobs_executed == 1
+        with make_runner(tmp_path, checkpoint_dir=ckpt) as second:
+            replay = second.run(config, [trace])
+        assert second.cache_hits == 1
+        assert second.jobs_executed == 0
+        assert replay.to_dict() == original.to_dict()
+
+    def test_fork_cache_never_collides_with_cold_cache(self, tmp_path, trace):
+        config = quick_config("dbi")
+        with make_runner(tmp_path) as cold:
+            cold.run(config, [trace])
+        with make_runner(
+            tmp_path, checkpoint_dir=str(tmp_path / "ckpt")
+        ) as forked:
+            forked.run(config, [trace])
+        # Both executed: the fork entry is keyed apart from the cold one.
+        assert cold.jobs_executed == 1
+        assert forked.jobs_executed == 1
+        assert forked.cache_hits == 0
+
+    def test_corrupt_warm_image_quarantined_and_rebuilt(self, tmp_path, trace):
+        ckpt = str(tmp_path / "ckpt")
+        config = quick_config("tadip")
+        with make_runner(tmp_path, checkpoint_dir=ckpt) as first:
+            expected = first.run(config, [trace])
+        (image,) = [f for f in os.listdir(ckpt) if f.endswith(".ckpt")]
+        path = os.path.join(ckpt, image)
+        blob = bytearray(open(path, "rb").read())
+        blob[-10] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        with make_runner(
+            tmp_path,
+            checkpoint_dir=ckpt,
+            cache_dir=str(tmp_path / "cache2"),
+        ) as second:
+            replay = second.run(config, [trace])
+        assert second.checkpoints_quarantined == 1
+        assert second.warm_images_built == 1
+        assert os.path.exists(f"{path}.corrupt")
+        assert os.path.exists(path), "image must be rebuilt after quarantine"
+        assert replay.to_dict() == expected.to_dict()
+
+
+class TestSampledSweep:
+    def test_sampled_jobs_return_synthesized_results(self, tmp_path, trace):
+        sampled = SampledConfig(windows=4, window_cycles=1_000, warmup_cycles=500)
+        with make_runner(tmp_path, sampled=sampled) as runner:
+            result = runner.run(quick_config("tadip"), [trace])
+        assert result.total_instructions_issued > 0
+        assert result.ipc[0] > 0
+
+    def test_fork_plus_sampled(self, tmp_path, trace):
+        sampled = SampledConfig(windows=4, window_cycles=1_000, warmup_cycles=500)
+        with make_runner(
+            tmp_path,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            sampled=sampled,
+        ) as runner:
+            result = runner.run(quick_config("dbi+awb+clb"), [trace])
+        assert result.ipc[0] > 0
+        assert runner.warm_images_built == 1

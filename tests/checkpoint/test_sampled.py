@@ -1,0 +1,156 @@
+"""Sampled-mode correctness: config parsing, CI math, golden validation.
+
+The validation tests run the *full* simulation of a cell, then the sampled
+version, and require every reported 95% confidence interval to cover the
+full-run value. The quick cell rides in tier-1; the broader sweep is
+slow-marked. The cells are chosen where the fast-forward approximation is
+known to be unbiased — the residual biases (DBI-eviction writebacks dropped
+during fast-forward) are documented in ``docs/architecture.md`` §11.
+"""
+
+import pytest
+
+from repro.analysis.scaling import QUICK_SCALE
+from repro.checkpoint import CheckpointError, run_sampled
+from repro.checkpoint.sampled import (
+    MetricEstimate,
+    SampledConfig,
+    t_critical_95,
+)
+from repro.sim.system import System, run_system
+
+HEADLINE_METRICS = (
+    "ipc",
+    "write_row_hit_rate",
+    "read_row_hit_rate",
+    "tag_lookups_pki",
+    "memory_wpki",
+    "llc_mpki",
+)
+
+
+def full_metric(result, name):
+    return result.ipc[0] if name == "ipc" else getattr(result, name)
+
+
+def assert_cis_cover_full_run(benchmark, mechanism):
+    config = QUICK_SCALE.system_config(mechanism)
+    trace = QUICK_SCALE.benchmark_trace(benchmark)
+    golden = run_system(config, [trace])
+    outcome = run_sampled(config, [trace], SampledConfig())
+    missed = []
+    for name in HEADLINE_METRICS:
+        estimate = outcome.estimates.get(name)
+        assert estimate is not None, f"{name}: no estimate produced"
+        value = full_metric(golden, name)
+        if not estimate.covers(value):
+            missed.append(
+                f"{benchmark}/{mechanism} {name}: full={value:.4f} not in "
+                f"[{estimate.ci_low:.4f}, {estimate.ci_high:.4f}]"
+            )
+    assert not missed, "\n".join(missed)
+    # Sampling must actually skip work: most instructions fast-forwarded.
+    assert outcome.skipped_instructions > outcome.detailed_instructions
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = SampledConfig.parse("default")
+        assert config == SampledConfig()
+        assert SampledConfig.parse("") == SampledConfig()
+
+    def test_parse_spec(self):
+        config = SampledConfig.parse(
+            "windows=4,window_cycles=1000,warmup_cycles=500,rel_ci_floor=0.1"
+        )
+        assert config.windows == 4
+        assert config.window_cycles == 1000
+        assert config.warmup_cycles == 500
+        assert config.rel_ci_floor == pytest.approx(0.1)
+
+    def test_parse_rejects_unknown_knob(self):
+        with pytest.raises(ValueError, match="unknown"):
+            SampledConfig.parse("bogus=3")
+
+    def test_parse_rejects_bare_value(self):
+        with pytest.raises(ValueError, match="key=value"):
+            SampledConfig.parse("windows")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SampledConfig(windows=1)
+        with pytest.raises(ValueError):
+            SampledConfig(window_cycles=0)
+        with pytest.raises(ValueError):
+            SampledConfig(rel_ci_floor=1.5)
+
+    def test_key_is_stable(self):
+        assert SampledConfig().key() == SampledConfig().key()
+        assert SampledConfig(windows=4).key() != SampledConfig().key()
+
+
+class TestCiMath:
+    def test_t_table_values(self):
+        assert t_critical_95(1) == pytest.approx(12.706)
+        assert t_critical_95(7) == pytest.approx(2.365)
+        assert t_critical_95(30) == pytest.approx(2.042)
+        assert t_critical_95(31) == pytest.approx(1.960)
+        assert t_critical_95(10_000) == pytest.approx(1.960)
+
+    def test_t_table_rejects_zero_df(self):
+        with pytest.raises(ValueError):
+            t_critical_95(0)
+
+    def test_estimate_covers(self):
+        estimate = MetricEstimate(mean=1.0, ci_low=0.8, ci_high=1.2, samples=8)
+        assert estimate.covers(1.0)
+        assert estimate.covers(0.8)
+        assert not estimate.covers(0.79)
+
+
+class TestRefusals:
+    def test_refuses_check_engine(self):
+        from repro.checkpoint.sampled import run_windows
+
+        config = QUICK_SCALE.system_config("dbi")
+        trace = QUICK_SCALE.benchmark_trace("mcf", refs=3_000)
+        system = System(config, [trace], check="full")
+        with pytest.raises(CheckpointError, match="check engine"):
+            run_windows(system, SampledConfig())
+
+    def test_refuses_busy_system(self):
+        from repro.checkpoint.sampled import run_windows
+
+        config = QUICK_SCALE.system_config("dbi")
+        trace = QUICK_SCALE.benchmark_trace("mcf", refs=3_000)
+        system = System(config, [trace])
+        for core in system.cores:
+            core.start()
+        system.queue.run(max_events=5_000)
+        with pytest.raises(CheckpointError, match="quiesce"):
+            run_windows(system, SampledConfig())
+
+
+class TestValidation:
+    def test_quick_cell_cis_cover_full_run(self):
+        # Tier-1 canary: one deterministic cell where sampling is unbiased.
+        assert_cis_cover_full_run("mcf", "dbi+awb+clb")
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("bench", ("mcf", "soplex"))
+    @pytest.mark.parametrize("mechanism", ("tadip", "dbi+awb+clb"))
+    def test_validation_sweep(self, bench, mechanism):
+        assert_cis_cover_full_run(bench, mechanism)
+
+    def test_sampled_result_accounting(self):
+        config = QUICK_SCALE.system_config("tadip")
+        trace = QUICK_SCALE.benchmark_trace("mcf")
+        outcome = run_sampled(config, [trace], SampledConfig())
+        assert 2 <= outcome.windows_run <= outcome.sampled.windows
+        assert outcome.detailed_instructions > 0
+        assert outcome.result.total_instructions_issued > 0
+        for estimate in outcome.estimates.values():
+            assert estimate.ci_low <= estimate.mean <= estimate.ci_high
+        payload = outcome.to_dict()
+        assert payload["windows_run"] == outcome.windows_run
+        assert set(payload["estimates"]) == set(outcome.estimates)

@@ -1,0 +1,191 @@
+"""Snapshot/restore determinism and container hardening.
+
+The load-bearing guarantee of the checkpoint subsystem: a system snapshotted
+mid-run and restored continues *byte-identically* to the uninterrupted run —
+same ``SimulationResult``, same telemetry record stream, under full runtime
+invariant checking. Everything else (fork-from-warm, sampled mode) is built
+on top of that guarantee.
+"""
+
+import json
+import pickle
+import struct
+import zlib
+
+import pytest
+
+from repro.analysis.scaling import QUICK_SCALE
+from repro.checkpoint import (
+    CheckpointError,
+    load_snapshot,
+    restore_system,
+    save_snapshot,
+    snapshot_system,
+    verify_snapshot,
+)
+from repro.checkpoint.snapshot import MAGIC
+from repro.sim.system import System
+
+REFS = 3_000
+SPLIT_EVENTS = 20_000
+
+#: One mechanism per wrapper family (the six distinct mechanism classes).
+FAMILIES = ("baseline", "tadip", "dawb", "vwq", "skipcache", "dbi+awb+clb")
+
+
+def make_system(mechanism, check="off", telemetry=None, benchmark="mcf"):
+    trace = QUICK_SCALE.benchmark_trace(benchmark, refs=REFS)
+    return System(
+        QUICK_SCALE.system_config(mechanism),
+        [trace],
+        check=check,
+        telemetry=telemetry,
+    )
+
+
+def split_run(system, split_events=SPLIT_EVENTS):
+    """Run ``system`` partway, snapshot it, and return the container bytes."""
+    for core in system.cores:
+        core.start()
+    system.queue.run(max_events=split_events)
+    return snapshot_system(system)
+
+
+class TestRestoreEquivalence:
+    @pytest.mark.parametrize("mechanism", FAMILIES)
+    def test_restored_run_byte_identical(self, mechanism):
+        system = make_system(mechanism)
+        data = split_run(system)
+        restored = restore_system(data)
+        expected = system.resume()
+        actual = restored.resume()
+        assert actual.to_dict() == expected.to_dict()
+
+    def test_restored_run_identical_under_full_check(self):
+        system = make_system("dbi+awb+clb", check="full")
+        data = split_run(system)
+        restored = restore_system(data)
+        # The check engine rides along in the snapshot: the restored run
+        # re-verifies every invariant over the remainder of the run.
+        assert restored.check_engine is not None
+        assert restored.resume().to_dict() == system.resume().to_dict()
+
+    def test_restored_telemetry_stream_continues_identically(self, tmp_path):
+        from repro.telemetry.sampler import TelemetryConfig
+
+        config = TelemetryConfig(epoch_cycles=2_000)
+        system = make_system("dbi", telemetry=config)
+        data = split_run(system)
+        restored = restore_system(
+            data, jsonl_path=str(tmp_path / "restored.jsonl")
+        )
+        expected = system.resume()
+        actual = restored.resume()
+        assert actual.to_dict() == expected.to_dict()
+        assert [r.to_dict() for r in restored.telemetry.records] == [
+            r.to_dict() for r in system.telemetry.records
+        ]
+
+    def test_snapshot_leaves_system_runnable(self):
+        # Snapshotting is observational: the donor system must continue
+        # exactly as if no snapshot had been taken.
+        undisturbed = make_system("tadip")
+        for core in undisturbed.cores:
+            core.start()
+        undisturbed.queue.run(max_events=SPLIT_EVENTS)
+        snapshotted = make_system("tadip")
+        split_run(snapshotted)  # takes a snapshot at the same boundary
+        assert (
+            snapshotted.resume().to_dict() == undisturbed.resume().to_dict()
+        )
+
+
+class TestContainer:
+    def test_save_verify_load_round_trip(self, tmp_path):
+        system = make_system("baseline")
+        data = split_run(system)
+        path = tmp_path / "img.ckpt"
+        path.write_bytes(data)
+        header = verify_snapshot(str(path))
+        assert header["mechanism"] == "baseline"
+        assert header["cycle"] == system.queue.now
+        restored = load_snapshot(str(path))
+        assert restored.resume().to_dict() == system.resume().to_dict()
+
+    def test_save_snapshot_writes_header(self, tmp_path):
+        system = make_system("dbi")
+        split_run(system)  # advance past cycle 0 first
+        path = tmp_path / "img.ckpt"
+        header = save_snapshot(system, str(path))
+        assert header == verify_snapshot(str(path))
+        assert header["events_processed"] == system.queue.events_processed
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(b"NOTACKPT" + b"\x00" * 64)
+        with pytest.raises(CheckpointError, match="magic"):
+            load_snapshot(str(path))
+
+    def test_truncated_container_rejected(self, tmp_path):
+        system = make_system("baseline")
+        data = split_run(system)
+        path = tmp_path / "trunc.ckpt"
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError):
+            verify_snapshot(str(path))
+
+    def test_corrupt_payload_rejected(self, tmp_path):
+        system = make_system("baseline")
+        data = bytearray(split_run(system))
+        data[-20] ^= 0xFF  # flip one payload byte
+        path = tmp_path / "corrupt.ckpt"
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError, match="digest"):
+            load_snapshot(str(path))
+
+    def test_corrupt_header_rejected(self, tmp_path):
+        system = make_system("baseline")
+        data = bytearray(split_run(system))
+        data[len(MAGIC) + 4] ^= 0xFF  # first header byte: JSON no longer parses
+        with pytest.raises(CheckpointError):
+            restore_system(bytes(data))
+
+    def test_newer_format_rejected(self):
+        header = json.dumps({"format": 99}).encode()
+        data = MAGIC + struct.pack("<I", len(header)) + header
+        with pytest.raises(CheckpointError, match="newer"):
+            restore_system(data)
+
+    def test_errors_are_value_errors(self):
+        # Sweep-cache-style quarantine handling catches ValueError.
+        assert issubclass(CheckpointError, ValueError)
+
+
+class TestRestrictedUnpickle:
+    def _container(self, payload_pickle: bytes) -> bytes:
+        compressed = zlib.compress(payload_pickle)
+        import hashlib
+
+        header = json.dumps(
+            {
+                "format": 1,
+                "payload_sha256": hashlib.sha256(compressed).hexdigest(),
+                "payload_bytes": len(compressed),
+            }
+        ).encode()
+        return MAGIC + struct.pack("<I", len(header)) + header + compressed
+
+    def test_forbidden_global_rejected(self):
+        # A container whose framing and digest are pristine must still be
+        # refused if its pickle references globals outside the simulator
+        # and the stdlib allowlist.
+        import os
+
+        malicious = self._container(pickle.dumps(os.getcwd))
+        with pytest.raises(CheckpointError, match="forbidden|corrupt"):
+            restore_system(malicious)
+
+    def test_payload_without_system_rejected(self):
+        empty = self._container(pickle.dumps({"format": 1}))
+        with pytest.raises(CheckpointError, match="no system"):
+            restore_system(empty)

@@ -5,7 +5,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim.trace import Trace
-from repro.sim.tracefile import load_trace, save_trace
+from repro.sim.tracefile import (
+    _unzigzag,
+    _zigzag,
+    load_trace,
+    save_trace,
+)
 
 
 class TestRoundTrip:
@@ -83,3 +88,73 @@ class TestErrors:
         path.write_bytes(bytes(blob))
         with pytest.raises(ValueError, match="unsupported version"):
             load_trace(path)
+
+    @pytest.mark.parametrize(
+        "keep",
+        [
+            9,  # mid version field
+            11,  # mid name length
+            13,  # mid trace name
+            16,  # mid record count
+        ],
+    )
+    def test_truncated_header_raises_value_error(self, tmp_path, keep):
+        # Regression: short header reads used to surface as struct.error
+        # (undocumented) instead of the documented ValueError.
+        path = tmp_path / "t.trace"
+        save_trace(Trace("abc", [(1, False, 10)]), path)
+        path.write_bytes(path.read_bytes()[:keep])
+        with pytest.raises(ValueError, match="truncated"):
+            load_trace(path)
+
+    def test_unbounded_varint_rejected(self, tmp_path):
+        # Regression: _read_varint accepted arbitrarily long continuation
+        # chains; a corrupt (or adversarial) stream must fail, not spin
+        # building a huge int.
+        path = tmp_path / "t.trace"
+        save_trace(Trace("t", []), path)
+        blob = path.read_bytes()
+        # Claim one record, then feed 64 continuation bytes as its gap.
+        import struct as struct_module
+
+        blob = blob[:-8] + struct_module.pack("<Q", 1) + b"\x80" * 64
+        path.write_bytes(blob)
+        with pytest.raises(ValueError, match="varint"):
+            load_trace(path)
+
+
+class TestZigzag:
+    def test_huge_positive_delta_round_trips(self, tmp_path):
+        # Regression: the C idiom (v << 1) ^ (v >> 63) corrupted
+        # non-negative deltas >= 2**63 under Python's unbounded ints.
+        records = [(0, False, 0), (0, False, 2**63 + 12345)]
+        path = tmp_path / "big.trace"
+        save_trace(Trace("big", records), path)
+        assert load_trace(path).records == records
+
+    @settings(max_examples=100, deadline=None)
+    @given(value=st.integers(min_value=-(2**80), max_value=2**80))
+    def test_zigzag_round_trip_property(self, value):
+        encoded = _zigzag(value)
+        assert encoded >= 0  # varints only carry non-negative values
+        assert _unzigzag(encoded) == value
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        addrs=st.lists(
+            # Full 64-bit address space: deltas span ±(2**64 - 1), the
+            # worst case the 10-byte varint cap is sized for.
+            st.integers(min_value=0, max_value=2**64 - 1),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_extreme_address_round_trip(self, addrs):
+        import tempfile
+        from pathlib import Path
+
+        records = [(0, False, addr) for addr in addrs]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "x.trace"
+            save_trace(Trace("x", records), path)
+            assert load_trace(path).records == records

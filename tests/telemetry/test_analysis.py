@@ -148,8 +148,17 @@ class TestWarmupReport:
         assert report["steady_state"] is None
         assert report["measured_warmup_fraction"] == 1.0
 
-    def test_immediate_stability_has_no_warmup_summary(self):
+    def test_boundary_zero_distinct_from_no_boundary(self):
+        # Regression: ``if boundary`` conflated a measured boundary at epoch
+        # 0 with "never settled". A run steady from the first epoch must
+        # report an explicit zero-epoch warmup, not None.
         report = warmup_report(ipc_stream([0.5] * 8), tolerance=0.1)
         assert report["boundary_epoch"] == 0
-        assert report["warmup"] is None
+        assert report["warmup"] is not None
+        assert report["warmup"]["epochs"] == 0
+        assert report["warmup"]["instructions"] == 0
+        assert report["measured_warmup_fraction"] == 0.0
         assert report["steady_state"]["epochs"] == 8
+        unsettled = warmup_report(ipc_stream([0.1, 0.9] * 8), tolerance=0.1)
+        assert unsettled["boundary_epoch"] is None
+        assert unsettled["warmup"] is None

@@ -190,6 +190,38 @@ class TestJsonl:
         with pytest.raises(ValueError, match="empty"):
             read_jsonl(str(path))
 
+    def test_blank_only_rejected_as_empty(self, tmp_path):
+        path = tmp_path / "blank.jsonl"
+        path.write_text("\n\n   \n")
+        with pytest.raises(ValueError, match="empty"):
+            read_jsonl(str(path))
+
+    def test_header_validated_before_records_parse(self, tmp_path):
+        # Streaming regression: the header check must fire on the first
+        # non-blank line, before any record line is parsed — a foreign file
+        # fails with the header error, not a record JSON error.
+        path = tmp_path / "foreign.jsonl"
+        path.write_text('{"epoch": 0}\nthis is not json at all\n')
+        with pytest.raises(ValueError, match="header"):
+            read_jsonl(str(path))
+
+    def test_streaming_skips_interleaved_blank_lines(self, tmp_path):
+        path = str(tmp_path / "gaps.jsonl")
+        sampler, group, instructions = make_sampler(jsonl_path=path)
+        group.counter("events").increment(3)
+        instructions["value"] = 10
+        sampler.sample(100)
+        instructions["value"] = 25
+        sampler.finalize(200)
+        with open(path) as handle:
+            lines = handle.readlines()
+        with open(path, "w") as handle:
+            for line in lines:
+                handle.write("\n" + line + "   \n")
+        header, records = read_jsonl(path)
+        assert header["epoch_cycles"] == 100
+        assert len(records) == 2
+
 
 class TestRecordValue:
     def test_resolution_order(self):

@@ -30,6 +30,11 @@
 #   telemetry    — epoch-sampling smoke: `repro run --telemetry` must leave
 #                  a parseable JSONL artifact and `repro timeline` must
 #                  render the per-epoch table end to end.
+#   checkpoint   — tools/checkpoint_gate.py proves a mid-run snapshot under
+#                  --check full restores byte-identically, that a corrupt
+#                  warm image is quarantined to .ckpt.corrupt and rebuilt,
+#                  and that a fork+sampled quick fig6 sweep beats the cold
+#                  full-run sweep by >= 2.0x wall-clock (warm build included).
 #   perf         — tools/perf_gate.py measures quick-scale fig6 cells on HEAD
 #                  and on a pinned pre-overhaul reference commit (same
 #                  machine), and fails if the speedup ratio regresses >20%
@@ -41,7 +46,7 @@ export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
 COV_FAIL_UNDER=${COV_FAIL_UNDER:-$(cat tools/coverage_floor.txt)}
 ALL_STAGES=(tier1 coverage slowfuzz differential checked sweep chaos
-            reliability telemetry perf)
+            reliability telemetry checkpoint perf)
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -153,6 +158,10 @@ stage_telemetry() {
     fi
     epochs=$(grep -c '"epoch"' "$tmp/telemetry.jsonl")
     echo "ci: ok (streamed $epochs epochs; timeline rendered from artifact)"
+}
+
+stage_checkpoint() {
+    python tools/checkpoint_gate.py
 }
 
 stage_perf() {
