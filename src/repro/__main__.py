@@ -55,7 +55,7 @@ def _cmd_list(_args) -> int:
     return 0
 
 
-def _cmd_run_sampled(args, scale, trace) -> int:
+def _cmd_run_sampled(args, config, trace) -> int:
     """``run --sampled``: SMARTS windows + per-metric confidence intervals."""
     from repro.checkpoint import run_sampled
     from repro.checkpoint.sampled import SampledConfig
@@ -73,9 +73,7 @@ def _cmd_run_sampled(args, scale, trace) -> int:
     except ValueError as exc:
         print(f"bad --sampled spec: {exc}", file=sys.stderr)
         return 2
-    outcome = run_sampled(
-        scale.system_config(args.mechanism), [trace], sampled_config
-    )
+    outcome = run_sampled(config, [trace], sampled_config)
     result = outcome.result
     total = outcome.detailed_instructions + outcome.skipped_instructions
     print(f"benchmark          {args.benchmark}")
@@ -109,8 +107,16 @@ def _cmd_run(args) -> int:
 
     scale = SCALES[args.scale]
     trace = scale.benchmark_trace(args.benchmark, refs=args.refs)
+    overrides = {}
+    if args.dram_cache is not None:
+        from repro.analysis.experiments import _dramcache_level_config
+
+        overrides["dram_cache"] = _dramcache_level_config(
+            scale, args.dram_cache
+        )
+    config = scale.system_config(args.mechanism, **overrides)
     if args.sampled is not None:
-        return _cmd_run_sampled(args, scale, trace)
+        return _cmd_run_sampled(args, config, trace)
     telemetry = None
     if args.telemetry:
         from repro.telemetry.sampler import TelemetryConfig
@@ -121,7 +127,7 @@ def _cmd_run(args) -> int:
             meta=(("benchmark", args.benchmark), ("mechanism", args.mechanism)),
         )
     system = System(
-        scale.system_config(args.mechanism),
+        config,
         [trace],
         check=args.check,
         telemetry=telemetry,
@@ -136,6 +142,15 @@ def _cmd_run(args) -> int:
     print(f"memory WPKI        {result.memory_wpki:.1f}")
     print(f"LLC MPKI           {result.llc_mpki:.1f}")
     print(f"events processed   {result.events_processed}")
+    if args.dram_cache is not None:
+        reads = result.stats.get("dramcache.reads", 0)
+        hits = result.stats.get("dramcache.read_hits", 0)
+        print(f"dramcache backend  {args.dram_cache}")
+        print(f"dramcache hit rate {hits / reads if reads else 0.0:.2%}")
+        print(
+            f"dramcache off-chip writes "
+            f"{result.stats.get('dramcache.offchip_writes', 0):.0f}"
+        )
     if system.telemetry is not None:
         from repro.telemetry.analysis import warmup_report
 
@@ -238,6 +253,8 @@ def _cmd_experiment(args) -> int:
             scale, runner=sweep).to_text(),
         "drrip": lambda: experiments.run_drrip_study(
             scale, runner=sweep).to_text(),
+        "dramcache": lambda: experiments.run_dramcache(
+            scale, benchmarks=benchmarks, runner=sweep).to_text(),
     }
     if args.name not in runners:
         print(f"unknown experiment {args.name!r}; choose from {sorted(runners)}",
@@ -397,7 +414,6 @@ def _cmd_timeline(args) -> int:
 def _cmd_check_diff(args) -> int:
     from repro.analysis.scaling import SCALES
     from repro.check import run_check_diff
-    from repro.mechanisms.registry import MECHANISM_NAMES
 
     scale = SCALES[args.scale]
     benchmarks = (args.benchmarks or "lbm").split(",")
@@ -405,14 +421,48 @@ def _cmd_check_diff(args) -> int:
         scale.benchmark_trace(name.strip(), refs=args.refs)
         for name in benchmarks
     ]
+    # None lets run_check_diff pick the right default: every mechanism for
+    # the plain differential, the demand-only subset with --dram-cache.
     mechanisms = (
         [m.strip() for m in args.mechanisms.split(",")]
         if args.mechanisms
-        else list(MECHANISM_NAMES)
+        else None
     )
-    report = run_check_diff(traces, mechanisms=mechanisms)
+    try:
+        report = run_check_diff(
+            traces, mechanisms=mechanisms, dram_cache=args.dram_cache
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     print(report.to_text())
     return 0 if report.ok else 1
+
+
+def _cmd_dramcache(args) -> int:
+    from repro.analysis import experiments
+    from repro.analysis.scaling import SCALES
+
+    scale = SCALES[args.scale]
+    benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+    try:
+        sweep = make_sweep_runner(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        result = experiments.run_dramcache(
+            scale,
+            benchmarks=benchmarks,
+            mechanism=args.mechanism,
+            runner=sweep,
+        )
+        print(result.to_text())
+    finally:
+        sweep.close()
+    if not args.quiet:
+        print(sweep.summary(), file=sys.stderr)
+    return 0
 
 
 def main(argv=None) -> int:
@@ -438,6 +488,11 @@ def main(argv=None) -> int:
     run_parser.add_argument(
         "--epoch-cycles", type=int, default=5_000, metavar="N",
         help="telemetry epoch length in cycles (default: 5000)",
+    )
+    run_parser.add_argument(
+        "--dram-cache", choices=("tag", "dbi"), default=None,
+        help="insert a die-stacked DRAM-cache level between the LLC and "
+             "off-chip DRAM, with this dirty-tracking backend",
     )
     run_parser.add_argument(
         "--sampled", nargs="?", const="default", default=None, metavar="SPEC",
@@ -650,6 +705,47 @@ def main(argv=None) -> int:
         "--refs", type=int, default=3000,
         help="memory references per trace (default: 3000)",
     )
+    diff_parser.add_argument(
+        "--dram-cache", choices=("tag", "dbi"), default=None,
+        help="attach a die-stacked DRAM-cache level with this dirty backend "
+             "and also prove the level equivalent to the untimed reference "
+             "(restricts mechanisms to the demand-only subset)",
+    )
+
+    dc_parser = sub.add_parser(
+        "dramcache",
+        help="DRAM-cache dirty-tracking trade-off: tag dirty bits vs DBI "
+             "with aggressive whole-row writeback",
+    )
+    dc_parser.add_argument("--scale", default="quick")
+    dc_parser.add_argument(
+        "--benchmarks", default=None,
+        help="comma-separated benchmark subset (default: lbm,milc,mcf)",
+    )
+    dc_parser.add_argument(
+        "--mechanism", default="baseline",
+        help="LLC mechanism above the level (default: baseline)",
+    )
+    dc_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="simulation worker processes (default: cpu_count - 1)",
+    )
+    dc_parser.add_argument(
+        "--cache-dir", default=None,
+        help="sweep result cache directory (default: results/sweep_cache)",
+    )
+    dc_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the on-disk sweep cache",
+    )
+    dc_parser.add_argument(
+        "--check", choices=("off", "cheap", "full"), default="off",
+        help="runtime invariant checking level for every job (default: off)",
+    )
+    dc_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-job progress lines on stderr",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -658,6 +754,8 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "check-diff":
         return _cmd_check_diff(args)
+    if args.command == "dramcache":
+        return _cmd_dramcache(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "reliability":

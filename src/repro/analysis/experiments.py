@@ -932,6 +932,127 @@ def run_case_study(
 # ------------------------------------------- Section 3.3 reliability study
 
 
+#: Write-heavy benchmarks where the dirty-tracking trade-off is visible.
+DRAMCACHE_TRADEOFF_BENCHMARKS = ("lbm", "milc", "mcf")
+
+
+def _dramcache_level_config(scale: ScaleProfile, backend: str):
+    """The level shape the trade-off study runs at one scale profile.
+
+    The level shrinks further than the capacity-ratio alone (÷8 on top of
+    the profile divisor) so quick traces actually pressure it: without
+    evictions neither backend ever writes off-chip and the study measures
+    nothing.
+    """
+    import dataclasses as _dataclasses
+
+    config = scale.dram_cache_config(dirty_backend=backend)
+    return _dataclasses.replace(
+        config, num_blocks=max(256, (1 << 17) // (scale.divisor * 8))
+    )
+
+
+def run_dramcache(
+    scale: ScaleProfile = DEFAULT_SCALE,
+    benchmarks: Optional[Iterable[str]] = None,
+    mechanism: str = "baseline",
+    runner: Optional[SweepRunner] = None,
+) -> ExperimentResult:
+    """Die-stacked DRAM-cache dirty-tracking trade-off study.
+
+    Runs each benchmark twice behind the same LLC mechanism — once with the
+    level's per-line tag dirty bits, once with the DBI backend whose
+    aggressive writeback drains whole dirty rows. The DBI side must raise
+    the off-chip writeback row-hit rate and lower the write-stream cost in
+    DRAM cycles (row misses pay t_RP+t_RCD) without hurting IPC — the
+    trade-off DRAM-cache proposals (TicToc, Banshee) navigate.
+    """
+    from repro.dramcache.config import DIRTY_BACKENDS
+
+    runner = runner or _serial_runner()
+    benchmarks = list(benchmarks or DRAMCACHE_TRADEOFF_BENCHMARKS)
+    traces = {b: scale.benchmark_trace(b) for b in benchmarks}
+    pending = {
+        (bench, backend): _submit(
+            runner, scale, mechanism, [traces[bench]],
+            dram_cache=_dramcache_level_config(scale, backend),
+        )
+        for bench in benchmarks
+        for backend in DIRTY_BACKENDS
+    }
+    dram = scale.dram_config()
+    miss_penalty = dram.t_rp + dram.t_rcd
+    rows: List[List] = []
+    raw: Dict = {}
+    for bench in benchmarks:
+        cells: Dict[str, Optional[Dict[str, float]]] = {}
+        for backend in DIRTY_BACKENDS:
+            result = _collect(runner, pending[(bench, backend)])
+            if result is None:
+                cells[backend] = None
+                continue
+            stats = result.stats
+            writes = stats.get("dram.dram_writes_performed", 0)
+            row_misses = stats.get(
+                "dram.write_row_hit_rate.total", 0
+            ) - stats.get("dram.write_row_hit_rate.hits", 0)
+            cells[backend] = {
+                "ipc": result.ipc[0],
+                "write_row_hit_rate": result.write_row_hit_rate,
+                "offchip_writes": stats.get("dramcache.offchip_writes", 0),
+                "write_cost_cycles": writes * dram.t_burst
+                + row_misses * miss_penalty,
+            }
+        raw[bench] = cells
+        tag, dbi = cells.get("tag"), cells.get("dbi")
+        rows.append([
+            bench,
+            tag["write_row_hit_rate"] if tag else None,
+            dbi["write_row_hit_rate"] if dbi else None,
+            tag["write_cost_cycles"] if tag else None,
+            dbi["write_cost_cycles"] if dbi else None,
+            tag["ipc"] if tag else None,
+            dbi["ipc"] if dbi else None,
+        ])
+    complete = [
+        c for c in raw.values() if c.get("tag") and c.get("dbi")
+    ]
+    if complete:
+        hit_wins = sum(
+            1 for c in complete
+            if c["dbi"]["write_row_hit_rate"] > c["tag"]["write_row_hit_rate"]
+        )
+        cost_wins = sum(
+            1 for c in complete
+            if c["dbi"]["write_cost_cycles"] < c["tag"]["write_cost_cycles"]
+        )
+        note = (
+            f"DBI-backed aggressive writeback raises the off-chip writeback "
+            f"row-hit rate on {hit_wins}/{len(complete)} benchmarks and "
+            f"lowers the write-stream cost on {cost_wins}/{len(complete)} "
+            f"(write cost = performed writes x t_burst + row misses x "
+            f"(t_RP+t_RCD) = {dram.t_burst} / {miss_penalty} cycles)."
+        )
+    else:
+        note = "dirty-backend comparison: n/a (jobs failed)."
+    return ExperimentResult(
+        experiment_id="dramcache",
+        title=(
+            f"DRAM-cache dirty-tracking trade-off, mechanism={mechanism} "
+            f"(scale={scale.name})"
+        ),
+        headers=[
+            "benchmark",
+            "tag wb row-hit", "dbi wb row-hit",
+            "tag write cost", "dbi write cost",
+            "tag IPC", "dbi IPC",
+        ],
+        rows=rows,
+        notes=_with_note(note, _failure_note(runner)),
+        raw=raw,
+    )
+
+
 def run_reliability(
     scale: ScaleProfile = DEFAULT_SCALE,
     benchmark: str = "lbm",

@@ -29,6 +29,7 @@ from repro.cache.config import (
     paper_llc_config,
 )
 from repro.dram.config import DramConfig
+from repro.dramcache.config import DramCacheConfig, stacked_dram_config
 from repro.sim.system import SystemConfig
 from repro.sim.trace import Trace
 from repro.workloads.mix import WorkloadMix, category_mixes
@@ -77,6 +78,25 @@ class ScaleProfile:
 
     def dram_config(self) -> "DramConfig":
         return DramConfig(row_buffer_blocks=self.dram_row_blocks)
+
+    def dram_cache_config(self, dirty_backend: str = "dbi") -> DramCacheConfig:
+        """A die-stacked DRAM cache (8 MB full-size) shrunk by the divisor.
+
+        The DBI granularity is pinned to the *off-chip* row size so one AWB
+        drain is one off-chip row batch — the quantity the TicToc/Banshee
+        trade-off study measures. α = 1 (an entry per cached row's worth of
+        blocks) lets rows fill with dirty blocks before capacity displaces
+        them, which is what makes the displaced batches row-dense.
+        """
+        return DramCacheConfig(
+            num_blocks=max(64, (1 << 17) // self.divisor),
+            dirty_backend=dirty_backend,
+            dbi_alpha=Fraction(1, 1),
+            dbi_granularity=self.dram_row_blocks,
+            stacked=stacked_dram_config(
+                row_buffer_blocks=2 * self.dram_row_blocks
+            ),
+        )
 
     def system_config(
         self,

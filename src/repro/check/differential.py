@@ -37,10 +37,18 @@ from repro.check.invariants import (
     check_policy_recency,
     check_write_buffer,
 )
-from repro.check.oracle import OracleMechanism, OracleSystem, RefDbi, RefLruCache
+from repro.check.oracle import (
+    OracleMechanism,
+    OracleSystem,
+    RefDbi,
+    RefDramCache,
+    RefLruCache,
+)
 from repro.core.config import DbiConfig
 from repro.dram.config import DramConfig
 from repro.dram.controller import MemoryController
+from repro.dramcache.config import DramCacheConfig, stacked_dram_config
+from repro.dramcache.level import DramCacheLevel
 from repro.mechanisms.registry import MECHANISM_NAMES, make_mechanism
 from repro.sim.hierarchy import Hierarchy
 from repro.sim.trace import Trace
@@ -66,6 +74,14 @@ class DiffGeometry:
     write_buffer_entries: int = 8
     #: Short predictor epochs so CLB/skipcache bypasses actually trigger.
     predictor_epoch_cycles: int = 5_000
+    #: DRAM-cache level shape (used only when a backend is requested).
+    #: Small and low-associativity so evictions and DBI displacements fire
+    #: constantly at differential trace lengths.
+    dramcache_blocks: int = 64
+    dramcache_associativity: int = 4
+    dramcache_dbi_alpha: Fraction = Fraction(1, 2)
+    dramcache_dbi_granularity: int = 8
+    dramcache_dbi_associativity: int = 2
 
     def llc_config(self) -> CacheConfig:
         return CacheConfig(
@@ -111,6 +127,20 @@ class DiffGeometry:
             associativity=self.dbi_associativity,
         )
 
+    def dram_cache_config(self, dirty_backend: str) -> DramCacheConfig:
+        return DramCacheConfig(
+            num_blocks=self.dramcache_blocks,
+            associativity=self.dramcache_associativity,
+            dirty_backend=dirty_backend,
+            dbi_alpha=self.dramcache_dbi_alpha,
+            dbi_granularity=self.dramcache_dbi_granularity,
+            dbi_associativity=self.dramcache_dbi_associativity,
+            stacked=stacked_dram_config(
+                row_buffer_blocks=self.dram_row_blocks,
+                write_buffer_entries=self.write_buffer_entries,
+            ),
+        )
+
 
 def _interleave(traces: Sequence[Trace]) -> Iterable[Tuple[int, bool, int]]:
     """Round-robin merge of per-core reference streams: (core, write, addr)."""
@@ -139,6 +169,13 @@ class TimingSnapshot:
     memory_writebacks: int
     dram_writes_performed: int
     dram_writes_coalesced: int
+    # DRAM-cache level state (populated only when a level is attached).
+    dramcache_blocks: Set[int] = field(default_factory=set)
+    dramcache_dirty: Set[int] = field(default_factory=set)
+    dramcache_dbi_entries: Dict[int, int] = field(default_factory=dict)
+    dramcache_reads: int = 0
+    dramcache_writes: int = 0
+    dramcache_offchip_writes: int = 0
 
 
 def _cache_sets(cache: Cache) -> Tuple[Set[int], Set[int]]:
@@ -154,10 +191,19 @@ def run_timing_serialized(
     mechanism_name: str,
     traces: Sequence[Trace],
     geometry: DiffGeometry,
+    dram_cache: Optional[str] = None,
 ) -> TimingSnapshot:
     """Drive the real stack one reference at a time and snapshot its state."""
     queue = EventQueue()
     memory = MemoryController(queue, geometry.dram_config())
+    level = None
+    if dram_cache is not None:
+        level = DramCacheLevel(
+            queue,
+            geometry.dram_cache_config(dram_cache),
+            memory,
+            rng=DeterministicRng(0xD3A),
+        )
     llc = Cache(geometry.llc_config(), num_threads=len(traces))
     port = TagPort(queue, occupancy=geometry.llc_config().port_occupancy)
     mechanism = make_mechanism(
@@ -165,7 +211,7 @@ def run_timing_serialized(
         queue=queue,
         llc=llc,
         port=port,
-        memory=memory,
+        memory=level or memory,
         mapper=memory.mapper,
         num_cores=len(traces),
         dbi_config=geometry.dbi_config(),
@@ -189,6 +235,12 @@ def run_timing_serialized(
             f"{mechanism_name}: serialized run left in-flight work after the "
             f"event queue drained",
         )
+    if level is not None and not level.is_idle():
+        raise InvariantViolation(
+            "writeback-conservation",
+            f"{mechanism_name}: serialized run left DRAM-cache work in flight "
+            f"after the event queue drained",
+        )
     # The production structural checks must hold on the final state too.
     mechanism.check_invariants()
     check_cache_structure(llc)
@@ -198,6 +250,11 @@ def run_timing_serialized(
     dbi = getattr(mechanism, "dbi", None)
     if dbi is not None:
         check_dbi_structure(dbi)
+    if level is not None:
+        level.check_invariants()
+        check_cache_structure(level.tags, "dramcache")
+        if level.dbi is not None:
+            check_dbi_structure(level.dbi)
 
     llc_blocks, llc_dirty = _cache_sets(llc)
     l1_states = [_cache_sets(cache) for cache in hierarchy.l1s]
@@ -208,6 +265,23 @@ def run_timing_serialized(
             entry.region_id: entry.bitvector
             for entry in dbi.iter_valid_entries()
         }
+    dramcache_blocks: Set[int] = set()
+    dramcache_dirty: Set[int] = set()
+    dramcache_dbi_entries: Dict[int, int] = {}
+    dramcache_reads = dramcache_writes = dramcache_offchip = 0
+    if level is not None:
+        dramcache_blocks, _tag_dirty = _cache_sets(level.tags)
+        dramcache_dirty = set(level.dirty_blocks())
+        if level.dbi is not None:
+            dramcache_dbi_entries = {
+                entry.region_id: entry.bitvector
+                for entry in level.dbi.iter_valid_entries()
+            }
+        level_counter = level.stats.counter
+        dramcache_reads = level_counter("reads").value
+        dramcache_writes = level_counter("writes").value
+        dramcache_offchip = level_counter("offchip_writes").value
+
     counter = mechanism.stats.counter
     dram_counter = memory.stats.counter
     return TimingSnapshot(
@@ -224,6 +298,12 @@ def run_timing_serialized(
         memory_writebacks=counter("memory_writebacks").value,
         dram_writes_performed=dram_counter("dram_writes_performed").value,
         dram_writes_coalesced=dram_counter("writes_coalesced").value,
+        dramcache_blocks=dramcache_blocks,
+        dramcache_dirty=dramcache_dirty,
+        dramcache_dbi_entries=dramcache_dbi_entries,
+        dramcache_reads=dramcache_reads,
+        dramcache_writes=dramcache_writes,
+        dramcache_offchip_writes=dramcache_offchip,
     )
 
 
@@ -231,6 +311,7 @@ def run_oracle(
     mechanism_name: str,
     traces: Sequence[Trace],
     geometry: DiffGeometry,
+    dram_cache: Optional[str] = None,
 ) -> OracleSystem:
     """Replay the same interleaved stream through the reference model."""
     if mechanism_name == "skipcache":
@@ -246,8 +327,21 @@ def run_oracle(
                 dbi_config.associativity,
                 dbi_config.granularity,
             )
+    ref_level = None
+    if dram_cache is not None:
+        level_config = geometry.dram_cache_config(dram_cache)
+        level_dbi = level_config.dbi_config()
+        ref_level = RefDramCache(
+            level_config.num_blocks,
+            level_config.associativity,
+            backend=dram_cache,
+            dbi_entries=level_dbi.num_entries,
+            dbi_associativity=level_dbi.associativity,
+            dbi_granularity=level_dbi.granularity,
+        )
     mechanism = OracleMechanism(
-        mechanism_name, llc, geometry.dram_row_blocks, dbi=dbi
+        mechanism_name, llc, geometry.dram_row_blocks, dbi=dbi,
+        dram_cache=ref_level,
     )
     oracle = OracleSystem(
         len(traces),
@@ -283,15 +377,21 @@ class DiffReport:
     trace_names: List[str]
     references: int
     reports: List[MechanismReport]
+    dram_cache: Optional[str] = None
 
     @property
     def ok(self) -> bool:
         return all(report.ok for report in self.reports)
 
     def to_text(self) -> str:
+        level_note = (
+            f" + DRAM-cache level ({self.dram_cache} backend)"
+            if self.dram_cache
+            else ""
+        )
         lines = [
             f"differential validation: traces={','.join(self.trace_names)} "
-            f"({self.references} refs interleaved)",
+            f"({self.references} refs interleaved){level_note}",
             f"{'mechanism':<14} {'llc blocks':>10} {'dirty':>7} "
             f"{'writebacks':>10} {'reads':>8}  verdict",
         ]
@@ -332,18 +432,21 @@ def diff_one_mechanism(
     mechanism_name: str,
     traces: Sequence[Trace],
     geometry: DiffGeometry,
+    dram_cache: Optional[str] = None,
 ) -> Tuple[MechanismReport, TimingSnapshot]:
     """Run both sides for one mechanism and compare architectural state."""
     report = MechanismReport(mechanism=mechanism_name)
     try:
-        snapshot = run_timing_serialized(mechanism_name, traces, geometry)
+        snapshot = run_timing_serialized(
+            mechanism_name, traces, geometry, dram_cache=dram_cache
+        )
     except AssertionError as error:
         report.failures.append(f"timing-side invariant failure: {error}")
         empty = TimingSnapshot(
             set(), set(), set(), {}, [], [], [], [], 0, 0, 0, 0, 0
         )
         return report, empty
-    oracle = run_oracle(mechanism_name, traces, geometry)
+    oracle = run_oracle(mechanism_name, traces, geometry, dram_cache=dram_cache)
     reference = oracle.mechanism
 
     failures = report.failures
@@ -405,11 +508,47 @@ def diff_one_mechanism(
         failures, "memory writebacks",
         snapshot.memory_writebacks, reference.writebacks,
     )
-    _compare_counts(
-        failures, "DRAM writes (performed+coalesced)",
-        snapshot.dram_writes_performed + snapshot.dram_writes_coalesced,
-        reference.writebacks,
-    )
+    if reference.dram_cache is not None:
+        ref_level = reference.dram_cache
+        _compare_sets(
+            failures, "DRAM-cache contents",
+            snapshot.dramcache_blocks, ref_level.blocks(),
+        )
+        _compare_sets(
+            failures, "DRAM-cache dirty set",
+            snapshot.dramcache_dirty, ref_level.dirty_blocks(),
+        )
+        if snapshot.dramcache_dbi_entries != ref_level.dbi_entries():
+            failures.append(
+                f"DRAM-cache DBI entries diverge: timing has "
+                f"{len(snapshot.dramcache_dbi_entries)} regions, oracle has "
+                f"{len(ref_level.dbi_entries())}"
+            )
+        _compare_counts(
+            failures, "DRAM-cache reads",
+            snapshot.dramcache_reads, ref_level.received_reads,
+        )
+        _compare_counts(
+            failures, "DRAM-cache writes",
+            snapshot.dramcache_writes, ref_level.received_writes,
+        )
+        _compare_counts(
+            failures, "DRAM-cache off-chip writes",
+            snapshot.dramcache_offchip_writes, ref_level.offchip_writes,
+        )
+        # With a level attached, off-chip DRAM sees the *level's* write
+        # stream rather than the mechanism's.
+        _compare_counts(
+            failures, "DRAM writes (performed+coalesced)",
+            snapshot.dram_writes_performed + snapshot.dram_writes_coalesced,
+            ref_level.offchip_writes,
+        )
+    else:
+        _compare_counts(
+            failures, "DRAM writes (performed+coalesced)",
+            snapshot.dram_writes_performed + snapshot.dram_writes_coalesced,
+            reference.writebacks,
+        )
 
     report.llc_blocks = len(snapshot.llc_blocks)
     report.dirty_blocks = dirty_count
@@ -418,10 +557,20 @@ def diff_one_mechanism(
     return report, snapshot
 
 
+#: Mechanisms eligible for the DRAM-cache differential. The oracle's
+#: ordering contract defers background work (AWB flushes, DBI-displacement
+#: writebacks, DAWB/VWQ probes) to the end of each op, while the timing side
+#: issues it inline — invisible at the LLC (final state is order-free) but
+#: visible one level down, where each write reorders the level's LRU stacks.
+#: Demand-only mechanisms produce identical level write sequences.
+DRAMCACHE_DIFF_MECHANISMS = ("baseline", "tadip")
+
+
 def run_check_diff(
     traces: Sequence[Trace],
     mechanisms: Optional[Sequence[str]] = None,
     geometry: Optional[DiffGeometry] = None,
+    dram_cache: Optional[str] = None,
 ) -> DiffReport:
     """Differentially validate mechanisms against the golden model.
 
@@ -429,13 +578,32 @@ def run_check_diff(
     mechanisms must agree with *each other* on final LLC contents: dirty-bit
     placement and proactive writebacks may only change traffic, never
     architectural content (the paper's safety argument).
+
+    With ``dram_cache`` set to a dirty-backend name ("tag" or "dbi"), every
+    run carries a die-stacked DRAM-cache level between the mechanism and
+    off-chip DRAM, and the level's contents, dirty set, DBI entries and
+    off-chip write traffic must also match the untimed reference — restricted
+    to :data:`DRAMCACHE_DIFF_MECHANISMS` (see its note on ordering).
     """
-    mechanisms = list(mechanisms or MECHANISM_NAMES)
+    if dram_cache is None:
+        mechanisms = list(mechanisms or MECHANISM_NAMES)
+    else:
+        mechanisms = list(mechanisms or DRAMCACHE_DIFF_MECHANISMS)
+        unsupported = sorted(set(mechanisms) - set(DRAMCACHE_DIFF_MECHANISMS))
+        if unsupported:
+            raise ValueError(
+                f"mechanisms {unsupported} issue background writebacks whose "
+                f"op-relative order differs between the timing stack and the "
+                f"oracle; the DRAM-cache differential supports "
+                f"{list(DRAMCACHE_DIFF_MECHANISMS)}"
+            )
     geometry = geometry or DiffGeometry()
     reports: List[MechanismReport] = []
     content_sets: Dict[str, Set[int]] = {}
     for name in mechanisms:
-        report, snapshot = diff_one_mechanism(name, traces, geometry)
+        report, snapshot = diff_one_mechanism(
+            name, traces, geometry, dram_cache=dram_cache
+        )
         if name != "skipcache":
             content_sets[name] = snapshot.llc_blocks
         reports.append(report)
@@ -458,6 +626,7 @@ def run_check_diff(
         trace_names=[trace.name for trace in traces],
         references=sum(len(trace) for trace in traces),
         reports=reports,
+        dram_cache=dram_cache,
     )
 
 
@@ -465,9 +634,12 @@ def assert_check_diff(
     traces: Sequence[Trace],
     mechanisms: Optional[Sequence[str]] = None,
     geometry: Optional[DiffGeometry] = None,
+    dram_cache: Optional[str] = None,
 ) -> DiffReport:
     """:func:`run_check_diff` that raises on any divergence (test helper)."""
-    report = run_check_diff(traces, mechanisms=mechanisms, geometry=geometry)
+    report = run_check_diff(
+        traces, mechanisms=mechanisms, geometry=geometry, dram_cache=dram_cache
+    )
     if not report.ok:
         raise InvariantViolation("differential-oracle", "\n" + report.to_text())
     return report

@@ -56,6 +56,35 @@ SWEEP_INTERVALS = {
 }
 
 
+class _LedgerTap:
+    """Dirty-transition observer bound to one dedicated ledger.
+
+    The engine itself observes the LLC-mechanism dirty domain; a system
+    with a DRAM-cache level has a *second*, independent dirty domain (the
+    same block address can legitimately be dirty in both at once), so the
+    level's tag array, DBI and off-chip writeback hook feed their own
+    :class:`WritebackLedger` through this tap.
+    """
+
+    def __init__(self, ledger: WritebackLedger) -> None:
+        self.ledger = ledger
+
+    def on_block_dirtied(self, addr: int) -> None:
+        self.ledger.on_block_dirtied(addr)
+
+    def on_block_cleaned(self, addr: int) -> None:
+        self.ledger.on_block_cleaned(addr)
+
+    def on_dirty_evicted(self, addr: int) -> None:
+        self.ledger.on_block_cleaned(addr)
+
+    def on_dirty_invalidated(self, addr: int) -> None:
+        self.ledger.on_dirty_discarded(addr)
+
+    def on_memory_writeback(self, addr: int) -> None:
+        self.ledger.on_memory_writeback(addr)
+
+
 class CheckEngine:
     """Observes one :class:`~repro.sim.system.System` and raises on divergence.
 
@@ -79,6 +108,7 @@ class CheckEngine:
         self.interval = interval or SWEEP_INTERVALS[self.level]
         self.sweeps = 0
         self.ledger: Optional[WritebackLedger] = None
+        self.dramcache_ledger: Optional[WritebackLedger] = None
 
     # ------------------------------------------------------------- wiring
 
@@ -94,6 +124,17 @@ class CheckEngine:
             if dbi is not None:
                 dbi.observer = self
             mechanism.checker = self
+            level = getattr(self.system, "dram_cache", None)
+            if level is not None:
+                # The DRAM-cache level is its own dirty domain: its ledger
+                # conserves writebacks from the level to off-chip DRAM,
+                # independent of the LLC→level domain above.
+                self.dramcache_ledger = WritebackLedger(write_through=False)
+                tap = _LedgerTap(self.dramcache_ledger)
+                level.tags.observer = tap
+                if level.dbi is not None:
+                    level.dbi.observer = tap
+                level.checker = tap
         self._arm()
 
     def _arm(self) -> None:
@@ -150,6 +191,10 @@ class CheckEngine:
             invariant.fn(self.system)
         if self.ledger is not None:
             self.ledger.assert_agrees(self._machine_dirty_blocks(), where)
+        if self.dramcache_ledger is not None:
+            self.dramcache_ledger.assert_agrees(
+                self.system.dram_cache.dirty_blocks(), f"dram-cache {where}"
+            )
         self.sweeps += 1
 
     def finalize(self) -> None:
@@ -161,5 +206,14 @@ class CheckEngine:
                 "writeback-conservation",
                 "simulation ended with LLC fills or writebacks still queued",
             )
+        level = getattr(self.system, "dram_cache", None)
+        if level is not None and not level.is_idle():
+            raise InvariantViolation(
+                "writeback-conservation",
+                "simulation ended with DRAM-cache fills or writebacks "
+                "still queued",
+            )
         if self.ledger is not None:
             self.ledger.assert_quiescent()
+        if self.dramcache_ledger is not None:
+            self.dramcache_ledger.assert_quiescent()

@@ -26,6 +26,10 @@ Catalogue (names are stable; tests and docs reference them):
                              address hashes to.
 ``recency-sanity``           every recency stack (LLC LRU/DIP stacks, DBI LRW
                              stacks) is a permutation of the ways.
+``dramcache-structure``      DRAM-cache tag array (and DBI, if configured)
+                             structural consistency.
+``dramcache-dirty-domain``   tag backend: no DBI; dbi backend: tag array
+                             clean and every DBI-dirty block resident.
 ``mshr-bounds``              MSHR occupancy respects capacity; no registered
                              miss has an empty waiter list.
 ``writebuffer-bounds``       DRAM write-buffer occupancy ≤ capacity and its
@@ -189,6 +193,38 @@ def check_dbi_tag_agreement(mechanism, llc) -> None:
             )
 
 
+def check_dramcache_dirty_domain(level) -> None:
+    """``dramcache-dirty-domain`` for one DRAM-cache level.
+
+    Under the tag backend the tag array owns all dirty state (no DBI
+    exists); under the DBI backend the tag array must stay clean and every
+    DBI-dirty block must be resident in the level — the DBI never tracks a
+    block whose data left the stacked array.
+    """
+    name = "dramcache-dirty-domain"
+    if level.backend.tag_dirty:
+        if level.dbi is not None:
+            _fail(name, "tag backend carries a DBI instance")
+        return
+    if level.tags.dirty_count:
+        dirty = [
+            b.addr for b in level.tags.iter_valid_blocks() if b.dirty
+        ][:4]
+        _fail(
+            name,
+            f"dbi backend: {level.tags.dirty_count} in-tag dirty bit(s) set "
+            f"(e.g. {['%#x' % a for a in dirty]}); the DBI is the sole "
+            f"dirtiness authority",
+        )
+    for block in level.dbi.all_dirty_blocks():
+        if not level.tags.contains(block):
+            _fail(
+                name,
+                f"DBI marks block {block:#x} dirty but the DRAM cache does "
+                f"not hold it",
+            )
+
+
 def check_mshr(mshr, label: str) -> None:
     """``mshr-bounds`` for one :class:`repro.cache.mshr.MshrFile`."""
     name = "mshr-bounds"
@@ -323,6 +359,26 @@ def _sys_recency_sanity(system) -> None:
     if hierarchy is not None:
         for cache in list(hierarchy.l1s) + list(hierarchy.l2s):
             check_policy_recency(cache.policy, cache.stats.name)
+    level = getattr(system, "dram_cache", None)
+    if level is not None:
+        check_policy_recency(level.tags.policy, "dramcache")
+        if level.dbi is not None:
+            check_policy_recency(level.dbi.policy, "dramcache-dbi")
+
+
+def _sys_dramcache_structure(system) -> None:
+    level = getattr(system, "dram_cache", None)
+    if level is None:
+        return
+    check_cache_structure(level.tags, "dramcache")
+    if level.dbi is not None:
+        check_dbi_structure(level.dbi)
+
+
+def _sys_dramcache_dirty_domain(system) -> None:
+    level = getattr(system, "dram_cache", None)
+    if level is not None:
+        check_dramcache_dirty_domain(level)
 
 
 def _sys_mshr_bounds(system) -> None:
@@ -334,6 +390,9 @@ def _sys_mshr_bounds(system) -> None:
 
 def _sys_writebuffer_bounds(system) -> None:
     check_write_buffer(system.memory.write_buffer)
+    level = getattr(system, "dram_cache", None)
+    if level is not None:
+        check_write_buffer(level.stacked.write_buffer)
 
 
 def _sys_port_sanity(system) -> None:
@@ -366,6 +425,16 @@ INVARIANTS: Tuple[Invariant, ...] = (
         "recency-sanity",
         "replacement recency stacks are permutations of the ways",
         _sys_recency_sanity,
+    ),
+    Invariant(
+        "dramcache-structure",
+        "DRAM-cache tag array and DBI structural consistency",
+        _sys_dramcache_structure,
+    ),
+    Invariant(
+        "dramcache-dirty-domain",
+        "DRAM-cache dirty state lives where the backend says it does",
+        _sys_dramcache_dirty_domain,
     ),
     Invariant(
         "mshr-bounds",

@@ -196,6 +196,99 @@ class RefDbi:
         }
 
 
+class RefDramCache:
+    """Untimed die-stacked DRAM-cache level below the LLC mechanism.
+
+    Mirrors :class:`repro.dramcache.level.DramCacheLevel` architecturally:
+    LRU tags, write-allocate, and either in-tag dirty bits ("tag" backend)
+    or a :class:`RefDbi` with aggressive whole-row writeback on eviction
+    ("dbi" backend). ``offchip_writes`` counts blocks written below the
+    level — the quantity conserved against the timing side.
+    """
+
+    def __init__(
+        self,
+        num_blocks: int,
+        associativity: int,
+        backend: str = "tag",
+        dbi_entries: int = 0,
+        dbi_associativity: int = 0,
+        dbi_granularity: int = 0,
+    ) -> None:
+        if backend not in ("tag", "dbi"):
+            raise ValueError(f"unknown dirty backend {backend!r}")
+        self.backend = backend
+        self.tags = RefLruCache(num_blocks, associativity)
+        self.dbi: Optional[RefDbi] = None
+        if backend == "dbi":
+            self.dbi = RefDbi(dbi_entries, dbi_associativity, dbi_granularity)
+        self.received_reads = 0
+        self.received_writes = 0
+        self.offchip_writes = 0
+
+    # The level is below every queue in the timing stack, so its updates
+    # are synchronous here: one timing request = one call, in op order.
+
+    def read(self, addr: int) -> None:
+        self.received_reads += 1
+        if self.tags.lookup(addr):
+            return
+        evicted = self.tags.insert(addr, dirty=False)
+        if evicted is not None:
+            self._handle_eviction(*evicted)
+
+    def write(self, addr: int) -> None:
+        self.received_writes += 1
+        if self.tags.contains(addr):
+            self.tags.touch(addr)
+            self._mark_dirty(addr)
+            return
+        if self.backend == "dbi":
+            evicted = self.tags.insert(addr, dirty=False)
+            if evicted is not None:
+                self._handle_eviction(*evicted)
+            self._mark_dirty(addr)
+        else:
+            evicted = self.tags.insert(addr, dirty=True)
+            if evicted is not None:
+                self._handle_eviction(*evicted)
+
+    def _mark_dirty(self, addr: int) -> None:
+        if self.backend == "dbi":
+            for _block in self.dbi.mark_dirty(addr):
+                # Displaced DBI entry: its blocks stay cached, now clean,
+                # and their data goes off-chip immediately.
+                self.offchip_writes += 1
+        else:
+            self.tags.mark_dirty(addr)
+
+    def _handle_eviction(self, addr: int, tag_dirty: bool) -> None:
+        if self.backend == "dbi":
+            if self.dbi.is_dirty(addr):
+                self.dbi.mark_clean(addr)
+                self.offchip_writes += 1
+                for other in self.dbi.dirty_in_region(addr):
+                    # Aggressive writeback: the whole dirty row leaves.
+                    self.dbi.mark_clean(other)
+                    self.offchip_writes += 1
+            return
+        if tag_dirty:
+            self.offchip_writes += 1
+
+    def blocks(self) -> Set[int]:
+        return self.tags.blocks()
+
+    def dirty_blocks(self) -> Set[int]:
+        if self.backend == "dbi":
+            return self.dbi.dirty_blocks()
+        return self.tags.dirty_blocks()
+
+    def dbi_entries(self) -> Dict[int, int]:
+        if self.dbi is None:
+            return {}
+        return self.dbi.entries()
+
+
 #: How each Table 2 mechanism behaves architecturally.
 _KIND_OF = {
     "baseline": "conventional",
@@ -224,6 +317,7 @@ class OracleMechanism:
         llc: Optional[RefLruCache],
         row_blocks: int,
         dbi: Optional[RefDbi] = None,
+        dram_cache: Optional[RefDramCache] = None,
     ) -> None:
         if name not in _KIND_OF:
             raise ValueError(f"unknown mechanism {name!r}")
@@ -233,6 +327,7 @@ class OracleMechanism:
         self.llc = llc
         self.row_blocks = row_blocks
         self.dbi = dbi
+        self.dram_cache = dram_cache
         if self.kind == "dbi" and dbi is None:
             raise ValueError(f"{name} needs a RefDbi")
         if llc is None and self.kind != "writethrough":
@@ -246,6 +341,20 @@ class OracleMechanism:
         self._background = deque()
         self._rows_in_flight: Set[int] = set()
 
+    # ------------------------------------------------------ memory access
+    # With a RefDramCache attached, every fetch and writeback the mechanism
+    # would send to "memory" routes through the level instead — exactly the
+    # plumbing System applies when config.dram_cache is set.
+
+    def _memory_fetch(self, addr: int) -> None:
+        if self.dram_cache is not None:
+            self.dram_cache.read(addr)
+
+    def _memory_write(self, addr: int) -> None:
+        self.writebacks += 1
+        if self.dram_cache is not None:
+            self.dram_cache.write(addr)
+
     # ----------------------------------------------------------- requests
 
     def read(self, addr: int) -> None:
@@ -254,6 +363,7 @@ class OracleMechanism:
             return
         if self.llc.lookup(addr):
             return
+        self._memory_fetch(addr)
         evicted = self.llc.insert(addr, dirty=False)
         if evicted is not None:
             self._handle_eviction(*evicted)
@@ -264,7 +374,7 @@ class OracleMechanism:
         if self.kind == "writethrough":
             # Every writeback request becomes exactly one memory write,
             # independent of LLC content.
-            self.writebacks += 1
+            self._memory_write(addr)
             return
         if self.llc.contains(addr):
             self.llc.touch(addr)
@@ -297,7 +407,7 @@ class OracleMechanism:
         if self.kind == "dbi":
             if self.dbi.is_dirty(addr):
                 self.dbi.mark_clean(addr)
-                self.writebacks += 1
+                self._memory_write(addr)
                 if self.enable_awb:
                     for other in self.dbi.dirty_in_region(addr):
                         # Cleared eagerly, exactly like the timing AWB.
@@ -306,7 +416,7 @@ class OracleMechanism:
             return
         if not tag_dirty:
             return
-        self.writebacks += 1
+        self._memory_write(addr)
         if self.kind == "dawb":
             self._dawb_round(addr)
         elif self.kind == "vwq":
@@ -358,12 +468,12 @@ class OracleMechanism:
             item = self._background.popleft()
             op = item[0]
             if op == "write":
-                self.writebacks += 1
+                self._memory_write(item[1])
             elif op == "dawb_probe":
                 _, other, row, last = item
                 if self.llc.is_dirty(other):
                     self.llc.mark_clean(other)
-                    self.writebacks += 1
+                    self._memory_write(other)
                 if last:
                     self._rows_in_flight.discard(row)
             elif op == "vwq_probe":
@@ -373,7 +483,7 @@ class OracleMechanism:
                 )
                 if in_lru_half and self.llc.is_dirty(other):
                     self.llc.mark_clean(other)
-                    self.writebacks += 1
+                    self._memory_write(other)
                 if last:
                     self._rows_in_flight.discard(row)
 

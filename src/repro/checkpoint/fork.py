@@ -20,6 +20,12 @@ Dirty-state adoption across mechanism families:
   count as already written back (their data went to memory when the warm
   run would have written through).
 
+The die-stacked DRAM-cache level (when present) sits *outside* the fork:
+its dirty domain belongs to the level, not to the LLC mechanism, so cells
+of one group must share the exact level config and the warm level's
+contents and dirty state carry over unchanged. A fork that changes the
+level's geometry or dirty backend is refused.
+
 Forked results are a documented approximation of cold per-cell runs (the
 quiesce at the warm boundary perturbs timing, and the warm phase ran under
 the group mechanism), so fork-mode sweep results are cached under a key that
@@ -69,7 +75,15 @@ def fork_system(system: System, config: SystemConfig) -> System:
             "fork config resolves a different LLC than the warm image; "
             "cells of one fork group must share every non-mechanism knob"
         )
+    if config.dram_cache != base.dram_cache:
+        raise CheckpointError(
+            "fork config changes the DRAM-cache level; the stacked level's "
+            "warm contents and dirty state cannot be adopted across "
+            "geometries or dirty backends"
+        )
     if not system.hierarchy.is_idle():
+        raise CheckpointError("fork requires a quiesced warm image")
+    if system.dram_cache is not None and not system.dram_cache.is_idle():
         raise CheckpointError("fork requires a quiesced warm image")
     if system.check_engine is not None or system.telemetry is not None:
         raise CheckpointError(
@@ -82,7 +96,7 @@ def fork_system(system: System, config: SystemConfig) -> System:
         queue=system.queue,
         llc=system.llc,
         port=system.port,
-        memory=system.memory,
+        memory=system.dram_cache or system.memory,
         mapper=system.memory.mapper,
         num_cores=config.num_cores,
         dbi_config=config.dbi_config,

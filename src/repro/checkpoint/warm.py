@@ -107,9 +107,17 @@ def quiesce(system: System, max_events: int = QUIESCE_EVENT_BUDGET) -> None:
     """
     for core in system.cores:
         core.pause()
+
+    def drained() -> bool:
+        if not system.hierarchy.is_idle():
+            return False
+        # The DRAM-cache level's pending fills and overflow retries hold
+        # event-graph callbacks too; a fork must find it just as idle.
+        return system.dram_cache is None or system.dram_cache.is_idle()
+
     queue = system.queue
     fired = 0
-    while not system.hierarchy.is_idle():
+    while not drained():
         if fired >= max_events:
             raise CheckpointError(
                 f"system failed to quiesce within {max_events} events"
@@ -117,7 +125,7 @@ def quiesce(system: System, max_events: int = QUIESCE_EVENT_BUDGET) -> None:
         if not queue.step():
             break
         fired += 1
-    if not system.hierarchy.is_idle():
+    if not drained():
         raise CheckpointError("event queue drained but traffic is still in flight")
 
 

@@ -80,7 +80,10 @@ class DirtyBlockIndex:
     observer = None
 
     def __init__(
-        self, config: DbiConfig, rng: Optional[DeterministicRng] = None
+        self,
+        config: DbiConfig,
+        rng: Optional[DeterministicRng] = None,
+        stat_name: Optional[str] = None,
     ) -> None:
         self.config = config
         self.sets: List[List[DbiEntry]] = [
@@ -90,7 +93,9 @@ class DirtyBlockIndex:
         self.policy = make_dbi_policy(
             config.replacement, config.num_sets, config.associativity, rng=rng
         )
-        self.stats = StatGroup("dbi")
+        # stat_name disambiguates instances in one system (the LLC
+        # mechanism's DBI vs. the DRAM-cache level's DBI).
+        self.stats = StatGroup(stat_name or "dbi")
         # region_id -> way for O(1) lookup; the set index is derivable.
         self._where = {}
         # Per-query counters, bound lazily (see Cache for rationale).

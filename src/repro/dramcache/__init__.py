@@ -1,0 +1,15 @@
+"""Timed die-stacked DRAM-cache level (paper Section 7 frontier).
+
+A giant in-package DRAM cache between the LLC and off-chip memory. Tags are
+SRAM (fixed latency); data lives in a stacked-DRAM bank model reusing the
+off-chip timing machinery with faster parameters. Dirtiness is tracked either
+conventionally (per-line tag dirty bits) or by a DBI with row-granularity
+vectors feeding aggressive writeback of whole dirty rows — the TicToc/Banshee
+observation that coarse dirty tracking is what makes DRAM caching
+bandwidth-efficient.
+"""
+
+from repro.dramcache.config import DramCacheConfig, stacked_dram_config
+from repro.dramcache.level import DramCacheLevel
+
+__all__ = ["DramCacheConfig", "DramCacheLevel", "stacked_dram_config"]

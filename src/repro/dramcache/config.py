@@ -1,0 +1,122 @@
+"""Die-stacked DRAM-cache configuration.
+
+Geometry of the tag array, choice of dirty-tracking backend, and the timing
+of the stacked data array. The stacked array reuses :class:`DramConfig`
+verbatim — it *is* DRAM, just closer: roughly half the latency, twice the
+banks, and a much wider data path than the off-chip channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from repro.cache.config import CacheConfig
+from repro.core.config import DbiConfig
+from repro.dram.config import DramConfig
+from repro.utils.validation import check_positive, check_power_of_two
+
+#: Dirty-tracking backends the level supports.
+DIRTY_BACKENDS = ("tag", "dbi")
+
+
+def stacked_dram_config(
+    row_buffer_blocks: int = 32, write_buffer_entries: int = 32
+) -> DramConfig:
+    """Timing of one die-stacked channel (HBM-like, in CPU cycles).
+
+    Relative to the off-chip defaults: ~half the bank latencies (shorter
+    wires, smaller 2 KB rows), twice the banks, and a 4x-wider bus so a
+    block transfer occupies the data bus for 5 cycles instead of 20.
+    """
+    return DramConfig(
+        num_banks=16,
+        row_buffer_blocks=row_buffer_blocks,
+        t_rcd=18,
+        t_rp=18,
+        t_cas=18,
+        t_burst=5,
+        t_wr=20,
+        t_turnaround=7,
+        t_rrd=10,
+        t_faw=50,
+        write_buffer_entries=write_buffer_entries,
+        bus_queue_latency=4,
+    )
+
+
+@dataclass(frozen=True)
+class DramCacheConfig:
+    """Parameters of the die-stacked DRAM-cache level.
+
+    Attributes:
+        name: stat-group prefix ("dramcache").
+        num_blocks: data-array capacity in cache blocks.
+        associativity: tag-array set associativity.
+        tag_latency: SRAM tag-lookup latency in cycles (paid by every read
+            and writeback before the stacked data array is touched).
+        dirty_backend: "tag" for conventional per-line dirty bits, "dbi" for
+            a row-granularity DBI feeding aggressive whole-row writeback.
+        dbi_alpha: DBI size as a fraction of ``num_blocks`` (dbi backend).
+        dbi_granularity: blocks per DBI entry; set to the *off-chip* DRAM
+            row size so an AWB drain is one off-chip row batch.
+        dbi_associativity: DBI set associativity.
+        dbi_replacement: DBI replacement policy (see ``core.replacement``).
+        stacked: stacked-array timing; None resolves to
+            :func:`stacked_dram_config` defaults.
+    """
+
+    name: str = "dramcache"
+    num_blocks: int = 1 << 17
+    associativity: int = 8
+    tag_latency: int = 4
+    dirty_backend: str = "dbi"
+    dbi_alpha: Fraction = Fraction(1, 2)
+    dbi_granularity: int = 128
+    dbi_associativity: int = 16
+    dbi_replacement: str = "lrw"
+    stacked: Optional[DramConfig] = None
+
+    def __post_init__(self) -> None:
+        check_power_of_two("num_blocks", self.num_blocks)
+        check_power_of_two("associativity", self.associativity)
+        check_positive("tag_latency", self.tag_latency)
+        if self.dirty_backend not in DIRTY_BACKENDS:
+            raise ValueError(
+                f"dirty_backend must be one of {DIRTY_BACKENDS}, "
+                f"got {self.dirty_backend!r}"
+            )
+        if not isinstance(self.dbi_alpha, Fraction):
+            object.__setattr__(
+                self,
+                "dbi_alpha",
+                Fraction(self.dbi_alpha).limit_denominator(64),
+            )
+        if self.stacked is None:
+            object.__setattr__(self, "stacked", stacked_dram_config())
+        # Constructing the geometry validates it (DbiConfig raises on a
+        # degenerate entry count) even for configs built but never run.
+        if self.dirty_backend == "dbi":
+            self.dbi_config()
+
+    def tag_config(self) -> CacheConfig:
+        """The functional tag array (an SRAM ``Cache`` without a data side)."""
+        return CacheConfig(
+            name=f"{self.name}_tags",
+            num_blocks=self.num_blocks,
+            associativity=self.associativity,
+            tag_latency=self.tag_latency,
+            data_latency=1,
+        )
+
+    def dbi_config(self) -> DbiConfig:
+        """Geometry of the level's DBI (dbi backend only)."""
+        return DbiConfig(
+            cache_blocks=self.num_blocks,
+            alpha=self.dbi_alpha,
+            granularity=self.dbi_granularity,
+            associativity=self.dbi_associativity,
+            latency=self.tag_latency,
+            replacement=self.dbi_replacement,
+        )

@@ -20,6 +20,7 @@ reads across the two memories.
 from __future__ import annotations
 
 import enum
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
@@ -41,6 +42,15 @@ class DramCacheModel:
 
     The data path is abstracted to queue-occupancy counters; what matters
     for the dispatch study is *where* requests go, not their cycle timing.
+
+    Replacement and dirty semantics deliberately mirror the *timed* level
+    (:class:`repro.dramcache.level.DramCacheLevel` with its ``dbi``
+    backend): LRU eviction with promotion on every touch, the DBI as the
+    sole dirtiness authority, and aggressive writeback — evicting one dirty
+    block drains every other dirty block of its region. The one documented
+    divergence is associativity: the presence set is fully associative,
+    so the model agrees exactly with a timed level configured with a
+    single set (see ``tests/dramcache/test_dispatch_agreement.py``).
     """
 
     dbi: DirtyBlockIndex
@@ -48,34 +58,38 @@ class DramCacheModel:
 
     def __post_init__(self) -> None:
         check_positive("capacity_blocks", self.capacity_blocks)
-        self._present = set()
+        # addr -> None, in recency order: front is LRU, back is MRU.
+        self._present: "OrderedDict[int, None]" = OrderedDict()
         self.stats = StatGroup("dram_cache")
 
     def contains(self, block_addr: int) -> bool:
         return block_addr in self._present
 
+    def touch(self, block_addr: int) -> None:
+        """Promote a present block to MRU (a read hit in the data array)."""
+        if block_addr in self._present:
+            self._present.move_to_end(block_addr)
+
     def install(self, block_addr: int, dirty: bool = False) -> Optional[int]:
         """Install a block; returns an evicted block address if one fell out.
 
-        Eviction policy is FIFO over the presence set — adequate for the
-        dispatch study, which cares about dirtiness, not reuse ordering.
+        Matches the timed level's install order: the victim is resolved
+        *before* the new block is marked dirty, so a DBI-entry displacement
+        triggered by the marking never sees the half-installed block.
         """
         if block_addr in self._present:
+            self._present.move_to_end(block_addr)
             if dirty:
-                eviction = self.dbi.mark_dirty(block_addr)
-                self._writeback_eviction(eviction)
+                self._mark_dirty(block_addr)
             return None
         victim = None
         if len(self._present) >= self.capacity_blocks:
-            victim = next(iter(self._present))
-            self._present.discard(victim)
-            if self.dbi.is_dirty(victim):
-                self.dbi.mark_clean(victim)
-                self.stats.counter("dirty_evictions").increment()
-        self._present.add(block_addr)
+            victim = next(iter(self._present))  # least recently used
+            del self._present[victim]
+            self._evict(victim)
+        self._present[block_addr] = None
         if dirty:
-            eviction = self.dbi.mark_dirty(block_addr)
-            self._writeback_eviction(eviction)
+            self._mark_dirty(block_addr)
         return victim
 
     def write(self, block_addr: int) -> None:
@@ -83,13 +97,26 @@ class DramCacheModel:
         self.install(block_addr, dirty=True)
         self.stats.counter("writes").increment()
 
-    def _writeback_eviction(self, eviction) -> None:
+    def _mark_dirty(self, block_addr: int) -> None:
+        eviction = self.dbi.mark_dirty(block_addr)
         if eviction is None:
             return
         # Displaced DBI entry: its blocks become clean (written downstream).
         self.stats.counter("dbi_forced_writebacks").increment(
             len(eviction.dirty_blocks)
         )
+
+    def _evict(self, victim: int) -> None:
+        """Aggressive writeback on dirty eviction, like the timed level."""
+        if not self.dbi.is_dirty(victim):
+            return
+        self.dbi.mark_clean(victim)
+        self.stats.counter("dirty_evictions").increment()
+        for addr in self.dbi.dirty_blocks_in_region(victim):
+            # Region-mates stay present but are cleaned alongside the
+            # victim — their data leaves in the same off-chip row batch.
+            self.dbi.mark_clean(addr)
+            self.stats.counter("awb_drains").increment()
 
 
 class DramCacheDispatcher:
@@ -122,6 +149,7 @@ class DramCacheDispatcher:
         if self.cache.dbi.is_dirty(block_addr):
             # Only the DRAM cache has the current data.
             self.stats.counter("forced_to_cache").increment()
+            self.cache.touch(block_addr)
             self.cache_queue += 1
             return DispatchDecision.DRAM_CACHE
 
@@ -130,6 +158,7 @@ class DramCacheDispatcher:
             self.stats.counter("balanced_to_off_chip").increment()
             self.off_chip_queue += 1
             return DispatchDecision.OFF_CHIP
+        self.cache.touch(block_addr)
         self.cache_queue += 1
         return DispatchDecision.DRAM_CACHE
 

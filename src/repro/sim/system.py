@@ -22,6 +22,8 @@ from repro.cache.port import TagPort
 from repro.core.config import DbiConfig
 from repro.dram.config import DramConfig
 from repro.dram.controller import MemoryController
+from repro.dramcache.config import DramCacheConfig
+from repro.dramcache.level import DramCacheLevel
 from repro.mechanisms.registry import llc_replacement_for, make_mechanism
 from repro.sim.core_model import OooCore
 from repro.sim.hierarchy import Hierarchy
@@ -47,6 +49,9 @@ class SystemConfig:
     dbi_replacement: str = "lrw"
     dbi_config: Optional[DbiConfig] = None
     dram: DramConfig = field(default_factory=DramConfig)
+    #: Optional die-stacked DRAM-cache level between the LLC and off-chip
+    #: DRAM (see :mod:`repro.dramcache`). None = conventional hierarchy.
+    dram_cache: Optional[DramCacheConfig] = None
     l1: CacheConfig = field(default_factory=paper_l1_config)
     l2: CacheConfig = field(default_factory=paper_l2_config)
     llc: Optional[CacheConfig] = None
@@ -211,6 +216,17 @@ class System:
         rng = DeterministicRng(config.seed)
 
         self.memory = MemoryController(self.queue, config.dram)
+        # The DRAM-cache level speaks the controller's interface upward, so
+        # the mechanism's "memory" handle is simply rebound to it; nothing
+        # above the LLC knows whether the next level is stacked or off-chip.
+        self.dram_cache = None
+        if config.dram_cache is not None:
+            self.dram_cache = DramCacheLevel(
+                self.queue,
+                config.dram_cache,
+                self.memory,
+                rng=rng.derive("dramcache-policy"),
+            )
         llc_config = config.resolve_llc()
         self.llc = Cache(
             llc_config,
@@ -223,7 +239,7 @@ class System:
             queue=self.queue,
             llc=self.llc,
             port=self.port,
-            memory=self.memory,
+            memory=self.dram_cache or self.memory,
             mapper=self.memory.mapper,
             num_cores=config.num_cores,
             dbi_config=config.dbi_config,
@@ -328,6 +344,22 @@ class System:
             gauges.append((f"l1mshr{index}.occupancy", lambda m=mshr: len(m)))
         for name, probe in self.mechanism.telemetry_gauges().items():
             gauges.append((f"mech.{name}", probe))
+        if self.dram_cache is not None:
+            level = self.dram_cache
+            gauges.extend(
+                [
+                    ("dramcache.occupancy", lambda: level.occupancy),
+                    ("dramcache.dirty_blocks", lambda: level.dirty_count),
+                    (
+                        "dramcache.pending_fills",
+                        lambda: len(level._pending_reads),
+                    ),
+                    (
+                        "stacked.write_buffer_depth",
+                        lambda: len(level.stacked.write_buffer),
+                    ),
+                ]
+            )
         return gauges
 
     def _all_stat_groups(self):
@@ -343,6 +375,8 @@ class System:
         predictor = getattr(self.mechanism, "predictor", None)
         if predictor is not None:
             groups.append(predictor.stats)
+        if self.dram_cache is not None:
+            groups.extend(self.dram_cache.stat_groups())
         groups.extend(self.hierarchy.core_stats)
         groups.extend(cache.stats for cache in self.hierarchy.l1s)
         groups.extend(cache.stats for cache in self.hierarchy.l2s)

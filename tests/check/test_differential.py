@@ -68,8 +68,10 @@ class TestDivergenceDetection:
 
         real_run_oracle = differential.run_oracle
 
-        def tampered(mechanism_name, trace_list, geometry):
-            oracle = real_run_oracle(mechanism_name, trace_list, geometry)
+        def tampered(mechanism_name, trace_list, geometry, **kwargs):
+            oracle = real_run_oracle(
+                mechanism_name, trace_list, geometry, **kwargs
+            )
             oracle.mechanism.writebacks += 1
             return oracle
 
@@ -89,8 +91,10 @@ class TestDivergenceDetection:
 
         real_run_oracle = differential.run_oracle
 
-        def tampered(mechanism_name, trace_list, geometry):
-            oracle = real_run_oracle(mechanism_name, trace_list, geometry)
+        def tampered(mechanism_name, trace_list, geometry, **kwargs):
+            oracle = real_run_oracle(
+                mechanism_name, trace_list, geometry, **kwargs
+            )
             oracle.mechanism.llc.sets[0][123456] = True  # ghost dirty block
             return oracle
 

@@ -369,6 +369,8 @@ class TestCatalogue:
             "dbi-structure",
             "cache-structure",
             "recency-sanity",
+            "dramcache-structure",
+            "dramcache-dirty-domain",
             "mshr-bounds",
             "writebuffer-bounds",
             "port-sanity",

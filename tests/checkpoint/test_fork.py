@@ -140,6 +140,17 @@ class TestFork:
         with pytest.raises(CheckpointError, match="quiesce"):
             fork_system(system, quick_config("dbi"))
 
+    def test_fork_refuses_adding_dram_cache_level(self, warm_image_bytes):
+        # The warm image ran without a stacked level; a cell with one would
+        # start from a cold level the group never warmed.
+        system = restore_system(warm_image_bytes)
+        config = dataclasses.replace(
+            quick_config("dbi"),
+            dram_cache=QUICK_SCALE.dram_cache_config(),
+        )
+        with pytest.raises(CheckpointError, match="DRAM-cache"):
+            fork_system(system, config)
+
     def test_forked_cell_can_be_sampled_after_quiesce(self, warm_image_bytes):
         from repro.checkpoint import run_windows
         from repro.checkpoint.sampled import SampledConfig
@@ -152,3 +163,50 @@ class TestFork:
         )
         assert outcome.windows_run >= 2
         assert outcome.result.ipc[0] > 0
+
+
+class TestForkWithDramCache:
+    """The stacked level sits outside the mechanism swap (see fork.py)."""
+
+    @pytest.fixture(scope="class")
+    def warm_level_image_bytes(self):
+        config = dataclasses.replace(
+            quick_config("dbi"),
+            dram_cache=QUICK_SCALE.dram_cache_config(dirty_backend="dbi"),
+        )
+        system = make_warm_system(config, [quick_trace()], chunk_events=2_000)
+        return snapshot_system(system)
+
+    def test_fork_adopts_stacked_state_unchanged(self, warm_level_image_bytes):
+        system = restore_system(warm_level_image_bytes)
+        contents = {b.addr for b in system.dram_cache.tags.iter_valid_blocks()}
+        dirty = set(system.dram_cache.dirty_blocks())
+        assert contents, "warm image should hold a populated level"
+        config = dataclasses.replace(
+            quick_config("tadip"), dram_cache=system.config.dram_cache
+        )
+        fork_system(system, config)
+        # The mechanism swap rebinds its memory handle to the same level;
+        # contents and the level's own dirty domain carry over untouched.
+        assert system.mechanism.memory is system.dram_cache
+        assert {
+            b.addr for b in system.dram_cache.tags.iter_valid_blocks()
+        } == contents
+        assert set(system.dram_cache.dirty_blocks()) == dirty
+        result = system.resume()
+        assert result.ipc[0] > 0
+        system.dram_cache.check_invariants()
+
+    def test_fork_refuses_backend_change(self, warm_level_image_bytes):
+        system = restore_system(warm_level_image_bytes)
+        config = dataclasses.replace(
+            quick_config("tadip"),
+            dram_cache=QUICK_SCALE.dram_cache_config(dirty_backend="tag"),
+        )
+        with pytest.raises(CheckpointError, match="DRAM-cache"):
+            fork_system(system, config)
+
+    def test_fork_refuses_dropping_level(self, warm_level_image_bytes):
+        system = restore_system(warm_level_image_bytes)
+        with pytest.raises(CheckpointError, match="DRAM-cache"):
+            fork_system(system, quick_config("tadip"))

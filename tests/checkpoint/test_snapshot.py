@@ -7,6 +7,7 @@ invariant checking. Everything else (fork-from-warm, sampled mode) is built
 on top of that guarantee.
 """
 
+import dataclasses
 import json
 import pickle
 import struct
@@ -33,14 +34,17 @@ SPLIT_EVENTS = 20_000
 FAMILIES = ("baseline", "tadip", "dawb", "vwq", "skipcache", "dbi+awb+clb")
 
 
-def make_system(mechanism, check="off", telemetry=None, benchmark="mcf"):
+def make_system(
+    mechanism, check="off", telemetry=None, benchmark="mcf", dram_cache=None
+):
     trace = QUICK_SCALE.benchmark_trace(benchmark, refs=REFS)
-    return System(
-        QUICK_SCALE.system_config(mechanism),
-        [trace],
-        check=check,
-        telemetry=telemetry,
-    )
+    config = QUICK_SCALE.system_config(mechanism)
+    if dram_cache is not None:
+        config = dataclasses.replace(
+            config,
+            dram_cache=QUICK_SCALE.dram_cache_config(dirty_backend=dram_cache),
+        )
+    return System(config, [trace], check=check, telemetry=telemetry)
 
 
 def split_run(system, split_events=SPLIT_EVENTS):
@@ -85,6 +89,28 @@ class TestRestoreEquivalence:
         assert [r.to_dict() for r in restored.telemetry.records] == [
             r.to_dict() for r in system.telemetry.records
         ]
+
+    @pytest.mark.parametrize("backend", ["tag", "dbi"])
+    def test_dram_cache_level_round_trips_byte_identical(self, backend):
+        # The stacked level rides along in the image: tag array, dirty
+        # backend state, pending fills and overflow retries all resume.
+        system = make_system("baseline", benchmark="lbm", dram_cache=backend)
+        data = split_run(system)
+        restored = restore_system(data)
+        assert restored.dram_cache is not None
+        assert restored.dram_cache.dirty_blocks() == (
+            system.dram_cache.dirty_blocks()
+        )
+        assert restored.resume().to_dict() == system.resume().to_dict()
+
+    def test_dram_cache_level_round_trips_under_full_check(self):
+        # Both dirty domains (LLC DBI + level DBI) and both writeback
+        # ledgers survive the round trip and keep verifying.
+        system = make_system("dbi+awb", check="full", dram_cache="dbi")
+        data = split_run(system)
+        restored = restore_system(data)
+        assert restored.check_engine is not None
+        assert restored.resume().to_dict() == system.resume().to_dict()
 
     def test_snapshot_leaves_system_runnable(self):
         # Snapshotting is observational: the donor system must continue

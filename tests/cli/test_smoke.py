@@ -103,6 +103,52 @@ class TestCheckDiff:
         assert "OK" in capsys.readouterr().out
 
 
+class TestDramCache:
+    def test_run_with_level(self, capsys):
+        code = main([
+            "run", "lbm", "baseline", "--refs", "2000",
+            "--dram-cache", "dbi",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dramcache backend  dbi" in out
+        assert "dramcache off-chip writes" in out
+
+    def test_run_with_level_under_full_check(self, capsys):
+        code = main([
+            "run", "mcf", "dbi+awb", "--refs", "2000",
+            "--dram-cache", "tag", "--check", "full",
+        ])
+        assert code == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_check_diff_with_level(self, capsys):
+        code = main([
+            "check-diff", "--refs", "1000", "--benchmarks", "lbm",
+            "--dram-cache", "tag",
+        ])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_check_diff_rejects_background_mechanisms(self, capsys):
+        code = main([
+            "check-diff", "--refs", "200", "--dram-cache", "dbi",
+            "--mechanisms", "dbi+awb",
+        ])
+        assert code == 2
+        assert "background" in capsys.readouterr().err
+
+    def test_dramcache_experiment_command(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main([
+            "dramcache", "--benchmarks", "lbm", "--workers", "0", "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dirty-tracking trade-off" in out
+        assert "dbi wb row-hit" in out
+
+
 class TestTimeline:
     def test_timeline_runs_a_simulation(self, capsys):
         code = main([

@@ -1,0 +1,68 @@
+"""Shared helpers for the DRAM-cache level suite."""
+
+from fractions import Fraction
+
+from repro.dram.config import DramConfig
+from repro.dram.controller import MemoryController
+from repro.dram.request import MemoryRequest
+from repro.dramcache.config import DramCacheConfig
+from repro.dramcache.level import DramCacheLevel
+from repro.utils.events import EventQueue
+from repro.utils.rng import DeterministicRng
+
+SMALL_DRAM = DramConfig(
+    num_banks=4, row_buffer_blocks=16, write_buffer_entries=16
+)
+
+
+def small_level_config(backend="tag", **overrides):
+    params = dict(
+        num_blocks=64,
+        associativity=4,
+        dirty_backend=backend,
+        dbi_alpha=Fraction(1, 2),
+        dbi_granularity=8,
+        dbi_associativity=2,
+    )
+    params.update(overrides)
+    return DramCacheConfig(**params)
+
+
+def make_level(backend="tag", **overrides):
+    """A standalone level over a small off-chip controller."""
+    queue = EventQueue()
+    offchip = MemoryController(queue, SMALL_DRAM)
+    level = DramCacheLevel(
+        queue,
+        small_level_config(backend, **overrides),
+        offchip,
+        rng=DeterministicRng(0xD3A),
+    )
+    return queue, level, offchip
+
+
+class Completions:
+    """Collects (addr, complete_time) pairs from level reads."""
+
+    def __init__(self):
+        self.done = []
+
+    def __call__(self, request):
+        self.done.append((request.block_addr, request.complete_time))
+
+
+def read(queue, level, addr, on_complete=None, core_id=0):
+    level.enqueue_read(
+        MemoryRequest(
+            block_addr=addr,
+            is_write=False,
+            core_id=core_id,
+            on_complete=on_complete,
+        )
+    )
+
+
+def write(queue, level, addr, core_id=0):
+    assert level.enqueue_write(
+        MemoryRequest(block_addr=addr, is_write=True, core_id=core_id)
+    )

@@ -1,0 +1,92 @@
+"""Differential proof: timed DRAM-cache systems match the untimed oracle.
+
+Satellite of the level's test campaign — the serialized timing stack with a
+DRAM-cache level attached must land on exactly the same level contents,
+dirty sets, DBI entries and off-chip write traffic as
+:class:`repro.check.oracle.RefDramCache`.
+"""
+
+import pytest
+
+from repro.check.differential import (
+    DRAMCACHE_DIFF_MECHANISMS,
+    DiffGeometry,
+    assert_check_diff,
+    run_check_diff,
+)
+from repro.check.errors import InvariantViolation
+from repro.sim.trace import Trace
+from repro.utils.rng import DeterministicRng
+
+
+def traces(refs=600, cores=2, footprint=1024, write_fraction=0.45, seed=11):
+    rng = DeterministicRng(seed)
+    result = []
+    for core in range(cores):
+        records = [
+            (3, rng.chance(write_fraction), rng.randint(0, footprint - 1))
+            for _ in range(refs)
+        ]
+        result.append(Trace(f"t{core}", records))
+    return result
+
+
+class TestDramCacheDifferential:
+    @pytest.mark.parametrize("backend", ["tag", "dbi"])
+    def test_level_matches_oracle(self, backend):
+        report = assert_check_diff(traces(), dram_cache=backend)
+        assert report.dram_cache == backend
+        assert {r.mechanism for r in report.reports} == set(
+            DRAMCACHE_DIFF_MECHANISMS
+        )
+
+    def test_write_heavy_stream_exercises_awb_drains(self):
+        """High write fraction → evictions find dirty rows to drain."""
+        report = assert_check_diff(
+            traces(write_fraction=0.8, footprint=2048), dram_cache="dbi"
+        )
+        assert report.ok
+
+    def test_tiny_level_thrashes_and_still_matches(self):
+        geometry = DiffGeometry(
+            dramcache_blocks=16,
+            dramcache_associativity=2,
+            dramcache_dbi_granularity=4,
+        )
+        for backend in ("tag", "dbi"):
+            assert_check_diff(
+                traces(refs=400), geometry=geometry, dram_cache=backend
+            )
+
+    def test_background_writeback_mechanisms_are_rejected(self):
+        with pytest.raises(ValueError, match="background"):
+            run_check_diff(
+                traces(refs=50), mechanisms=["dbi+awb"], dram_cache="dbi"
+            )
+
+    def test_tampered_level_state_is_caught(self, monkeypatch):
+        """A ghost dirty block in the reference level must fail the diff."""
+        import repro.check.differential as differential
+
+        real_run_oracle = differential.run_oracle
+
+        def tampered(mechanism_name, trace_list, geometry, **kwargs):
+            oracle = real_run_oracle(
+                mechanism_name, trace_list, geometry, **kwargs
+            )
+            oracle.mechanism.dram_cache.offchip_writes += 1
+            return oracle
+
+        monkeypatch.setattr(differential, "run_oracle", tampered)
+        report = differential.run_check_diff(
+            traces(refs=120), mechanisms=["baseline"], dram_cache="tag"
+        )
+        assert not report.ok
+        assert any(
+            "off-chip writes" in failure
+            for failure in report.reports[0].failures
+        )
+        with pytest.raises(InvariantViolation, match="differential-oracle"):
+            differential.assert_check_diff(
+                traces(refs=120), mechanisms=["baseline"], dram_cache="tag"
+            )

@@ -111,9 +111,21 @@ class TestDramCacheModel:
         cache = DramCacheModel(dbi=dbi, capacity_blocks=2)
         cache.write(0)
         cache.install(1)
-        cache.install(2)  # evicts 0 (FIFO)
+        cache.install(2)  # evicts 0 (LRU)
         assert not dbi.is_dirty(0)
         assert cache.stats.as_dict()["dram_cache.dirty_evictions"] == 1
+
+    def test_lru_touch_protects_a_block(self):
+        dbi = DirtyBlockIndex(
+            DbiConfig(cache_blocks=4096, alpha=Fraction(1, 4), granularity=16,
+                      associativity=8)
+        )
+        cache = DramCacheModel(dbi=dbi, capacity_blocks=2)
+        cache.install(0)
+        cache.install(1)
+        cache.touch(0)  # 1 becomes LRU
+        assert cache.install(2) == 1
+        assert cache.contains(0)
 
     def test_write_to_present_block_dirties(self):
         cache, _dispatcher = make_rig()

@@ -12,13 +12,16 @@ The simulator is deterministic by construction, so these are exact-equality
 comparisons, not tolerances.
 """
 
+import dataclasses
 import json
 import pathlib
+from fractions import Fraction
 
 import pytest
 
 from repro.cache.config import CacheConfig
 from repro.dram.config import DramConfig
+from repro.dramcache.config import DramCacheConfig, stacked_dram_config
 from repro.sim.system import SystemConfig, run_system
 from repro.sim.trace import Trace
 
@@ -50,6 +53,14 @@ CASES = [
 ]
 
 
+#: (case id, mechanism, level dirty backend, trace names) — the stacked
+#: DRAM-cache level between the LLC and off-chip DRAM, both backends.
+DRAMCACHE_CASES = [
+    ("dramcache-tag-mixed", "baseline", "tag", ["mixed"]),
+    ("dramcache-dbi-dual", "dbi+awb", "dbi", ["mixed", "stream"]),
+]
+
+
 def golden_config(mechanism, num_cores):
     return SystemConfig(
         num_cores=num_cores,
@@ -63,6 +74,23 @@ def golden_config(mechanism, num_cores):
     )
 
 
+def golden_dramcache_config(mechanism, backend, num_cores):
+    return dataclasses.replace(
+        golden_config(mechanism, num_cores),
+        dram_cache=DramCacheConfig(
+            num_blocks=64,
+            associativity=4,
+            dirty_backend=backend,
+            dbi_alpha=Fraction(1, 2),
+            dbi_granularity=16,
+            dbi_associativity=2,
+            stacked=stacked_dram_config(
+                row_buffer_blocks=16, write_buffer_entries=16
+            ),
+        ),
+    )
+
+
 def load_trace(name):
     payload = json.loads((GOLDEN_DIR / "traces" / f"{name}.json").read_text())
     return Trace(name, [tuple(record) for record in payload["records"]])
@@ -73,12 +101,8 @@ def run_case(mechanism, trace_names):
     return run_system(golden_config(mechanism, len(traces)), traces)
 
 
-@pytest.mark.parametrize(
-    "case_id,mechanism,trace_names", CASES, ids=[case[0] for case in CASES]
-)
-def test_golden_result(case_id, mechanism, trace_names, request):
+def assert_matches_golden(case_id, actual, request):
     expected_path = GOLDEN_DIR / "expected" / f"{case_id}.json"
-    actual = run_case(mechanism, trace_names).to_dict()
     if request.config.getoption("--update-golden"):
         expected_path.parent.mkdir(parents=True, exist_ok=True)
         expected_path.write_text(
@@ -104,9 +128,39 @@ def test_golden_result(case_id, mechanism, trace_names, request):
         )
 
 
+@pytest.mark.parametrize(
+    "case_id,mechanism,trace_names", CASES, ids=[case[0] for case in CASES]
+)
+def test_golden_result(case_id, mechanism, trace_names, request):
+    actual = run_case(mechanism, trace_names).to_dict()
+    assert_matches_golden(case_id, actual, request)
+
+
+@pytest.mark.parametrize(
+    "case_id,mechanism,backend,trace_names",
+    DRAMCACHE_CASES,
+    ids=[case[0] for case in DRAMCACHE_CASES],
+)
+def test_golden_dramcache_result(
+    case_id, mechanism, backend, trace_names, request
+):
+    traces = [load_trace(name) for name in trace_names]
+    actual = run_system(
+        golden_dramcache_config(mechanism, backend, len(traces)), traces
+    ).to_dict()
+    # The level's stat groups must be part of the pinned surface.
+    assert any(key.startswith("dramcache.") for key in actual["stats"])
+    assert any(key.startswith("stacked.") for key in actual["stats"])
+    assert_matches_golden(case_id, actual, request)
+
+
+def all_case_ids():
+    return [case[0] for case in CASES] + [case[0] for case in DRAMCACHE_CASES]
+
+
 def test_golden_fixture_files_are_normalized():
     """Fixtures stay in the canonical (sorted, indented) JSON form."""
-    for case_id, _mechanism, _traces in CASES:
+    for case_id in all_case_ids():
         path = GOLDEN_DIR / "expected" / f"{case_id}.json"
         text = path.read_text()
         payload = json.loads(text)
@@ -121,6 +175,21 @@ def test_checked_run_matches_golden():
     traces = [load_trace(name) for name in trace_names]
     checked = run_system(
         golden_config(mechanism, len(traces)), traces, check="full"
+    ).to_dict()
+    expected = json.loads(
+        (GOLDEN_DIR / "expected" / f"{case_id}.json").read_text()
+    )
+    assert checked == expected
+
+
+def test_checked_dramcache_run_matches_golden():
+    """The level's dirty-domain checks are observational too."""
+    case_id, mechanism, backend, trace_names = DRAMCACHE_CASES[1]
+    traces = [load_trace(name) for name in trace_names]
+    checked = run_system(
+        golden_dramcache_config(mechanism, backend, len(traces)),
+        traces,
+        check="full",
     ).to_dict()
     expected = json.loads(
         (GOLDEN_DIR / "expected" / f"{case_id}.json").read_text()

@@ -19,6 +19,10 @@
 #                  fails the build.
 #   checked      — one full timing simulation with `--check full` (invariant
 #                  sweeps + writeback-conservation ledger).
+#   dramcache    — the die-stacked level's differential proof (both dirty
+#                  backends vs the untimed oracle) plus the quick trade-off
+#                  sweep: DBI-backed aggressive writeback must beat the
+#                  tag-dirty backend's writeback row-hit rate everywhere.
 #   sweep        — one figure runner through the SweepRunner with 2 workers
 #                  and a fresh cache, twice; the second pass must be answered
 #                  from the cache, byte-identically.
@@ -45,8 +49,8 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
 COV_FAIL_UNDER=${COV_FAIL_UNDER:-$(cat tools/coverage_floor.txt)}
-ALL_STAGES=(tier1 coverage slowfuzz differential checked sweep chaos
-            reliability telemetry checkpoint perf)
+ALL_STAGES=(tier1 coverage slowfuzz differential checked dramcache sweep
+            chaos reliability telemetry checkpoint perf)
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -78,6 +82,27 @@ stage_differential() {
 
 stage_checked() {
     python -m repro run lbm dbi+awb --scale quick --refs 4000 --check full
+}
+
+stage_dramcache() {
+    # Differential proof for the stacked level, both dirty backends.
+    python -m repro check-diff --refs 2000 --dram-cache tag
+    python -m repro check-diff --refs 2000 --dram-cache dbi
+    # Quick trade-off sweep: row-batched writebacks must pay off.
+    python - << 'PY'
+from repro.analysis.experiments import run_dramcache
+from repro.analysis.scaling import QUICK_SCALE
+
+result = run_dramcache(QUICK_SCALE)
+print(result.to_text())
+for bench, cells in result.raw.items():
+    tag, dbi = cells.get("tag"), cells.get("dbi")
+    assert tag and dbi, f"{bench}: trade-off job failed"
+    assert dbi["write_row_hit_rate"] > tag["write_row_hit_rate"], (
+        f"{bench}: DBI writeback row-hit rate did not beat tag-dirty"
+    )
+print("ci: ok (DBI wb row-hit rate beats tag-dirty on every benchmark)")
+PY
 }
 
 sweep() {
