@@ -276,6 +276,134 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    """``repro campaign {plan,run,status}``: crash-consistent sweeps."""
+    from repro.campaign import (
+        Campaign,
+        CampaignConfig,
+        CampaignError,
+        campaign_status,
+        render_status,
+    )
+
+    if args.subcommand == "status":
+        try:
+            print(render_status(campaign_status(args.dir)))
+        except (CampaignError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        return 0
+
+    def build_config():
+        from repro.workloads.spec import profile_names
+
+        benchmarks = (
+            tuple(b.strip() for b in args.benchmarks.split(","))
+            if args.benchmarks
+            else tuple(profile_names())
+        )
+        mechanisms = None
+        if args.mechanisms:
+            mechanisms = tuple(m.strip() for m in args.mechanisms.split(","))
+        core_counts = tuple(
+            int(c) for c in (args.cores or "1").split(",")
+        )
+        kwargs = dict(
+            scale=args.scale,
+            benchmarks=benchmarks,
+            core_counts=core_counts,
+            refs=args.refs,
+            telemetry=args.telemetry,
+            epoch_cycles=args.epoch_cycles,
+            checkpoint=args.checkpoint,
+            workers=0 if args.workers is None else args.workers,
+        )
+        if mechanisms is not None:
+            kwargs["mechanisms"] = mechanisms
+        return CampaignConfig(**kwargs)
+
+    import os as _os
+
+    journal_exists = _os.path.exists(_os.path.join(args.dir, "journal.jsonl"))
+    try:
+        if journal_exists:
+            campaign = Campaign.open(args.dir)
+        else:
+            if args.resume:
+                print(
+                    f"{args.dir}: nothing to resume (no journal)",
+                    file=sys.stderr,
+                )
+                return 2
+            campaign = Campaign.create(args.dir, build_config())
+    except (CampaignError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    with campaign:
+        if campaign.recovered_torn:
+            print(
+                f"recovered torn journal tail -> {campaign.recovered_torn}",
+                file=sys.stderr,
+            )
+        if args.subcommand == "plan":
+            from repro.analysis.report import format_table
+
+            rows = [
+                [c.cell_id, c.mechanism, c.workload, c.num_cores]
+                for c in campaign.cells
+            ]
+            print(
+                format_table(
+                    ["cell", "mechanism", "workload", "cores"],
+                    rows,
+                    title=f"campaign plan: {len(rows)} cells "
+                          f"({campaign.config.scale} scale)",
+                )
+            )
+            return 0
+        from repro.analysis.chaos import campaign_chaos_from_env
+
+        chaos_config = campaign_chaos_from_env()
+        chaos = None
+        if chaos_config is not None:
+            from repro.analysis.chaos import CampaignFaultInjector
+
+            chaos = CampaignFaultInjector(chaos_config)
+        outcome = campaign.run(
+            workers=args.workers,
+            progress=None if args.quiet else _campaign_progress,
+            chaos=chaos,
+            max_attempts=args.max_attempts or 3,
+            job_timeout=args.job_timeout,
+        )
+    if outcome.status == "complete":
+        report = _os.path.join(args.dir, "report.txt")
+        with open(report) as handle:
+            print(handle.read(), end="")
+        if not args.quiet and outcome.sweep_summary:
+            print(outcome.sweep_summary, file=sys.stderr)
+    elif outcome.status == "drained":
+        print(
+            f"campaign drained on signal {outcome.signal}: "
+            f"{outcome.cells_done}/{outcome.cells_total} cells done, "
+            f"{len(outcome.pending)} pending; resume with "
+            f"'repro campaign run --dir {args.dir}'",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"campaign failed: {outcome.cells_failed} cell(s) exhausted "
+            f"retries; see {_os.path.join(args.dir, 'manifest.json')}",
+            file=sys.stderr,
+        )
+    return outcome.exit_code
+
+
+def _campaign_progress(line: str) -> None:
+    print(line, file=sys.stderr, flush=True)
+
+
 def _cmd_reliability(args) -> int:
     from fractions import Fraction
 
@@ -747,7 +875,77 @@ def main(argv=None) -> int:
         help="suppress per-job progress lines on stderr",
     )
 
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help="crash-consistent sweep campaigns: plan, run/resume, status",
+    )
+    campaign_sub = campaign_parser.add_subparsers(
+        dest="subcommand", required=True
+    )
+    for name, blurb in (
+        ("plan", "create the journal and print the cell grid"),
+        ("run", "run (or resume) a campaign to completion"),
+        ("status", "read-only progress and health report"),
+    ):
+        cp = campaign_sub.add_parser(name, help=blurb)
+        cp.add_argument(
+            "--dir", default="results/campaign", metavar="DIR",
+            help="campaign directory (journal, cache, artifacts; "
+                 "default: results/campaign)",
+        )
+        if name == "status":
+            continue
+        cp.add_argument("--scale", default="quick")
+        cp.add_argument(
+            "--benchmarks", default=None,
+            help="comma-separated benchmarks for single-core cells "
+                 "(default: all)",
+        )
+        cp.add_argument(
+            "--mechanisms", default=None,
+            help="comma-separated mechanisms (default: the Figure 7 lineup)",
+        )
+        cp.add_argument(
+            "--cores", default=None,
+            help="comma-separated core counts, e.g. '1,2,4' (default: 1; "
+                 "multi-core counts use the scale profile's mixes)",
+        )
+        cp.add_argument(
+            "--refs", type=int, default=None,
+            help="memory references per trace (default: scale profile's)",
+        )
+        cp.add_argument(
+            "--workers", type=int, default=None,
+            help="worker processes (default: 0 = inline)",
+        )
+        cp.add_argument(
+            "--telemetry", action="store_true",
+            help="attach the epoch sampler to every cell "
+                 "(artifacts in DIR/telemetry)",
+        )
+        cp.add_argument(
+            "--epoch-cycles", type=int, default=5_000, metavar="N",
+        )
+        cp.add_argument(
+            "--checkpoint", action="store_true",
+            help="fork-from-warm cells (shared warm images in "
+                 "DIR/checkpoints; incompatible with --telemetry)",
+        )
+        cp.add_argument(
+            "--resume", action="store_true",
+            help="require an existing journal (refuse to plan fresh)",
+        )
+        cp.add_argument(
+            "--max-attempts", type=int, default=None, metavar="N",
+        )
+        cp.add_argument(
+            "--job-timeout", type=float, default=None, metavar="SECONDS",
+        )
+        cp.add_argument("--quiet", action="store_true")
+
     args = parser.parse_args(argv)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "run":

@@ -33,12 +33,17 @@ from __future__ import annotations
 
 import hashlib
 import os
+import signal
 import time
 from dataclasses import dataclass, fields
 from typing import Optional
 
 #: Environment variable holding a chaos spec (empty/"off"/"0" disables).
 CHAOS_ENV = "REPRO_CHAOS"
+
+#: Environment variable holding a campaign-level chaos spec (see
+#: :func:`parse_campaign_chaos_spec`).
+CAMPAIGN_CHAOS_ENV = "REPRO_CAMPAIGN_CHAOS"
 
 #: Exit code used for injected worker crashes (visible in pool diagnostics).
 CRASH_EXIT_CODE = 13
@@ -184,3 +189,146 @@ class FaultInjector:
         except OSError:
             return False
         return True
+
+
+# ----------------------------------------------------------- campaign level
+
+
+@dataclass(frozen=True)
+class CampaignChaosConfig:
+    """Orchestrator-level fault schedule (kill-and-resume proofs).
+
+    Unlike job-level chaos (probabilistic per attempt), campaign chaos is
+    *scheduled*: faults fire at exact journal offsets or build ordinals, so
+    the proof harness can place a SIGKILL mid-journal-append or
+    mid-checkpoint-build deterministically.
+
+    Attributes:
+        kill_seq: journal sequence number at which to act (None = never).
+        mode: what happens at ``kill_seq``:
+            * ``"kill"`` — SIGKILL immediately *after* the record is
+              durable (crash between a decision and the action it covers);
+            * ``"torn"`` — write only the first half of the record, fsync
+              the fragment, then SIGKILL: a crash *mid-append*, leaving the
+              torn tail recovery must quarantine;
+            * ``"term"`` — SIGTERM the orchestrator after the append; the
+              signal-safe drain path runs instead of a hard death.
+        warm_kill: 1-based ordinal of the warm-checkpoint build to die in
+            (SIGKILL while the build lock is held, with partial temp-file
+            litter left behind), independent of ``kill_seq``.
+    """
+
+    kill_seq: Optional[int] = None
+    mode: str = "kill"
+    warm_kill: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("kill", "torn", "term"):
+            raise ValueError(
+                f"campaign chaos mode must be kill/torn/term, got {self.mode!r}"
+            )
+        if self.warm_kill is not None and self.warm_kill < 1:
+            raise ValueError(f"warm_kill must be >= 1, got {self.warm_kill}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.kill_seq is not None or self.warm_kill is not None
+
+
+def parse_campaign_chaos_spec(
+    spec: Optional[str],
+) -> Optional[CampaignChaosConfig]:
+    """Parse ``key=value,...`` into a :class:`CampaignChaosConfig`.
+
+    Keys: ``kill`` (journal seq), ``mode`` (kill/torn/term), ``warm_kill``
+    (build ordinal). Returns None for empty/disabled specs.
+
+    Example:
+        >>> parse_campaign_chaos_spec("kill=7,mode=torn").mode
+        'torn'
+    """
+    if spec is None:
+        return None
+    spec = spec.strip()
+    if not spec or spec.lower() in ("off", "none", "0", "false"):
+        return None
+    kwargs = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        name, sep, value = item.partition("=")
+        name = name.strip()
+        if not sep or name not in ("kill", "mode", "warm_kill"):
+            raise ValueError(
+                f"bad campaign chaos item {item!r}; known keys: "
+                "kill, mode, warm_kill"
+            )
+        if name == "kill":
+            kwargs["kill_seq"] = int(value, 0)
+        elif name == "warm_kill":
+            kwargs["warm_kill"] = int(value, 0)
+        else:
+            kwargs["mode"] = value.strip()
+    return CampaignChaosConfig(**kwargs)
+
+
+def campaign_chaos_from_env() -> Optional[CampaignChaosConfig]:
+    """The :data:`CAMPAIGN_CHAOS_ENV` spec, or None when unset/disabled."""
+    return parse_campaign_chaos_spec(os.environ.get(CAMPAIGN_CHAOS_ENV))
+
+
+class CampaignFaultInjector:
+    """Applies a :class:`CampaignChaosConfig` at its scheduled points.
+
+    Wired by the orchestrator into :class:`~repro.campaign.journal.
+    CampaignJournal` (``before``/``after`` each durable append) and into
+    ``SweepRunner.warm_build_hook`` (called while the warm-image build lock
+    is held). SIGKILL is delivered to the *own* process group leader — the
+    orchestrator — so no cleanup handler runs, exactly like the OOM killer.
+    """
+
+    def __init__(self, config: CampaignChaosConfig) -> None:
+        self.config = config
+        self.warm_builds_seen = 0
+
+    # ------------------------------------------------------------ journal
+
+    def before_journal_append(self, handle, seq: int, data: bytes) -> None:
+        """Possibly die *mid-append*, leaving a durable half record."""
+        if self.config.mode != "torn" or seq != self.config.kill_seq:
+            return
+        fragment = data[: max(1, len(data) // 2)]
+        handle.write(fragment)
+        handle.flush()
+        os.fsync(handle.fileno())
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    def after_journal_append(self, seq: int) -> None:
+        """Possibly die (or request drain) right after a durable append."""
+        if seq != self.config.kill_seq:
+            return
+        if self.config.mode == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif self.config.mode == "term":
+            os.kill(os.getpid(), signal.SIGTERM)
+
+    # ------------------------------------------------------- warm builds
+
+    def on_warm_build(self, image_path: str) -> None:
+        """Possibly die mid-checkpoint-build (build lock held).
+
+        Leaves the litter a real torn builder would: a partial temp file
+        next to the image. The lock file survives the SIGKILL; the resumed
+        campaign must reclaim it by pid death, rebuild, and converge.
+        """
+        self.warm_builds_seen += 1
+        if self.config.warm_kill is None:
+            return
+        if self.warm_builds_seen != self.config.warm_kill:
+            return
+        with open(f"{image_path}.tmp.{os.getpid()}", "wb") as handle:
+            handle.write(b"DBICKPT\x00partial-chaos-litter")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.kill(os.getpid(), signal.SIGKILL)

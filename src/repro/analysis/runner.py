@@ -89,6 +89,8 @@ from repro.analysis.chaos import ChaosConfig, FaultInjector, chaos_from_env
 from repro.sim.system import SimulationResult, SystemConfig, run_system
 from repro.sim.trace import Trace
 from repro.telemetry.sampler import TelemetryConfig
+from repro.utils.atomic import atomic_write_json, publish_file
+from repro.utils.locks import FileLock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.checkpoint.sampled import SampledConfig
@@ -110,6 +112,12 @@ FAILURE_MANIFEST_FORMAT = 1
 
 #: Trace records hashed per chunk (bounds peak memory for FULL_SCALE traces).
 _KEY_CHUNK = 8192
+
+#: Heartbeat-staleness horizon for warm-image build locks. Generous — the
+#: fast reclaim path is pid death (see :mod:`repro.utils.locks`); the TTL
+#: only backstops cross-host builders, and a quick-scale warm build takes
+#: seconds, not minutes.
+WARM_LOCK_STALE_SECONDS = 600.0
 
 
 def default_workers() -> int:
@@ -362,21 +370,47 @@ def _execute(job: SweepJob) -> SimulationResult:
         check=job.check,
         telemetry=telemetry,
     )
-    os.replace(partial, job.telemetry_path)
+    publish_file(partial, job.telemetry_path)
     return result
 
 
+def _worker_heartbeat_path(heartbeat_dir: str) -> str:
+    """This worker process's beacon file (one per pool process)."""
+    return os.path.join(heartbeat_dir, f"worker-{os.getpid()}.json")
+
+
 def _execute_in_worker(
-    job: SweepJob, attempt: int, chaos: Optional[ChaosConfig]
+    job: SweepJob,
+    attempt: int,
+    chaos: Optional[ChaosConfig],
+    heartbeat_dir: Optional[str] = None,
 ) -> SimulationResult:
     """Pool-side entry point: apply per-attempt chaos, then simulate.
 
     The chaos config rides along with the job so workers need no environment
     plumbing; decisions are pure functions of (seed, kind, key, attempt).
+
+    With a ``heartbeat_dir``, the worker beats at attempt start and end, so
+    the campaign watchdog can see workers that die or wedge *outside* an
+    attempt — a window the runner's per-job timeout cannot observe because
+    its timer only runs while a future is being awaited.
     """
+    if heartbeat_dir is not None:
+        from repro.utils.heartbeat import write_heartbeat
+
+        os.makedirs(heartbeat_dir, exist_ok=True)
+        beacon = _worker_heartbeat_path(heartbeat_dir)
+        write_heartbeat(
+            beacon, state="running", job=job.label, key=job.key,
+            attempt=attempt,
+        )
     if chaos is not None:
         FaultInjector(chaos).apply_in_worker(job.key, attempt)
-    return _execute(job)
+    result = _execute(job)
+    if heartbeat_dir is not None:
+        write_heartbeat(beacon, state="idle", job=job.label, key=job.key,
+                        attempt=attempt)
+    return result
 
 
 class SweepFuture:
@@ -517,8 +551,10 @@ class SweepRunner:
         retain_failed_telemetry: bool = False,
         checkpoint_dir: Optional[str] = None,
         sampled: Optional["SampledConfig"] = None,
+        heartbeat_dir: Optional[str] = None,
     ) -> None:
         self.workers = default_workers() if workers is None else max(0, workers)
+        self.heartbeat_dir = heartbeat_dir
         self.cache_dir = cache_dir if (use_cache and cache_dir) else None
         self.telemetry = telemetry
         self.telemetry_dir = telemetry_dir or self.cache_dir or DEFAULT_TELEMETRY_DIR
@@ -562,8 +598,13 @@ class SweepRunner:
         self.warm_images_built = 0  # fork groups whose image was produced
         self.checkpoints_quarantined = 0  # corrupt warm images set aside
         self.failures: List[JobFailure] = []
+        self.warm_locks_reclaimed = 0  # stale build locks displaced
         self._warm_lock = threading.Lock()
         self._warm_verified: set = set()  # warm-image paths already vetted
+        #: Test/chaos hook called (with the image path) while the build lock
+        #: is held, right before a warm image is written — the campaign
+        #: chaos layer uses it to die mid-checkpoint-build on schedule.
+        self.warm_build_hook: Optional[Callable[[str], None]] = None
 
     # ------------------------------------------------------------ lifecycle
 
@@ -703,8 +744,6 @@ class SweepRunner:
         "nothing failed" beats a stale file from last week's broken run).
         """
         path = path or DEFAULT_FAILURE_MANIFEST
-        directory = os.path.dirname(path) or "."
-        os.makedirs(directory, exist_ok=True)
         with self._lock:
             payload = {
                 "format": FAILURE_MANIFEST_FORMAT,
@@ -712,10 +751,7 @@ class SweepRunner:
                 "jobs_failed": self.jobs_failed,
                 "failures": [failure.to_dict() for failure in self.failures],
             }
-        tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "w") as handle:
-            json.dump(payload, handle, indent=2)
-        os.replace(tmp, path)
+        atomic_write_json(path, payload, indent=2)
         return path
 
     # ---------------------------------------------------------- warm images
@@ -731,10 +767,15 @@ class SweepRunner:
         (traces, shared-config) group resolves to the same file and the
         0.4 × run warmup cost is paid once per group. Pre-existing files are
         digest-verified before reuse; a corrupt image is quarantined to
-        ``.ckpt.corrupt`` and rebuilt. Concurrent sweeps racing on the build
-        are harmless: :func:`~repro.checkpoint.snapshot.save_snapshot`
-        writes atomically and the simulator is deterministic, so both racers
-        produce identical bytes.
+        ``.ckpt.corrupt`` and rebuilt.
+
+        Builds are serialized by a crash-reclaimable ``warm-<key>.ckpt.lock``
+        (pid + heartbeat, see :class:`~repro.utils.locks.FileLock`): campaign
+        workers racing on a group build it exactly once, and a builder
+        SIGKILLed mid-build leaves a lock the next builder *reclaims* by pid
+        death instead of deadlocking behind it forever. Reclaims are counted
+        in ``warm_locks_reclaimed``. The simulator is deterministic, so even
+        a (TTL-window) double build produces identical bytes.
         """
         from repro.checkpoint import (
             CheckpointError,
@@ -748,19 +789,43 @@ class SweepRunner:
         key = job_key(warm_config, traces)
         path = os.path.join(self.checkpoint_dir, f"warm-{key}.ckpt")
         with self._warm_lock:
-            if path not in self._warm_verified:
-                if os.path.exists(path):
+            if path in self._warm_verified:
+                return warm_config.mechanism, path
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        build_lock = FileLock(
+            f"{path}.lock", stale_seconds=WARM_LOCK_STALE_SECONDS
+        )
+        with build_lock:
+            # Re-check under the cross-process lock: another builder (or
+            # another thread of this runner) may have finished the image
+            # while this one waited.
+            if os.path.exists(path):
+                try:
+                    verify_snapshot(path)
+                except CheckpointError:
+                    self._quarantine_checkpoint(path)
+            if not os.path.exists(path):
+                # A builder SIGKILLed mid-write leaves `<image>.tmp.<pid>`
+                # staging litter; under the build lock it is provably
+                # abandoned, so sweep it before rebuilding.
+                import glob as glob_module
+
+                for stale in glob_module.glob(f"{path}.tmp.*"):
                     try:
-                        verify_snapshot(path)
-                    except CheckpointError:
-                        self._quarantine_checkpoint(path)
-                if not os.path.exists(path):
-                    save_snapshot(
-                        make_warm_system(warm_config, list(traces)), path
-                    )
-                    with self._lock:
-                        self.warm_images_built += 1
-                self._warm_verified.add(path)
+                        os.unlink(stale)
+                    except OSError:
+                        pass
+                system = make_warm_system(warm_config, list(traces))
+                build_lock.beat()  # warming can outlive a TTL; prove life
+                if self.warm_build_hook is not None:
+                    self.warm_build_hook(path)
+                save_snapshot(system, path)
+                with self._lock:
+                    self.warm_images_built += 1
+        with self._lock:
+            self.warm_locks_reclaimed += build_lock.reclaimed
+        with self._warm_lock:
+            self._warm_verified.add(path)
         return warm_config.mechanism, path
 
     def _quarantine_checkpoint(self, path: str) -> None:
@@ -799,7 +864,8 @@ class SweepRunner:
         while self.workers >= 2 and not self.degraded_inline:
             try:
                 return self._ensure_pool().submit(
-                    _execute_in_worker, job, attempt, self.chaos
+                    _execute_in_worker, job, attempt, self.chaos,
+                    self.heartbeat_dir,
                 )
             except concurrent.futures.BrokenExecutor:
                 # The pool broke under another job and nobody has collected
@@ -985,7 +1051,6 @@ class SweepRunner:
             from repro.check.invariants import check_retry_consistency
 
             check_retry_consistency(label, existing, result.to_dict())
-        tmp = f"{path}.tmp.{os.getpid()}"
         payload = {
             "format": CACHE_FORMAT,
             "key": key,
@@ -993,16 +1058,11 @@ class SweepRunner:
             "result": result.to_dict(),
         }
         try:
-            with open(tmp, "w") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp, path)
+            atomic_write_json(path, payload)
         except OSError:
             # Caching is an optimization; a read-only disk must not kill a
             # sweep whose simulations are succeeding.
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            pass
 
     def _read_result_dict(self, path: str) -> Optional[Dict]:
         """The stored result dict at ``path``, or None if absent/unreadable."""

@@ -1,0 +1,173 @@
+"""Campaign planning: the deterministic grid of cells to simulate.
+
+A *cell* is one (mechanism, workload) simulation — the unit the journal
+tracks and the result cache addresses. Plans are pure functions of the
+campaign configuration: planning the same config twice yields the same
+cells in the same order, and :func:`plan_fingerprint` hashes that identity
+so a resume against a journal written by a *different* plan (edited config,
+drifted code) is refused instead of quietly simulating the wrong grid.
+
+Workloads are reconstructed, not stored: single-core cells name a
+benchmark, multi-core cells name an index into the scale profile's
+deterministic mix generator (:meth:`ScaleProfile.mixes`). The recorded mix
+*name* is cross-checked at reconstruction time, so a generator change
+between plan and resume is caught rather than silently swapping traces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.scaling import ScaleProfile
+from repro.sim.system import SystemConfig
+from repro.sim.trace import Trace
+
+#: Default campaign mechanisms: the paper's Figure 7 lineup (baseline
+#: included, so speedups are computable straight from the results file).
+DEFAULT_MECHANISMS = (
+    "baseline", "tadip", "dawb", "dbi", "dbi+awb", "dbi+clb", "dbi+awb+clb",
+)
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One planned simulation.
+
+    Exactly one of ``benchmark`` (single-core) or ``mix_index``/``mix_name``
+    (multi-core) identifies the workload.
+    """
+
+    cell_id: str
+    mechanism: str
+    num_cores: int
+    benchmark: Optional[str] = None
+    mix_index: Optional[int] = None
+    mix_name: Optional[str] = None
+
+    def to_dict(self) -> Dict:
+        return {
+            "cell_id": self.cell_id,
+            "mechanism": self.mechanism,
+            "num_cores": self.num_cores,
+            "benchmark": self.benchmark,
+            "mix_index": self.mix_index,
+            "mix_name": self.mix_name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CampaignCell":
+        return cls(
+            cell_id=data["cell_id"],
+            mechanism=data["mechanism"],
+            num_cores=data["num_cores"],
+            benchmark=data.get("benchmark"),
+            mix_index=data.get("mix_index"),
+            mix_name=data.get("mix_name"),
+        )
+
+    @property
+    def workload(self) -> str:
+        return self.benchmark if self.num_cores == 1 else (self.mix_name or "?")
+
+
+def plan_cells(
+    scale: ScaleProfile,
+    benchmarks: Sequence[str],
+    mechanisms: Sequence[str] = DEFAULT_MECHANISMS,
+    core_counts: Sequence[int] = (1,),
+) -> List[CampaignCell]:
+    """The campaign grid, in deterministic dispatch order.
+
+    Single-core cells cover ``benchmarks`` × ``mechanisms``; each
+    multi-core count covers the scale profile's category-balanced mixes ×
+    ``mechanisms``. Workload-major order keeps all mechanisms of one
+    workload adjacent, so fork-from-warm campaigns build each group's warm
+    image once and reuse it immediately.
+    """
+    cells: List[CampaignCell] = []
+    for cores in core_counts:
+        if cores == 1:
+            for benchmark in benchmarks:
+                for mechanism in mechanisms:
+                    cells.append(
+                        CampaignCell(
+                            cell_id=f"1c/{benchmark}/{mechanism}",
+                            mechanism=mechanism,
+                            num_cores=1,
+                            benchmark=benchmark,
+                        )
+                    )
+            continue
+        for index, mix in enumerate(scale.mixes(cores)):
+            for mechanism in mechanisms:
+                cells.append(
+                    CampaignCell(
+                        cell_id=f"{cores}c/{mix.name}/{mechanism}",
+                        mechanism=mechanism,
+                        num_cores=cores,
+                        mix_index=index,
+                        mix_name=mix.name,
+                    )
+                )
+    seen = set()
+    for cell in cells:
+        if cell.cell_id in seen:
+            raise ValueError(f"duplicate cell id {cell.cell_id!r} in plan")
+        seen.add(cell.cell_id)
+    return cells
+
+
+def cell_traces(
+    scale: ScaleProfile, cell: CampaignCell, refs: Optional[int] = None
+) -> List[Trace]:
+    """Reconstruct the cell's workload traces (deterministic generators).
+
+    Raises:
+        ValueError: the recorded mix name no longer matches what the
+            generator produces at the recorded index — the plan and the
+            code have diverged, and resuming would simulate the wrong mix.
+    """
+    if cell.num_cores == 1:
+        if cell.benchmark is None:
+            raise ValueError(f"cell {cell.cell_id!r} has no benchmark")
+        return [scale.benchmark_trace(cell.benchmark, refs=refs)]
+    if cell.mix_index is None:
+        raise ValueError(f"cell {cell.cell_id!r} has no mix index")
+    mixes = scale.mixes(cell.num_cores)
+    if not 0 <= cell.mix_index < len(mixes):
+        raise ValueError(
+            f"cell {cell.cell_id!r}: mix index {cell.mix_index} out of "
+            f"range ({len(mixes)} mixes at {cell.num_cores} cores)"
+        )
+    mix = mixes[cell.mix_index]
+    if cell.mix_name is not None and mix.name != cell.mix_name:
+        raise ValueError(
+            f"cell {cell.cell_id!r}: mix generator drift — planned "
+            f"{cell.mix_name!r}, generator now yields {mix.name!r}"
+        )
+    return list(mix.traces)
+
+
+def cell_config(scale: ScaleProfile, cell: CampaignCell) -> SystemConfig:
+    """The cell's system configuration at this scale."""
+    return scale.system_config(cell.mechanism, num_cores=cell.num_cores)
+
+
+def plan_fingerprint(plan_identity: Dict, cells: Sequence[CampaignCell]) -> str:
+    """Content hash binding a journal to the plan that wrote it.
+
+    Covers everything that determines *what gets simulated and how it is
+    keyed*: the plan-relevant configuration fields plus every cell. Runtime
+    knobs (worker count, progress) are deliberately excluded — a resume may
+    change them freely.
+    """
+    payload = {
+        "identity": plan_identity,
+        "cells": [cell.to_dict() for cell in cells],
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()

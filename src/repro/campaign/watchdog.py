@@ -1,0 +1,108 @@
+"""Campaign watchdog: liveness from heartbeat beacons.
+
+The sweep runner's per-attempt timeout only observes attempts that are
+actively being awaited; a pool worker that dies or wedges *between* jobs,
+or an orchestrator that is SIGKILLed outright, is invisible to it. The
+watchdog closes that gap from the outside, using only on-disk evidence:
+
+* every pool worker beats ``heartbeats/worker-<pid>.json`` at attempt
+  start and end (see :func:`repro.analysis.runner._execute_in_worker`);
+* the orchestrator beats ``heartbeats/orchestrator.json`` once per
+  scheduling round.
+
+:func:`scan_heartbeats` interprets the beacon directory into a
+:class:`WatchdogReport`; ``repro campaign status`` renders it, and the
+orchestrator reaps dead workers' beacons at the start of a run so stale
+corpses from a previous crash do not read as a currently-sick campaign.
+Locks are *not* the watchdog's job — ``FileLock`` reclaims its own stale
+locks by pid death / heartbeat TTL (:mod:`repro.utils.locks`).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.utils.heartbeat import HeartbeatStatus, read_heartbeat
+
+#: A worker silent this long (and not provably dead) is reported wedged.
+DEFAULT_WORKER_TTL_SECONDS = 300.0
+
+#: Orchestrator beats every scheduling round; silence this long means the
+#: campaign needs ``repro campaign run`` (the lock, if any, will reclaim).
+DEFAULT_ORCHESTRATOR_TTL_SECONDS = 120.0
+
+HEARTBEAT_DIRNAME = "heartbeats"
+ORCHESTRATOR_BEACON = "orchestrator.json"
+
+
+def heartbeat_dir(campaign_dir: str) -> str:
+    return os.path.join(campaign_dir, HEARTBEAT_DIRNAME)
+
+
+def orchestrator_beacon_path(campaign_dir: str) -> str:
+    return os.path.join(heartbeat_dir(campaign_dir), ORCHESTRATOR_BEACON)
+
+
+@dataclass(frozen=True)
+class WatchdogReport:
+    """Interpreted liveness of one campaign directory."""
+
+    orchestrator: Optional[HeartbeatStatus]
+    workers: List[HeartbeatStatus]
+    stale_workers: List[HeartbeatStatus]
+
+    def orchestrator_stale(self, ttl: float = DEFAULT_ORCHESTRATOR_TTL_SECONDS) -> bool:
+        """True when an orchestrator beacon exists but its owner is gone."""
+        return self.orchestrator is not None and self.orchestrator.stale(ttl)
+
+
+def scan_heartbeats(
+    campaign_dir: str,
+    worker_ttl: float = DEFAULT_WORKER_TTL_SECONDS,
+) -> WatchdogReport:
+    """Read every beacon under the campaign and classify staleness.
+
+    Torn beacons (crashed mid-rewrite) read as absent, by design — the
+    interesting signal is a beacon that *exists* and whose owner is dead or
+    silent.
+    """
+    directory = heartbeat_dir(campaign_dir)
+    workers: List[HeartbeatStatus] = []
+    stale: List[HeartbeatStatus] = []
+    for path in sorted(glob.glob(os.path.join(directory, "worker-*.json"))):
+        status = read_heartbeat(path)
+        if status is None:
+            continue
+        workers.append(status)
+        if status.stale(worker_ttl):
+            stale.append(status)
+    return WatchdogReport(
+        orchestrator=read_heartbeat(orchestrator_beacon_path(campaign_dir)),
+        workers=workers,
+        stale_workers=stale,
+    )
+
+
+def reap_dead_beacons(campaign_dir: str) -> int:
+    """Delete beacons whose recorded (same-host) pid no longer exists.
+
+    Run by the orchestrator before dispatching: corpses from a previous
+    crash would otherwise read as a permanently sick campaign. Only
+    provably-dead beacons are reaped — age alone never deletes, because a
+    merely-wedged worker's beacon is exactly the evidence worth keeping.
+    Returns the number reaped.
+    """
+    reaped = 0
+    directory = heartbeat_dir(campaign_dir)
+    for path in glob.glob(os.path.join(directory, "worker-*.json")):
+        status = read_heartbeat(path)
+        if status is not None and status.pid_dead:
+            try:
+                os.unlink(path)
+                reaped += 1
+            except OSError:
+                pass
+    return reaped

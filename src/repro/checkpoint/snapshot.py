@@ -37,12 +37,13 @@ from __future__ import annotations
 import hashlib
 import io
 import json
-import os
 import pickle
 import struct
 import zlib
 from collections import deque
 from typing import Dict, Optional
+
+from repro.utils.atomic import atomic_write_bytes
 
 #: Bump when the payload layout changes; readers reject newer formats.
 SNAPSHOT_FORMAT = 1
@@ -245,15 +246,15 @@ def restore_system(data: bytes, jsonl_path: Optional[str] = None, source: str = 
 
 
 def save_snapshot(system, path: str) -> Dict:
-    """Atomically write a snapshot of ``system`` to ``path``; returns header."""
+    """Atomically write a snapshot of ``system`` to ``path``; returns header.
+
+    Goes through :func:`repro.utils.atomic.atomic_write_bytes` (fsync before
+    rename), so a crash — even a power cut — leaves either no image or a
+    complete, digest-verifiable one, never a torn container.
+    """
     data = snapshot_system(system)
     header, _ = _split_container(data, str(path))
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    tmp = f"{path}.tmp.{os.getpid()}"
-    with open(tmp, "wb") as handle:
-        handle.write(data)
-    os.replace(tmp, path)
+    atomic_write_bytes(path, data)
     return header
 
 

@@ -253,15 +253,28 @@ def read_jsonl(path: str) -> Tuple[Dict, List[EpochRecord]]:
     header is validated on the first non-blank line, *before* any record
     parsing: a foreign file fails fast instead of after a full parse.
 
+    A *torn tail* — the final record cut mid-write by a crash or SIGKILL —
+    is tolerated: the partial line is dropped with a :class:`UserWarning`
+    and every complete epoch before it is returned, so a killed run's
+    forensic ``.partial`` stream stays readable. Only the very last line
+    gets this treatment; a malformed record with complete records after it
+    is corruption, not a crash, and still raises. A torn *header* also
+    raises — with no header the stream has no provenance at all.
+
     Raises:
-        ValueError: on a missing/foreign header or an unsupported format.
+        ValueError: on a missing/foreign/torn header, an unsupported
+            format, or a malformed record before the final line.
     """
     header: Optional[Dict] = None
     records: List[EpochRecord] = []
+    pending_error: Optional[ValueError] = None
     with open(path) as handle:
         for line in handle:
             if not line.strip():
                 continue
+            if pending_error is not None:
+                # The bad line was not the stream's tail: real corruption.
+                raise pending_error
             if header is None:
                 header = json.loads(line)
                 if header.get("kind") != "header":
@@ -272,7 +285,21 @@ def read_jsonl(path: str) -> Tuple[Dict, List[EpochRecord]]:
                         f"than supported ({JSONL_FORMAT})"
                     )
                 continue
-            records.append(EpochRecord.from_dict(json.loads(line)))
+            try:
+                records.append(EpochRecord.from_dict(json.loads(line)))
+            except (ValueError, KeyError, TypeError) as exc:
+                pending_error = ValueError(
+                    f"{path}: malformed telemetry record: {exc}"
+                )
     if header is None:
         raise ValueError(f"{path}: empty telemetry stream")
+    if pending_error is not None:
+        import warnings
+
+        warnings.warn(
+            f"{path}: dropped torn trailing record (crashed writer); "
+            f"{len(records)} complete epoch(s) retained",
+            UserWarning,
+            stacklevel=2,
+        )
     return header, records

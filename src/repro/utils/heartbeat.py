@@ -1,0 +1,94 @@
+"""Heartbeat files: tiny liveness beacons for workers and orchestrators.
+
+A heartbeat is a small JSON file rewritten atomically (but *not* durably —
+a heartbeat is worthless after a reboot anyway) whose mtime is the liveness
+signal and whose body records who is beating and what they were doing. Two
+independent staleness signals, mirroring :mod:`repro.utils.locks`:
+
+* **pid death** — the recorded pid (same host) no longer exists: the owner
+  is dead *now*, regardless of how fresh the file looks;
+* **age** — the mtime is older than the caller's TTL: the owner may be
+  alive but has stopped making progress (wedged before any per-job timer
+  started), or is on another host where pids cannot be probed.
+
+The sweep runner's pool workers beat at attempt start and end, so a worker
+that dies *between* jobs — invisible to the per-attempt timeout, which only
+times attempts that were actually submitted — still leaves a detectable
+corpse. The campaign orchestrator beats once per scheduling round; its
+heartbeat going stale while cells remain pending is the watchdog's signal
+that a campaign needs ``repro campaign resume``.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.utils.atomic import atomic_write_json
+from repro.utils.locks import pid_alive
+
+#: Bump when the heartbeat body schema changes.
+HEARTBEAT_FORMAT = 1
+
+
+def write_heartbeat(path: str, **fields) -> None:
+    """(Re)write the heartbeat at ``path``; mtime becomes the beat time.
+
+    Extra ``fields`` (job label, state, attempt...) are carried in the body
+    for post-mortems. Atomic against readers, deliberately not fsync'd.
+    """
+    payload = {
+        "format": HEARTBEAT_FORMAT,
+        "pid": os.getpid(),
+        "host": socket.gethostname(),
+        "time": time.time(),
+    }
+    payload.update(fields)
+    atomic_write_json(path, payload, sort_keys=True, durable=False)
+
+
+@dataclass(frozen=True)
+class HeartbeatStatus:
+    """One heartbeat file, interpreted."""
+
+    path: str
+    body: Dict
+    age_seconds: float
+    pid_dead: bool
+
+    def stale(self, ttl_seconds: float) -> bool:
+        return self.pid_dead or self.age_seconds > ttl_seconds
+
+
+def read_heartbeat(path: str) -> Optional[HeartbeatStatus]:
+    """Interpret the heartbeat at ``path``; None when absent or torn.
+
+    A torn heartbeat (crashed mid-rewrite) is indistinguishable from noise
+    and simply reads as absent — the *next* beat replaces it atomically, and
+    an owner that never beats again is caught by whoever tracks the set of
+    expected beacons.
+    """
+    import json
+
+    try:
+        mtime = os.stat(path).st_mtime
+        with open(path) as handle:
+            body = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(body, dict):
+        return None
+    pid = body.get("pid")
+    same_host = body.get("host") == socket.gethostname()
+    pid_dead = (
+        same_host and isinstance(pid, int) and not pid_alive(pid)
+    )
+    return HeartbeatStatus(
+        path=path,
+        body=body,
+        age_seconds=max(0.0, time.time() - mtime),
+        pid_dead=pid_dead,
+    )

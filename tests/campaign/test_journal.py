@@ -1,0 +1,194 @@
+"""Journal WAL: checksummed appends, torn-tail recovery, corruption."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign.journal import (
+    JOURNAL_FORMAT,
+    CampaignJournal,
+    JournalError,
+    decode_line,
+    encode_record,
+    recover_journal,
+    scan_journal,
+)
+
+
+def make_journal(path, extra_records=2):
+    journal = CampaignJournal(str(path))
+    journal.append("header", format=JOURNAL_FORMAT, config={"scale": "quick"})
+    for index in range(extra_records):
+        journal.append("cell", cell_id=f"c{index}")
+    journal.close()
+    return journal
+
+
+class TestRecordCodec:
+    def test_roundtrip(self):
+        line = encode_record({"kind": "done", "seq": 3, "cell": "x"})
+        record = decode_line(line, 1)
+        assert record["kind"] == "done"
+        assert record["cell"] == "x"
+        assert len(record["sum"]) == 16
+
+    def test_checksum_rejects_tamper(self):
+        line = encode_record({"kind": "done", "seq": 3, "cell": "x"})
+        tampered = line.replace('"cell": "x"', '"cell": "y"')
+        with pytest.raises(JournalError, match="checksum"):
+            decode_line(tampered, 1)
+
+    def test_unparseable_line_rejected(self):
+        with pytest.raises(JournalError, match="unparseable"):
+            decode_line('{"kind": "done", "seq":', 1)
+
+
+class TestScan:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        make_journal(path, extra_records=3)
+        scan = scan_journal(str(path))
+        assert [r["kind"] for r in scan.records] == [
+            "header", "cell", "cell", "cell",
+        ]
+        assert scan.torn == b""
+        assert scan.good_bytes == os.path.getsize(path)
+        assert scan.next_seq == 4
+
+    def test_unterminated_tail_is_torn(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        make_journal(path)
+        with open(path, "ab") as handle:
+            handle.write(b'{"kind": "done", "seq": 3, "ce')
+        scan = scan_journal(str(path))
+        assert len(scan.records) == 3
+        assert scan.torn.startswith(b'{"kind": "done"')
+
+    def test_terminated_garbage_tail_is_torn(self, tmp_path):
+        """Even a newline-terminated bad final line counts as torn."""
+        path = tmp_path / "j.jsonl"
+        make_journal(path)
+        with open(path, "ab") as handle:
+            handle.write(b'{"kind": "done", "seq": 3, "sum": "0000"}\n')
+        scan = scan_journal(str(path))
+        assert len(scan.records) == 3
+        assert scan.torn
+
+    def test_bad_record_before_tail_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        make_journal(path)
+        data = open(path, "rb").read().splitlines(keepends=True)
+        # Corrupt the middle record, keeping valid records after it.
+        data[1] = data[1][: len(data[1]) // 2].rstrip(b"\n") + b"\n"
+        with open(path, "wb") as handle:
+            handle.writelines(data)
+        with pytest.raises(JournalError):
+            scan_journal(str(path))
+
+    def test_sequence_break_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(str(path))
+        journal.append("header", format=JOURNAL_FORMAT)
+        journal.next_seq = 5  # simulate a lost record
+        journal.append("cell", cell_id="x")
+        journal.close()
+        with pytest.raises(JournalError, match="sequence break"):
+            scan_journal(str(path))
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(str(path))
+        journal.append("cell", cell_id="x")  # kind != header at seq 0
+        journal.close()
+        with pytest.raises(JournalError, match="header"):
+            scan_journal(str(path))
+
+    def test_newer_format_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(str(path))
+        journal.append("header", format=JOURNAL_FORMAT + 1)
+        journal.close()
+        with pytest.raises(JournalError, match="newer"):
+            scan_journal(str(path))
+
+    def test_empty_journal_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_bytes(b"")
+        with pytest.raises(JournalError, match="empty"):
+            scan_journal(str(path))
+
+    def test_torn_at_creation_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_bytes(b'{"kind": "head')
+        with pytest.raises(JournalError, match="torn at creation"):
+            scan_journal(str(path))
+
+
+class TestRecovery:
+    def test_clean_journal_untouched(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        make_journal(path)
+        before = path.read_bytes()
+        scan, torn_path = recover_journal(str(path))
+        assert torn_path is None
+        assert path.read_bytes() == before
+        assert len(scan.records) == 3
+
+    def test_torn_tail_quarantined_and_truncated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        make_journal(path)
+        good = path.read_bytes()
+        fragment = b'{"kind": "done", "seq": 3, "ce'
+        with open(path, "ab") as handle:
+            handle.write(fragment)
+        scan, torn_path = recover_journal(str(path))
+        assert torn_path == str(path) + ".torn"
+        assert open(torn_path, "rb").read() == fragment
+        assert path.read_bytes() == good  # truncated back to the prefix
+        # The recovered journal scans clean and appends continue the seq.
+        journal = CampaignJournal(str(path), next_seq=scan.next_seq)
+        journal.append("done", cell="c0")
+        journal.close()
+        rescan = scan_journal(str(path))
+        assert rescan.records[-1]["kind"] == "done"
+        assert rescan.records[-1]["seq"] == 3
+
+    def test_append_after_recovery_roundtrips(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        make_journal(path, extra_records=1)
+        with open(path, "ab") as handle:
+            handle.write(b"garbage-no-newline")
+        scan, _ = recover_journal(str(path))
+        journal = CampaignJournal(str(path), next_seq=scan.next_seq)
+        record = journal.append("drain", signal=15)
+        journal.close()
+        assert record["sum"]
+        final = scan_journal(str(path))
+        assert [r["seq"] for r in final.records] == [0, 1, 2]
+
+
+class TestAppendDurability:
+    def test_append_is_immediately_scannable(self, tmp_path):
+        """Every append must be complete on disk when append() returns."""
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(str(path))
+        journal.append("header", format=JOURNAL_FORMAT)
+        # Read through a separate handle without closing the writer.
+        scan = scan_journal(str(path))
+        assert scan.records[0]["kind"] == "header"
+        journal.close()
+
+    def test_reserved_field_rejected(self, tmp_path):
+        journal = CampaignJournal(str(tmp_path / "j.jsonl"))
+        journal.append("header", format=JOURNAL_FORMAT)
+        with pytest.raises(ValueError, match="reserved"):
+            journal.append("done", seq=99)
+        journal.close()
+
+    def test_lines_are_sorted_key_json(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        make_journal(path, extra_records=1)
+        for line in open(path):
+            parsed = json.loads(line)
+            assert line.strip() == json.dumps(parsed, sort_keys=True)

@@ -1,0 +1,248 @@
+"""Campaign orchestrator: completion, recovery, and signal drain.
+
+These tests run real (tiny) campaigns inline — quick scale, one
+benchmark, two mechanisms, ``workers=0`` — so journal offsets are
+deterministic. SIGKILL-grade chaos (which would take pytest down with
+it) lives in the subprocess-based ``test_chaos_proof.py``.
+"""
+
+import filecmp
+import glob
+import json
+import os
+import signal
+
+import pytest
+
+from repro.analysis.chaos import CampaignChaosConfig, CampaignFaultInjector
+from repro.campaign.journal import (
+    CampaignJournal,
+    encode_record,
+    scan_journal,
+)
+from repro.campaign.orchestrator import (
+    Campaign,
+    CampaignConfig,
+    CampaignError,
+    campaign_status,
+    manifest_path,
+    render_status,
+    report_path,
+    results_path,
+)
+
+REFS = 300
+
+
+def make_config(**overrides):
+    base = dict(
+        scale="quick",
+        benchmarks=("lbm",),
+        mechanisms=("baseline", "dbi"),
+        core_counts=(1,),
+        refs=REFS,
+        workers=0,
+    )
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+def run_campaign(directory, config=None, chaos=None):
+    if os.path.exists(os.path.join(directory, "journal.jsonl")):
+        campaign = Campaign.open(directory)
+    else:
+        campaign = Campaign.create(directory, config or make_config())
+    with campaign:
+        return campaign.run(progress=None, chaos=chaos)
+
+
+def assert_no_litter(directory):
+    """No atomic-write staging or partial files survive a finished run."""
+    litter = [
+        path
+        for pattern in ("**/*.partial", "**/*.tmp.*")
+        for path in glob.glob(
+            os.path.join(directory, pattern), recursive=True
+        )
+    ]
+    assert litter == [], f"staging litter left behind: {litter}"
+
+
+class TestCompletion:
+    def test_run_to_complete(self, tmp_path):
+        directory = str(tmp_path / "camp")
+        outcome = run_campaign(directory)
+        assert outcome.status == "complete"
+        assert outcome.exit_code == 0
+        assert outcome.cells_done == outcome.cells_total == 2
+        assert os.path.exists(results_path(directory))
+        assert os.path.exists(report_path(directory))
+        manifest = json.load(open(manifest_path(directory)))
+        assert manifest["status"] == "complete"
+        scan = scan_journal(os.path.join(directory, "journal.jsonl"))
+        assert scan.records[-1]["kind"] == "complete"
+        assert_no_litter(directory)
+
+    def test_rerun_is_idempotent(self, tmp_path):
+        directory = str(tmp_path / "camp")
+        run_campaign(directory)
+        results_before = open(results_path(directory), "rb").read()
+        report_before = open(report_path(directory), "rb").read()
+        outcome = run_campaign(directory)  # opens the completed campaign
+        assert outcome.status == "complete"
+        assert open(results_path(directory), "rb").read() == results_before
+        assert open(report_path(directory), "rb").read() == report_before
+
+    def test_results_payload_shape(self, tmp_path):
+        directory = str(tmp_path / "camp")
+        run_campaign(directory)
+        payload = json.load(open(results_path(directory)))
+        assert set(payload["cells"]) == {
+            "1c/lbm/baseline", "1c/lbm/dbi",
+        }
+        for entry in payload["cells"].values():
+            assert entry["key"]
+            assert "ipc" in entry["result"]
+
+    def test_live_lock_refuses_second_orchestrator(self, tmp_path):
+        directory = str(tmp_path / "camp")
+        campaign = Campaign.create(directory, make_config())
+        try:
+            with pytest.raises(CampaignError, match="another orchestrator"):
+                Campaign.open(directory)
+        finally:
+            campaign.close()
+
+    def test_create_refuses_existing_journal(self, tmp_path):
+        directory = str(tmp_path / "camp")
+        Campaign.create(directory, make_config()).close()
+        with pytest.raises(CampaignError, match="already exists"):
+            Campaign.create(directory, make_config())
+
+
+class TestRecovery:
+    def test_resume_after_torn_tail_is_byte_identical(self, tmp_path):
+        reference = str(tmp_path / "reference")
+        run_campaign(reference)
+        directory = str(tmp_path / "torn")
+        Campaign.create(directory, make_config()).close()
+        journal = os.path.join(directory, "journal.jsonl")
+        with open(journal, "ab") as handle:
+            handle.write(b'{"kind": "dispatch", "cell": "1c/lbm/ba')
+        campaign = Campaign.open(directory)
+        assert campaign.recovered_torn == journal + ".torn"
+        with campaign:
+            outcome = campaign.run(progress=None)
+        assert outcome.status == "complete"
+        assert filecmp.cmp(
+            results_path(reference), results_path(directory), shallow=False
+        )
+        assert filecmp.cmp(
+            report_path(reference), report_path(directory), shallow=False
+        )
+        assert_no_litter(directory)
+
+    def test_mid_plan_journal_refused(self, tmp_path):
+        directory = str(tmp_path / "camp")
+        Campaign.create(directory, make_config()).close()
+        journal = os.path.join(directory, "journal.jsonl")
+        lines = open(journal, "rb").read().splitlines(keepends=True)
+        # Drop the trailing "planned" commit record: died mid-plan.
+        with open(journal, "wb") as handle:
+            handle.writelines(lines[:-1])
+        with pytest.raises(CampaignError, match="mid-plan"):
+            Campaign.open(directory)
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        directory = str(tmp_path / "camp")
+        Campaign.create(directory, make_config()).close()
+        journal = os.path.join(directory, "journal.jsonl")
+        scan = scan_journal(journal)
+        header = dict(scan.records[0])
+        header.pop("sum")
+        header["config"] = dict(header["config"], refs=REFS + 1)
+        rewritten = [encode_record(header) + "\n"]
+        for record in scan.records[1:]:
+            body = dict(record)
+            body.pop("sum")
+            rewritten.append(encode_record(body) + "\n")
+        with open(journal, "w") as handle:
+            handle.writelines(rewritten)
+        with pytest.raises(CampaignError, match="fingerprint"):
+            Campaign.open(directory)
+
+
+class TestSignalDrain:
+    """Satellite: SIGTERM/SIGINT during an active sweep drain cleanly."""
+
+    def _assert_drained(self, directory, outcome, signum):
+        assert outcome.status == "drained"
+        assert outcome.exit_code == 128 + signum
+        assert outcome.signal == signum
+        manifest = json.load(open(manifest_path(directory)))
+        assert manifest["status"] == "drained"
+        scan = scan_journal(os.path.join(directory, "journal.jsonl"))
+        assert scan.records[-1]["kind"] == "drain"
+        # In-flight work was collected, not abandoned: the drain must not
+        # strand partial artifacts anywhere under the campaign.
+        assert_no_litter(directory)
+
+    def test_sigterm_drains_and_resume_is_byte_identical(self, tmp_path):
+        reference = str(tmp_path / "reference")
+        run_campaign(reference)
+        directory = str(tmp_path / "drained")
+        # Deterministic delivery: SIGTERM right after the first dispatch
+        # record (seq 4) becomes durable, while that cell is in flight.
+        chaos = CampaignFaultInjector(
+            CampaignChaosConfig(kill_seq=4, mode="term")
+        )
+        outcome = run_campaign(directory, chaos=chaos)
+        self._assert_drained(directory, outcome, signal.SIGTERM)
+        assert outcome.cells_done == 1  # the in-flight cell was drained
+        assert outcome.pending == ["1c/lbm/dbi"]
+        resumed = run_campaign(directory)
+        assert resumed.status == "complete"
+        assert filecmp.cmp(
+            results_path(reference), results_path(directory), shallow=False
+        )
+        assert filecmp.cmp(
+            report_path(reference), report_path(directory), shallow=False
+        )
+
+    def test_sigint_drains_and_resume_completes(self, tmp_path):
+        directory = str(tmp_path / "camp")
+        campaign = Campaign.create(directory, make_config())
+        fired = []
+
+        def interrupt_on_first_done(line):
+            if " done " in line and not fired:
+                fired.append(line)
+                os.kill(os.getpid(), signal.SIGINT)
+
+        with campaign:
+            outcome = campaign.run(progress=interrupt_on_first_done)
+        assert fired, "progress callback never saw a completed cell"
+        self._assert_drained(directory, outcome, signal.SIGINT)
+        resumed = run_campaign(directory)
+        assert resumed.status == "complete"
+        assert resumed.cells_done == 2
+
+
+class TestStatus:
+    def test_status_reads_without_lock(self, tmp_path):
+        directory = str(tmp_path / "camp")
+        campaign = Campaign.create(directory, make_config())
+        try:
+            status = campaign_status(directory)
+            assert status["cells_total"] == 2
+            assert status["cells_done"] == 0
+            assert render_status(status)
+        finally:
+            campaign.close()
+
+    def test_status_after_completion(self, tmp_path):
+        directory = str(tmp_path / "camp")
+        run_campaign(directory)
+        status = campaign_status(directory)
+        assert status["cells_done"] == 2
+        assert status["completed"] is True

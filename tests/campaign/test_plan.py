@@ -1,0 +1,102 @@
+"""Campaign planning: deterministic cell grids and fingerprints."""
+
+import pytest
+
+from repro.analysis.scaling import SCALES
+from repro.campaign.plan import (
+    CampaignCell,
+    cell_config,
+    cell_traces,
+    plan_cells,
+    plan_fingerprint,
+)
+
+QUICK = SCALES["quick"]
+
+
+class TestPlanCells:
+    def test_single_core_grid(self):
+        cells = plan_cells(QUICK, ["lbm", "mcf"], ["baseline", "dbi"], [1])
+        ids = [cell.cell_id for cell in cells]
+        assert ids == [
+            "1c/lbm/baseline",
+            "1c/lbm/dbi",
+            "1c/mcf/baseline",
+            "1c/mcf/dbi",
+        ]
+        assert all(cell.mix_index is None for cell in cells)
+
+    def test_multicore_cells_record_mix_identity(self):
+        cells = plan_cells(QUICK, ["lbm"], ["dbi"], [2])
+        multicore = [cell for cell in cells if cell.num_cores == 2]
+        assert multicore, "expected 2-core cells in the plan"
+        for cell in multicore:
+            assert cell.mix_index is not None
+            assert cell.mix_name
+            assert cell.cell_id.startswith("2c/")
+
+    def test_plan_is_deterministic(self):
+        first = plan_cells(QUICK, ["lbm"], ["baseline", "dbi"], [1, 2])
+        second = plan_cells(QUICK, ["lbm"], ["baseline", "dbi"], [1, 2])
+        assert [c.to_dict() for c in first] == [c.to_dict() for c in second]
+
+    def test_cell_roundtrip(self):
+        cells = plan_cells(QUICK, ["lbm"], ["dbi"], [1, 2])
+        for cell in cells:
+            assert CampaignCell.from_dict(cell.to_dict()) == cell
+
+
+class TestCellTraces:
+    def test_single_core_traces(self):
+        cell = plan_cells(QUICK, ["lbm"], ["baseline"], [1])[0]
+        traces = cell_traces(QUICK, cell, refs=500)
+        assert len(traces) == 1
+
+    def test_multicore_traces_match_mix(self):
+        cell = next(
+            c
+            for c in plan_cells(QUICK, ["lbm"], ["dbi"], [2])
+            if c.num_cores == 2
+        )
+        traces = cell_traces(QUICK, cell, refs=500)
+        assert len(traces) == 2
+
+    def test_mix_name_drift_detected(self):
+        cell = next(
+            c
+            for c in plan_cells(QUICK, ["lbm"], ["dbi"], [2])
+            if c.num_cores == 2
+        )
+        drifted = CampaignCell.from_dict(
+            {**cell.to_dict(), "mix_name": "not_the_real_mix"}
+        )
+        with pytest.raises(ValueError, match="mix"):
+            cell_traces(QUICK, drifted, refs=500)
+
+    def test_cell_config_mechanism(self):
+        cell = plan_cells(QUICK, ["lbm"], ["dbi+awb"], [1])[0]
+        config = cell_config(QUICK, cell)
+        assert config is not None
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        cells = plan_cells(QUICK, ["lbm"], ["baseline"], [1])
+        identity = {"scale": "quick", "refs": 500}
+        assert plan_fingerprint(identity, cells) == plan_fingerprint(
+            identity, cells
+        )
+
+    def test_sensitive_to_identity(self):
+        cells = plan_cells(QUICK, ["lbm"], ["baseline"], [1])
+        a = plan_fingerprint({"scale": "quick"}, cells)
+        b = plan_fingerprint({"scale": "default"}, cells)
+        assert a != b
+
+    def test_sensitive_to_cells(self):
+        base = plan_cells(QUICK, ["lbm"], ["baseline"], [1])
+        more = plan_cells(QUICK, ["lbm"], ["baseline", "dbi"], [1])
+        identity = {"scale": "quick"}
+        assert plan_fingerprint(identity, base) != plan_fingerprint(
+            identity, more
+        )

@@ -1,0 +1,80 @@
+"""Watchdog heartbeats: stale-worker detection and beacon reaping."""
+
+import os
+import time
+
+from repro.campaign.watchdog import (
+    heartbeat_dir,
+    orchestrator_beacon_path,
+    reap_dead_beacons,
+    scan_heartbeats,
+)
+from repro.utils.heartbeat import write_heartbeat
+
+
+def _write_beacon(directory, name, pid, age_seconds=0.0):
+    path = os.path.join(heartbeat_dir(directory), name)
+    write_heartbeat(path, pid=pid, role="worker")
+    if age_seconds:
+        # Staleness is judged by mtime; backdate it.
+        stamp = time.time() - age_seconds
+        os.utime(path, (stamp, stamp))
+    return path
+
+
+class TestScanHeartbeats:
+    def test_fresh_live_worker_not_stale(self, tmp_path):
+        directory = str(tmp_path)
+        _write_beacon(directory, "worker-1.json", pid=os.getpid())
+        report = scan_heartbeats(directory, worker_ttl=60.0)
+        assert len(report.workers) == 1
+        assert report.stale_workers == []
+
+    def test_dead_pid_is_stale(self, tmp_path):
+        directory = str(tmp_path)
+        # PID 1 exists but isn't ours; fabricate a certainly-dead pid by
+        # spawning and reaping a child.
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+        _write_beacon(directory, "worker-1.json", pid=pid)
+        report = scan_heartbeats(directory, worker_ttl=3600.0)
+        assert len(report.stale_workers) == 1
+
+    def test_old_heartbeat_is_stale_even_if_pid_alive(self, tmp_path):
+        directory = str(tmp_path)
+        _write_beacon(
+            directory, "worker-1.json", pid=os.getpid(), age_seconds=7200.0
+        )
+        report = scan_heartbeats(directory, worker_ttl=60.0)
+        assert len(report.stale_workers) == 1
+
+    def test_orchestrator_beacon_surfaces(self, tmp_path):
+        directory = str(tmp_path)
+        write_heartbeat(
+            orchestrator_beacon_path(directory),
+            pid=os.getpid(),
+            role="orchestrator",
+        )
+        report = scan_heartbeats(directory, worker_ttl=60.0)
+        assert report.orchestrator is not None
+        assert not report.orchestrator_stale(ttl=60.0)
+
+
+class TestReapDeadBeacons:
+    def test_reaps_only_dead_pids(self, tmp_path):
+        directory = str(tmp_path)
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+        dead = _write_beacon(directory, "worker-dead.json", pid=pid)
+        live = _write_beacon(directory, "worker-live.json", pid=os.getpid())
+        reaped = reap_dead_beacons(directory)
+        assert reaped == 1
+        assert not os.path.exists(dead)
+        assert os.path.exists(live)
+
+    def test_no_heartbeat_dir_is_noop(self, tmp_path):
+        assert reap_dead_beacons(str(tmp_path / "nowhere")) == 0

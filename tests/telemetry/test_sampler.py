@@ -234,3 +234,65 @@ class TestRecordValue:
         assert record.value("mech.read_hits") == 9.0
         assert record.value("depth") == 3.0
         assert record.value("no.such.key") == 0.0
+
+
+class TestTornTail:
+    """Crash tolerance: a mid-record-truncated stream must load, warn, and
+    keep every complete epoch — the reader's contract after a SIGKILL."""
+
+    def write_stream(self, path, epochs=3):
+        sampler, group, instructions = make_sampler(jsonl_path=str(path))
+        for i in range(1, epochs + 1):
+            group.counter("events").increment(5)
+            instructions["value"] = 10 * i
+            sampler.sample(100 * i)
+        sampler.close()
+
+    def test_mid_record_truncation_warns_and_truncates(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        self.write_stream(path, epochs=3)
+        full = path.read_text()
+        lines = full.splitlines(keepends=True)
+        # Cut the final record in half, newline gone: a torn write.
+        path.write_text("".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+        with pytest.warns(UserWarning, match="torn trailing record"):
+            header, records = read_jsonl(str(path))
+        assert header["epoch_cycles"] == 100
+        assert len(records) == 2  # 3 written, torn 3rd dropped
+        assert [r.cycle for r in records] == [100, 200]
+
+    def test_intact_stream_does_not_warn(self, tmp_path, recwarn):
+        path = tmp_path / "ok.jsonl"
+        self.write_stream(path, epochs=2)
+        header, records = read_jsonl(str(path))
+        assert len(records) == 2
+        assert not [w for w in recwarn.list if issubclass(w.category, UserWarning)]
+
+    def test_torn_line_mid_stream_still_raises(self, tmp_path):
+        # Complete records after the bad line prove corruption, not a crash.
+        path = tmp_path / "corrupt.jsonl"
+        self.write_stream(path, epochs=3)
+        lines = path.read_text().splitlines(keepends=True)
+        lines[2] = lines[2][: len(lines[2]) // 2] + "\n"
+        path.write_text("".join(lines))
+        with pytest.raises(ValueError, match="malformed telemetry record"):
+            read_jsonl(str(path))
+
+    def test_torn_header_still_raises(self, tmp_path):
+        path = tmp_path / "torn-header.jsonl"
+        self.write_stream(path, epochs=1)
+        first = path.read_text().splitlines(keepends=True)[0]
+        path.write_text(first[: len(first) // 2])
+        with pytest.raises(ValueError):
+            read_jsonl(str(path))
+
+    def test_truncated_but_parseable_record_dropped_at_tail(self, tmp_path):
+        # A tail cut exactly inside the JSON such that it still parses as a
+        # dict but lacks required record fields is the same torn write.
+        path = tmp_path / "short.jsonl"
+        self.write_stream(path, epochs=2)
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:-1]) + '{"epoch": 9}')
+        with pytest.warns(UserWarning, match="torn trailing record"):
+            _header, records = read_jsonl(str(path))
+        assert len(records) == 1

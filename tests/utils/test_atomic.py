@@ -1,0 +1,68 @@
+"""Tests for the shared atomic-write helper."""
+
+import json
+import os
+
+import pytest
+
+from repro.utils.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    publish_file,
+)
+
+
+class TestAtomicWrite:
+    def test_writes_bytes(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        atomic_write_bytes(str(path), b"\x00\x01payload")
+        assert path.read_bytes() == b"\x00\x01payload"
+
+    def test_replaces_existing(self, tmp_path):
+        path = tmp_path / "artifact.txt"
+        atomic_write_text(str(path), "old")
+        atomic_write_text(str(path), "new")
+        assert path.read_text() == "new"
+
+    def test_creates_missing_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "artifact.json"
+        atomic_write_json(str(path), {"a": 1})
+        assert json.loads(path.read_text()) == {"a": 1}
+
+    def test_leaves_no_staging_litter(self, tmp_path):
+        path = tmp_path / "artifact.txt"
+        atomic_write_text(str(path), "hello", durable=False)
+        assert os.listdir(tmp_path) == ["artifact.txt"]
+
+    def test_failed_write_preserves_target_and_cleans_tmp(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_json(str(path), {"ok": True})
+
+        class Unserializable:
+            pass
+
+        with pytest.raises(TypeError):
+            atomic_write_json(str(path), {"bad": Unserializable()})
+        assert json.loads(path.read_text()) == {"ok": True}
+        assert os.listdir(tmp_path) == ["artifact.json"]
+
+    def test_sorted_json_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        atomic_write_json(str(a), {"z": 1, "a": 2}, sort_keys=True)
+        atomic_write_json(str(b), {"a": 2, "z": 1}, sort_keys=True)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestPublishFile:
+    def test_promotes_staging_to_final(self, tmp_path):
+        staging = tmp_path / "stream.jsonl.partial"
+        final = tmp_path / "stream.jsonl"
+        staging.write_text("line1\nline2\n")
+        publish_file(str(staging), str(final))
+        assert final.read_text() == "line1\nline2\n"
+        assert not staging.exists()
+
+    def test_missing_staging_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            publish_file(str(tmp_path / "absent"), str(tmp_path / "final"))

@@ -1,0 +1,186 @@
+"""Tests for pid+heartbeat file locks, including SIGKILLed owners.
+
+The load-bearing property: a lock whose owner died — even via ``kill -9``,
+which runs no cleanup — must be reclaimable by the next waiter instead of
+deadlocking it forever (the stale-lock failure mode of plain O_EXCL lock
+files).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.utils.locks import (
+    FileLock,
+    LockHeldError,
+    LockOwner,
+    pid_alive,
+)
+
+
+class TestPidAlive:
+    def test_own_pid_is_alive(self):
+        assert pid_alive(os.getpid())
+
+    def test_nonexistent_pid_is_dead(self):
+        # Spawn-and-reap gives a pid that provably no longer exists.
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        assert not pid_alive(proc.pid)
+
+    def test_nonpositive_pids_are_dead(self):
+        assert not pid_alive(0)
+        assert not pid_alive(-1)
+
+
+class TestFileLock:
+    def test_acquire_release_roundtrip(self, tmp_path):
+        lock = FileLock(str(tmp_path / "x.lock"))
+        with lock:
+            assert lock.held
+            assert os.path.exists(lock.path)
+        assert not lock.held
+        assert not os.path.exists(lock.path)
+
+    def test_body_records_owner(self, tmp_path):
+        with FileLock(str(tmp_path / "x.lock")) as lock:
+            owner = lock.read_owner()
+            assert owner == LockOwner(
+                pid=os.getpid(), host=owner.host, created=owner.created
+            )
+
+    def test_live_owner_blocks_and_times_out(self, tmp_path):
+        path = str(tmp_path / "x.lock")
+        with FileLock(path):
+            waiter = FileLock(path, poll_seconds=0.01)
+            with pytest.raises(LockHeldError) as excinfo:
+                waiter.acquire(timeout=0.1)
+            assert excinfo.value.owner.pid == os.getpid()
+
+    def test_release_is_idempotent(self, tmp_path):
+        lock = FileLock(str(tmp_path / "x.lock"))
+        lock.acquire()
+        lock.release()
+        lock.release()
+
+    def test_beat_refreshes_mtime(self, tmp_path):
+        with FileLock(str(tmp_path / "x.lock")) as lock:
+            past = time.time() - 1_000
+            os.utime(lock.path, (past, past))
+            lock.beat()
+            assert os.stat(lock.path).st_mtime > past + 500
+
+    def test_waiter_sees_lock_released(self, tmp_path):
+        path = str(tmp_path / "x.lock")
+        first = FileLock(path)
+        first.acquire()
+        first.release()
+        with FileLock(path, poll_seconds=0.01) as second:
+            assert second.held
+
+    # ------------------------------------------------------------- reclaim
+
+    def test_dead_pid_is_reclaimed_immediately(self, tmp_path):
+        """A lock whose recorded owner no longer exists must not block."""
+        path = str(tmp_path / "x.lock")
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        with open(path, "w") as handle:
+            json.dump(
+                {"format": 1, "pid": proc.pid,
+                 "host": __import__("socket").gethostname(),
+                 "created": time.time()},
+                handle,
+            )
+        lock = FileLock(path, poll_seconds=0.01)
+        with lock.acquire(timeout=5.0):
+            assert lock.reclaimed == 1
+
+    def test_sigkilled_owner_mid_build_is_reclaimed(self, tmp_path):
+        """kill -9 the owner while it holds the lock; a waiter must recover.
+
+        This is the stale-lock deadlock scenario from long campaigns: the
+        orchestrator (or a warm-image builder) is SIGKILLed mid-build and
+        its lock file survives. The next process must reclaim by pid death,
+        not wait out any TTL.
+        """
+        path = str(tmp_path / "build.lock")
+        script = (
+            "import sys, time; sys.path.insert(0, sys.argv[1])\n"
+            "from repro.utils.locks import FileLock\n"
+            "FileLock(sys.argv[2]).acquire()\n"
+            "print('HELD', flush=True)\n"
+            "time.sleep(120)\n"
+        )
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, os.path.abspath(src), path],
+            stdout=subprocess.PIPE,
+        )
+        try:
+            assert proc.stdout.readline().strip() == b"HELD"
+            proc.kill()  # SIGKILL: no cleanup handlers run
+            proc.wait()
+            assert os.path.exists(path), "owner died without releasing"
+            lock = FileLock(path, poll_seconds=0.01)
+            start = time.monotonic()
+            with lock.acquire(timeout=10.0):
+                assert lock.reclaimed == 1
+            # Reclaim must ride on pid death (fast), not the staleness TTL.
+            assert time.monotonic() - start < 5.0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    def test_torn_lock_body_is_reclaimed_after_grace(self, tmp_path):
+        """An owner that died inside the body write leaves a torn lock."""
+        path = str(tmp_path / "x.lock")
+        with open(path, "w") as handle:
+            handle.write('{"format": 1, "pid":')  # torn mid-record
+        past = time.time() - 60
+        os.utime(path, (past, past))
+        lock = FileLock(path, poll_seconds=0.01)
+        with lock.acquire(timeout=5.0):
+            assert lock.reclaimed == 1
+
+    def test_fresh_torn_body_gets_grace_period(self, tmp_path):
+        """A just-created lock with an incomplete body is not stolen."""
+        path = str(tmp_path / "x.lock")
+        with open(path, "w") as handle:
+            handle.write("{")
+        waiter = FileLock(path, poll_seconds=0.01)
+        with pytest.raises(LockHeldError):
+            waiter.acquire(timeout=0.2)
+
+    def test_stale_heartbeat_on_foreign_host_is_reclaimed(self, tmp_path):
+        """pid probing proves nothing cross-host; the TTL must kick in."""
+        path = str(tmp_path / "x.lock")
+        with open(path, "w") as handle:
+            json.dump(
+                {"format": 1, "pid": os.getpid(), "host": "elsewhere",
+                 "created": time.time()},
+                handle,
+            )
+        past = time.time() - 3_600
+        os.utime(path, (past, past))
+        lock = FileLock(path, stale_seconds=60.0, poll_seconds=0.01)
+        with lock.acquire(timeout=5.0):
+            assert lock.reclaimed == 1
+
+    def test_fresh_heartbeat_on_foreign_host_blocks(self, tmp_path):
+        path = str(tmp_path / "x.lock")
+        with open(path, "w") as handle:
+            json.dump(
+                {"format": 1, "pid": 1, "host": "elsewhere",
+                 "created": time.time()},
+                handle,
+            )
+        lock = FileLock(path, stale_seconds=600.0, poll_seconds=0.01)
+        with pytest.raises(LockHeldError):
+            lock.acquire(timeout=0.2)

@@ -39,6 +39,12 @@
 #                  warm image is quarantined to .ckpt.corrupt and rebuilt,
 #                  and that a fork+sampled quick fig6 sweep beats the cold
 #                  full-run sweep by >= 2.0x wall-clock (warm build included).
+#   campaign     — tools/soak_gate.py SIGKILLs a campaign orchestrator at
+#                  scheduled journal offsets (mid-journal-append, after a
+#                  dispatch, mid-warm-image-build) plus one SIGTERM drain,
+#                  resumes each from the journal, and fails unless every
+#                  recovered campaign's results/report/telemetry artifacts
+#                  are byte-identical to an uninterrupted reference run.
 #   perf         — tools/perf_gate.py measures quick-scale fig6 cells on HEAD
 #                  and on a pinned pre-overhaul reference commit (same
 #                  machine), and fails if the speedup ratio regresses >20%
@@ -50,7 +56,7 @@ export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
 COV_FAIL_UNDER=${COV_FAIL_UNDER:-$(cat tools/coverage_floor.txt)}
 ALL_STAGES=(tier1 coverage slowfuzz differential checked dramcache sweep
-            chaos reliability telemetry checkpoint perf)
+            chaos reliability telemetry checkpoint campaign perf)
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -187,6 +193,10 @@ stage_telemetry() {
 
 stage_checkpoint() {
     python tools/checkpoint_gate.py
+}
+
+stage_campaign() {
+    python tools/soak_gate.py
 }
 
 stage_perf() {

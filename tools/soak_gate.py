@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Campaign soak gate: crash recovery must be byte-identical.
+
+Runs the kill-and-resume chaos proof (:mod:`repro.campaign.proof`) over
+two campaign variants and gates CI on every recovered campaign producing
+``results.json`` / ``report.txt`` (and telemetry streams) **byte for
+byte** equal to an uninterrupted reference run:
+
+* **telemetry variant** — three scheduled faults against a 2-cell inline
+  campaign: SIGKILL *mid-journal-append* (a torn half record is durable
+  when the process dies), SIGKILL right after the first dispatch record,
+  and a SIGTERM graceful drain;
+* **checkpoint variant** — SIGKILL *mid-warm-image-build*, while the
+  build lock is held and partial staging litter is on disk; the resume
+  must reclaim the dead owner's lock and rebuild.
+
+Faults are scheduled at exact journal sequence offsets (via the
+``REPRO_CAMPAIGN_CHAOS`` environment variable), not sampled from a
+probability, so the gate is deterministic: the same instant dies on
+every CI run. ``--quick`` runs only the two load-bearing points (torn
+append + warm build) for a faster smoke.
+
+Exit status 0 = every kill point recovered byte-identically, 1 = not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.campaign.proof import KillPoint, kill_and_resume_proof  # noqa: E402
+
+# Journal seq layout of the 2-cell inline campaign (--workers 0):
+# 0 header, 1-2 cell, 3 planned, 4-5 dispatch, 6-7 done, 8 complete.
+TELEMETRY_POINTS = [
+    KillPoint("torn-mid-append", "kill=6,mode=torn"),
+    KillPoint("kill-after-dispatch", "kill=4,mode=kill"),
+    KillPoint("term-drain", "kill=4,mode=term", expect="drain"),
+]
+CHECKPOINT_POINTS = [
+    KillPoint("kill-mid-warm-build", "warm_kill=1"),
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="only the torn-append and mid-warm-build points",
+    )
+    parser.add_argument(
+        "--refs",
+        type=int,
+        default=800,
+        help="trace length per campaign cell (default 800)",
+    )
+    parser.add_argument(
+        "--keep",
+        metavar="DIR",
+        default=None,
+        help="run under DIR and keep the campaign directories for autopsy",
+    )
+    args = parser.parse_args()
+
+    telemetry_points = TELEMETRY_POINTS[:1] if args.quick else TELEMETRY_POINTS
+
+    if args.keep is not None:
+        os.makedirs(args.keep, exist_ok=True)
+        context = None
+        base = args.keep
+    else:
+        context = tempfile.TemporaryDirectory(prefix="soak-gate-")
+        base = context.name
+
+    failed = False
+    try:
+        for variant, points, flags in (
+            ("telemetry", telemetry_points, {"telemetry": True}),
+            ("checkpoint", CHECKPOINT_POINTS, {"checkpoint": True}),
+        ):
+            report = kill_and_resume_proof(
+                base, variant=variant, kill_points=points,
+                refs=args.refs, **flags,
+            )
+            print(report.to_text())
+            if not report.ok:
+                failed = True
+    finally:
+        if context is not None:
+            context.cleanup()
+
+    if failed:
+        print("soak gate: FAIL — recovery diverged from the reference run",
+              file=sys.stderr)
+        return 1
+    total = len(telemetry_points) + len(CHECKPOINT_POINTS)
+    print(f"soak gate: ok ({total} kill points recovered byte-identically)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
