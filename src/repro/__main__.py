@@ -300,23 +300,83 @@ def _cmd_campaign(args) -> int:
         benchmarks = (
             tuple(b.strip() for b in args.benchmarks.split(","))
             if args.benchmarks
-            else tuple(profile_names())
+            else ()
         )
         mechanisms = None
         if args.mechanisms:
             mechanisms = tuple(m.strip() for m in args.mechanisms.split(","))
-        core_counts = tuple(
-            int(c) for c in (args.cores or "1").split(",")
+        core_counts = (
+            tuple(int(c) for c in args.cores.split(","))
+            if args.cores
+            else None
         )
+        sensitivity = (
+            tuple(int(d) for d in args.sensitivity.split(","))
+            if args.sensitivity
+            else ()
+        )
+        sens_benchmarks = (
+            tuple(b.strip() for b in args.sensitivity_benchmarks.split(","))
+            if args.sensitivity_benchmarks
+            else ()
+        )
+        ingested = ()
+        if args.ingest:
+            from repro.sim.ingest import load_registry
+
+            registry = load_registry(args.ingest_dir)["traces"]
+            names = tuple(n.strip() for n in args.ingest.split(","))
+            missing = [n for n in names if n not in registry]
+            if missing:
+                raise ValueError(
+                    f"traces not registered in {args.ingest_dir}: "
+                    f"{', '.join(missing)} (run 'repro ingest' first)"
+                )
+            ingested = tuple((n, registry[n]["sha256"]) for n in names)
+
+        if args.tier:
+            from repro.campaign.tiers import tier_config
+
+            overrides = dict(
+                benchmarks=benchmarks,
+                telemetry=args.telemetry,
+                epoch_cycles=args.epoch_cycles,
+                checkpoint=args.checkpoint,
+                workers=0 if args.workers is None else args.workers,
+                ingested=ingested,
+                ingest_dir=args.ingest_dir if ingested else None,
+            )
+            if args.scale:
+                overrides["scale"] = args.scale
+            if mechanisms is not None:
+                overrides["mechanisms"] = mechanisms
+            if core_counts is not None:
+                overrides["core_counts"] = core_counts
+            if args.refs is not None:
+                overrides["refs"] = args.refs
+            if args.shards is not None:
+                overrides["shards"] = args.shards
+            if sensitivity:
+                overrides["sensitivity"] = sensitivity
+            if sens_benchmarks:
+                overrides["sensitivity_benchmarks"] = sens_benchmarks
+            return tier_config(args.tier, **overrides)
+
         kwargs = dict(
-            scale=args.scale,
-            benchmarks=benchmarks,
-            core_counts=core_counts,
+            scale=args.scale or "quick",
+            benchmarks=benchmarks or tuple(profile_names()),
+            core_counts=core_counts or (1,),
             refs=args.refs,
             telemetry=args.telemetry,
             epoch_cycles=args.epoch_cycles,
             checkpoint=args.checkpoint,
             workers=0 if args.workers is None else args.workers,
+            full_width=args.full_width,
+            shards=args.shards or 0,
+            sensitivity=sensitivity,
+            sensitivity_benchmarks=sens_benchmarks,
+            ingested=ingested,
+            ingest_dir=args.ingest_dir if ingested else None,
         )
         if mechanisms is not None:
             kwargs["mechanisms"] = mechanisms
@@ -350,15 +410,17 @@ def _cmd_campaign(args) -> int:
             from repro.analysis.report import format_table
 
             rows = [
-                [c.cell_id, c.mechanism, c.workload, c.num_cores]
+                [c.cell_id, c.category, c.mechanism, c.workload, c.num_cores]
                 for c in campaign.cells
             ]
+            tier = campaign.config.tier
             print(
                 format_table(
-                    ["cell", "mechanism", "workload", "cores"],
+                    ["cell", "kind", "mechanism", "workload", "cores"],
                     rows,
                     title=f"campaign plan: {len(rows)} cells "
-                          f"({campaign.config.scale} scale)",
+                          f"({campaign.config.scale} scale"
+                          + (f", {tier} tier)" if tier else ")"),
                 )
             )
             return 0
@@ -402,6 +464,65 @@ def _cmd_campaign(args) -> int:
 
 def _campaign_progress(line: str) -> None:
     print(line, file=sys.stderr, flush=True)
+
+
+def _cmd_ingest(args) -> int:
+    """``repro ingest``: external traces -> registered campaign workloads."""
+    from repro.sim.ingest import (
+        DEFAULT_GAP_SCALE,
+        DEFAULT_MAX_GAP,
+        ingest_trace,
+        load_registry,
+    )
+
+    if args.list_traces:
+        try:
+            registry = load_registry(args.registry)
+        except (OSError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        from repro.analysis.report import format_table
+
+        rows = [
+            [name, entry["records"], entry["source_format"],
+             entry["sha256"][:12], entry["source"]]
+            for name, entry in sorted(registry["traces"].items())
+        ]
+        print(
+            format_table(
+                ["trace", "records", "format", "sha256", "source"],
+                rows,
+                title=f"trace registry: {args.registry}",
+            )
+        )
+        return 0
+
+    if not args.sources:
+        print("nothing to ingest (pass FILE... or --list)", file=sys.stderr)
+        return 2
+    if args.name is not None and len(args.sources) != 1:
+        print("--name needs exactly one source file", file=sys.stderr)
+        return 2
+    for source in args.sources:
+        try:
+            entry = ingest_trace(
+                source,
+                args.registry,
+                name=args.name,
+                fmt=args.fmt,
+                block_bytes=args.block_bytes,
+                gap_scale=args.gap_scale or DEFAULT_GAP_SCALE,
+                max_gap=args.max_gap or DEFAULT_MAX_GAP,
+            )
+        except (OSError, ValueError) as exc:
+            print(f"ingest failed: {exc}", file=sys.stderr)
+            return 2
+        name = args.name or entry["file"].rsplit(".", 1)[0]
+        print(
+            f"registered {name}: {entry['records']} records "
+            f"({entry['source_format']}) sha256 {entry['sha256'][:12]}"
+        )
+    return 0
 
 
 def _cmd_reliability(args) -> int:
@@ -895,7 +1016,12 @@ def main(argv=None) -> int:
         )
         if name == "status":
             continue
-        cp.add_argument("--scale", default="quick")
+        cp.add_argument(
+            "--tier", default=None, choices=("quick", "nightly", "full"),
+            help="campaign preset (scale, workloads, shards, sensitivity); "
+                 "explicit flags override preset fields",
+        )
+        cp.add_argument("--scale", default=None)
         cp.add_argument(
             "--benchmarks", default=None,
             help="comma-separated benchmarks for single-core cells "
@@ -932,6 +1058,34 @@ def main(argv=None) -> int:
                  "DIR/checkpoints; incompatible with --telemetry)",
         )
         cp.add_argument(
+            "--full-width", action="store_true",
+            help="the paper's complete 102/259/120 mix tables plus the "
+                 "alone-IPC normalizer cells (Figure 7/8 surfaces)",
+        )
+        cp.add_argument(
+            "--shards", type=int, default=None, metavar="N",
+            help="split each long run into N stitched epoch segments "
+                 "(distributable across workers; default: whole runs)",
+        )
+        cp.add_argument(
+            "--sensitivity", default=None, metavar="DIVISORS",
+            help="comma-separated stacked-bandwidth divisors for the "
+                 "dramcache sensitivity sweep, e.g. '1,2,4'",
+        )
+        cp.add_argument(
+            "--sensitivity-benchmarks", default=None, metavar="NAMES",
+            help="benchmarks the sensitivity sweep averages over",
+        )
+        cp.add_argument(
+            "--ingest", default=None, metavar="NAMES",
+            help="comma-separated registered trace names to add as "
+                 "campaign cells (see 'repro ingest')",
+        )
+        cp.add_argument(
+            "--ingest-dir", default="results/traces", metavar="DIR",
+            help="trace registry directory (default: results/traces)",
+        )
+        cp.add_argument(
             "--resume", action="store_true",
             help="require an existing journal (refuse to plan fresh)",
         )
@@ -943,7 +1097,43 @@ def main(argv=None) -> int:
         )
         cp.add_argument("--quiet", action="store_true")
 
+    ingest_parser = sub.add_parser(
+        "ingest",
+        help="validate, convert and register external memory traces",
+    )
+    ingest_parser.add_argument(
+        "sources", nargs="*", metavar="FILE",
+        help="gem5-style text traces or DBITRACE containers",
+    )
+    ingest_parser.add_argument(
+        "--registry", default="results/traces", metavar="DIR",
+        help="trace registry directory (default: results/traces)",
+    )
+    ingest_parser.add_argument(
+        "--name", default=None,
+        help="registered name (single source only; default: file stem)",
+    )
+    ingest_parser.add_argument(
+        "--format", dest="fmt", default="auto",
+        choices=("auto", "gem5", "dbitrace"),
+    )
+    ingest_parser.add_argument("--block-bytes", type=int, default=64)
+    ingest_parser.add_argument(
+        "--gap-scale", type=int, default=None, metavar="TICKS",
+        help="source ticks per simulated gap cycle (default: 1000)",
+    )
+    ingest_parser.add_argument(
+        "--max-gap", type=int, default=None, metavar="CYCLES",
+        help="clamp on one inter-reference gap (default: 10000)",
+    )
+    ingest_parser.add_argument(
+        "--list", action="store_true", dest="list_traces",
+        help="print the registry instead of ingesting",
+    )
+
     args = parser.parse_args(argv)
+    if args.command == "ingest":
+        return _cmd_ingest(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
     if args.command == "list":

@@ -32,7 +32,13 @@ from repro.dram.config import DramConfig
 from repro.dramcache.config import DramCacheConfig, stacked_dram_config
 from repro.sim.system import SystemConfig
 from repro.sim.trace import Trace
-from repro.workloads.mix import WorkloadMix, category_mixes
+from repro.workloads.mix import (
+    MixSpec,
+    WorkloadMix,
+    category_mix_specs,
+    category_mixes,
+    mix_from_spec,
+)
 from repro.workloads.spec import SPEC_PROFILES, generate_trace
 
 
@@ -137,12 +143,30 @@ class ScaleProfile:
         )
 
     def mixes(self, num_cores: int, count: Optional[int] = None,
-              seed: int = 0xDB1) -> List[WorkloadMix]:
+              seed: int = 0xDB1,
+              refs_per_core: Optional[int] = None) -> List[WorkloadMix]:
         """Category-balanced multi-programmed mixes at this scale."""
         return category_mixes(
             num_cores=num_cores,
             count=count or self.mixes_per_system,
-            refs_per_core=self.refs_per_core_multi,
+            refs_per_core=refs_per_core or self.refs_per_core_multi,
+            seed=seed,
+            footprint_divisor=self.divisor,
+        )
+
+    def mix_specs(self, num_cores: int, count: Optional[int] = None,
+                  seed: int = 0xDB1) -> List[MixSpec]:
+        """Mix identities (no traces) — cheap even at paper width."""
+        return category_mix_specs(
+            num_cores, count or self.mixes_per_system, seed=seed
+        )
+
+    def mix_for(self, spec: MixSpec, seed: int = 0xDB1,
+                refs_per_core: Optional[int] = None) -> WorkloadMix:
+        """Materialize one mix spec's traces at this scale."""
+        return mix_from_spec(
+            spec,
+            refs_per_core or self.refs_per_core_multi,
             seed=seed,
             footprint_divisor=self.divisor,
         )

@@ -70,6 +70,7 @@ from repro.campaign.watchdog import (
 from repro.utils.atomic import atomic_write_json, atomic_write_text
 from repro.utils.heartbeat import write_heartbeat
 from repro.utils.locks import FileLock, LockHeldError
+from repro.workloads.mix import mix_table_fingerprint, paper_mix_count
 
 #: Bump when the manifest schema changes.
 MANIFEST_FORMAT = 1
@@ -123,9 +124,17 @@ class CampaignConfig:
     """Everything that defines a campaign (stored in the journal header).
 
     ``benchmarks`` must be concrete (the CLI resolves "all" before
-    planning) so the plan fingerprint pins the exact grid.  ``workers`` is
-    a runtime knob: it rides along for convenience but is excluded from
-    the fingerprint, so a resume may change parallelism freely.
+    planning) so the plan fingerprint pins the exact grid.  ``workers`` and
+    ``ingest_dir`` are runtime knobs: they ride along for convenience but
+    are excluded from the fingerprint, so a resume may change parallelism
+    or point at a relocated trace registry freely (the registry *contents*
+    stay pinned — each ingested cell records its trace's sha256).
+
+    ``full_width`` switches multi-core counts to the paper's complete
+    102/259/120 mix tables and adds the alone-IPC normalizer cells;
+    ``shards`` >= 2 splits each long run into that many epoch segments
+    stitched back together (see :mod:`repro.checkpoint.shard`); ``tier``
+    records which preset produced this config.
     """
 
     scale: str = "quick"
@@ -137,6 +146,13 @@ class CampaignConfig:
     epoch_cycles: int = 5_000
     checkpoint: bool = False
     workers: int = 0
+    tier: Optional[str] = None
+    full_width: bool = False
+    shards: int = 0
+    sensitivity: Tuple[int, ...] = ()
+    sensitivity_benchmarks: Tuple[str, ...] = ()
+    ingested: Tuple[Tuple[str, str], ...] = ()
+    ingest_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scale not in SCALES:
@@ -151,9 +167,30 @@ class CampaignConfig:
                 "(fork-from-warm epoch streams would be full of "
                 "discontinuities); run two campaigns"
             )
+        if self.shards < 0 or self.shards == 1:
+            raise ValueError(
+                f"shards must be 0 (whole runs) or >= 2, got {self.shards}"
+            )
+        if self.shards and (self.telemetry or self.checkpoint):
+            raise ValueError(
+                "sharded runs cannot stream telemetry or fork from warm "
+                "images (each shard re-warms independently); pick one"
+            )
+        if self.sensitivity and not self.sensitivity_benchmarks:
+            raise ValueError(
+                "sensitivity sweep requested without benchmarks to sweep"
+            )
+        if self.full_width:
+            for cores in self.core_counts:
+                if cores != 1:
+                    paper_mix_count(cores)  # raises for unknown tables
+        if self.ingested and self.ingest_dir is None:
+            raise ValueError(
+                "ingested traces require an ingest_dir (the trace registry)"
+            )
 
     def to_dict(self) -> Dict:
-        return {
+        data = {
             "scale": self.scale,
             "benchmarks": list(self.benchmarks),
             "mechanisms": list(self.mechanisms),
@@ -164,6 +201,23 @@ class CampaignConfig:
             "checkpoint": self.checkpoint,
             "workers": self.workers,
         }
+        # New fields appear only when set so pre-existing journals (and
+        # their fingerprints) stay byte-identical.
+        if self.tier is not None:
+            data["tier"] = self.tier
+        if self.full_width:
+            data["full_width"] = True
+        if self.shards:
+            data["shards"] = self.shards
+        if self.sensitivity:
+            data["sensitivity"] = list(self.sensitivity)
+        if self.sensitivity_benchmarks:
+            data["sensitivity_benchmarks"] = list(self.sensitivity_benchmarks)
+        if self.ingested:
+            data["ingested"] = [[name, sha] for name, sha in self.ingested]
+        if self.ingest_dir is not None:
+            data["ingest_dir"] = self.ingest_dir
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "CampaignConfig":
@@ -177,12 +231,43 @@ class CampaignConfig:
             epoch_cycles=data.get("epoch_cycles", 5_000),
             checkpoint=data.get("checkpoint", False),
             workers=data.get("workers", 0),
+            tier=data.get("tier"),
+            full_width=data.get("full_width", False),
+            shards=data.get("shards", 0),
+            sensitivity=tuple(data.get("sensitivity", ())),
+            sensitivity_benchmarks=tuple(
+                data.get("sensitivity_benchmarks", ())
+            ),
+            ingested=tuple(
+                (name, sha) for name, sha in data.get("ingested", ())
+            ),
+            ingest_dir=data.get("ingest_dir"),
         )
 
     def plan_identity(self) -> Dict:
-        """The fingerprinted subset: what is simulated and how it is keyed."""
+        """The fingerprinted subset: what is simulated and how it is keyed.
+
+        Multi-core plans additionally pin each mix table's *composition*
+        fingerprint: cell records alone pin names and indices, but a
+        benchmark-pool drift that keeps names stable would silently swap
+        traces — the table fingerprint catches it at resume.
+        """
         identity = self.to_dict()
         identity.pop("workers")
+        identity.pop("ingest_dir", None)
+        scale = SCALES[self.scale]
+        tables = {}
+        for cores in self.core_counts:
+            if cores == 1:
+                continue
+            count = paper_mix_count(cores) if self.full_width else None
+            tables[str(cores)] = mix_table_fingerprint(
+                scale.mix_specs(cores, count),
+                self.refs or scale.refs_per_core_multi,
+                footprint_divisor=scale.divisor,
+            )
+        if tables:
+            identity["mix_tables"] = tables
         return identity
 
     def plan(self) -> List[CampaignCell]:
@@ -191,6 +276,10 @@ class CampaignConfig:
             benchmarks=self.benchmarks,
             mechanisms=self.mechanisms,
             core_counts=self.core_counts,
+            full_width=self.full_width,
+            ingested=self.ingested,
+            sensitivity=self.sensitivity,
+            sensitivity_benchmarks=self.sensitivity_benchmarks,
         )
 
 
@@ -429,10 +518,7 @@ class Campaign:
                     index += 1
                     self.journal.append("dispatch", cell=cell.cell_id)
                     hits_before = runner.cache_hits
-                    future = runner.submit(
-                        cell_config(scale, cell),
-                        cell_traces(scale, cell, refs=self.config.refs),
-                    )
+                    future = self._submit_cell(runner, scale, cell)
                     source = (
                         "cache" if runner.cache_hits > hits_before else "run"
                     )
@@ -476,6 +562,26 @@ class Campaign:
             self._restore_signal_handlers(previous_handlers)
 
     # ------------------------------------------------------------ internals
+
+    def _submit_cell(self, runner: SweepRunner, scale, cell: CampaignCell):
+        """Submit one cell's job(s); sharded for long whole-run cells.
+
+        Alone and sensitivity cells stay whole — they are short normalizer
+        or single-point runs where shard warmup overhead dominates.
+        """
+        config = cell_config(scale, cell)
+        traces = cell_traces(
+            scale, cell,
+            refs=self.config.refs,
+            full_width=self.config.full_width,
+            ingest_dir=self.config.ingest_dir,
+        )
+        if (
+            self.config.shards >= 2
+            and cell.category in ("bench", "mix", "trace")
+        ):
+            return runner.submit_sharded(config, traces, self.config.shards)
+        return runner.submit(config, traces)
 
     def _make_runner(
         self,
@@ -573,10 +679,7 @@ class Campaign:
         for cell in self.cells:
             if cell.cell_id in failed_now:
                 continue
-            future = runner.submit(
-                cell_config(scale, cell),
-                cell_traces(scale, cell, refs=self.config.refs),
-            )
+            future = self._submit_cell(runner, scale, cell)
             try:
                 result = future.result()
             except SweepJobError as exc:
@@ -611,6 +714,15 @@ class Campaign:
         )
         atomic_write_text(
             report_path(self.directory), self._render_report(cell_payload)
+        )
+        # Figure 6/7/8 surfaces + sensitivity table: deterministic bytes
+        # derived from the same payload, written before the complete record
+        # so crash recovery reproduces them byte-identically.
+        from repro.analysis.surfaces import assemble_surfaces, write_surfaces
+
+        write_surfaces(
+            self.directory,
+            assemble_surfaces(self.config, self.cells, cell_payload),
         )
         digest = result_digest(results_payload)
         self.journal.append("complete", results_digest=digest)

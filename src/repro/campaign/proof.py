@@ -82,18 +82,31 @@ def campaign_command(
     refs: int,
     telemetry: bool = False,
     checkpoint: bool = False,
+    tier: Optional[str] = None,
+    cores: Optional[str] = None,
+    sensitivity: Optional[str] = None,
+    sensitivity_benchmarks: Optional[str] = None,
 ) -> List[str]:
     """The ``repro campaign run`` invocation the proof drives."""
     command = [
         sys.executable, "-m", "repro", "campaign", "run",
         "--dir", directory,
-        "--scale", "quick",
         "--benchmarks", benchmarks,
         "--mechanisms", mechanisms,
         "--refs", str(refs),
         "--workers", "0",
         "--quiet",
     ]
+    if tier is not None:
+        command.extend(["--tier", tier])
+    else:
+        command.extend(["--scale", "quick"])
+    if cores is not None:
+        command.extend(["--cores", cores])
+    if sensitivity is not None:
+        command.extend(["--sensitivity", sensitivity])
+    if sensitivity_benchmarks is not None:
+        command.extend(["--sensitivity-benchmarks", sensitivity_benchmarks])
     if telemetry:
         command.append("--telemetry")
     if checkpoint:
@@ -138,6 +151,27 @@ def _compare_artifacts(
             differences.append(f"{name}: missing after recovery")
         elif not filecmp.cmp(ref, got, shallow=False):
             differences.append(f"{name}: bytes differ from reference")
+    # Surfaces (Figure 6/7/8 + sensitivity) are derived from results.json
+    # but rendered separately; recovery must regenerate the same bytes.
+    ref_surfaces = {
+        os.path.basename(p)
+        for p in glob.glob(os.path.join(reference_dir, "surfaces", "*"))
+    }
+    got_surfaces = {
+        os.path.basename(p)
+        for p in glob.glob(os.path.join(recovered_dir, "surfaces", "*"))
+    }
+    for missing in sorted(ref_surfaces - got_surfaces):
+        differences.append(f"surfaces/{missing}: missing after recovery")
+    for extra in sorted(got_surfaces - ref_surfaces):
+        differences.append(f"surfaces/{extra}: unexpected artifact")
+    for name in sorted(ref_surfaces & got_surfaces):
+        if not filecmp.cmp(
+            os.path.join(reference_dir, "surfaces", name),
+            os.path.join(recovered_dir, "surfaces", name),
+            shallow=False,
+        ):
+            differences.append(f"surfaces/{name}: bytes differ")
     if telemetry:
         ref_names = {
             os.path.basename(p)
@@ -174,6 +208,10 @@ def kill_and_resume_proof(
     refs: int = 800,
     telemetry: bool = False,
     checkpoint: bool = False,
+    tier: Optional[str] = None,
+    cores: Optional[str] = None,
+    sensitivity: Optional[str] = None,
+    sensitivity_benchmarks: Optional[str] = None,
     max_resumes: int = 4,
 ) -> ProofReport:
     """Run the proof: reference run, then kill/resume at every point.
@@ -188,6 +226,8 @@ def kill_and_resume_proof(
         campaign_command(
             reference_dir, benchmarks, mechanisms, refs,
             telemetry=telemetry, checkpoint=checkpoint,
+            tier=tier, cores=cores, sensitivity=sensitivity,
+            sensitivity_benchmarks=sensitivity_benchmarks,
         )
     )
     assert reference.returncode == 0, (
@@ -200,6 +240,8 @@ def kill_and_resume_proof(
         command = campaign_command(
             directory, benchmarks, mechanisms, refs,
             telemetry=telemetry, checkpoint=checkpoint,
+            tier=tier, cores=cores, sensitivity=sensitivity,
+            sensitivity_benchmarks=sensitivity_benchmarks,
         )
         first = run_campaign_process(command, chaos_spec=point.spec)
         if point.expect == "sigkill":

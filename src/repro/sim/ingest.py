@@ -1,0 +1,265 @@
+"""External trace ingestion: validate, convert, register.
+
+Externally captured memory traces — gem5 ``MemTrace``-style text dumps,
+coreblocks-style logs — become first-class campaign workloads through a
+three-step pipeline:
+
+1. **validate + convert**: parse the source format strictly (monotonic
+   timestamps, known commands, sane addresses), collapse ticks into the
+   simulator's inter-reference ``gap`` cycles, and map byte addresses to
+   block addresses;
+2. **serialize**: write the result as a canonical ``DBITRACE`` container
+   (:mod:`repro.sim.tracefile`), the same bytes a direct ``save_trace``
+   round-trip would produce;
+3. **register**: record name → file, sha256, record count in an atomic
+   ``registry.json`` manifest so campaign cells can pin the trace identity
+   in their plan fingerprint and refuse drifted bytes on resume.
+
+The text parser is deliberately tolerant of cosmetic variation (comments,
+comma or whitespace separation, hex or decimal addresses, ``r``/``Read``/
+``ReadReq`` command spellings) and deliberately strict about structure:
+short lines, unknown commands, and time travel are hard errors with line
+numbers, never silently skipped records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.trace import Trace
+from repro.sim.tracefile import MAGIC, load_trace, save_trace
+from repro.utils.atomic import atomic_write_json
+from repro.utils.validation import check_positive
+
+REGISTRY_NAME = "registry.json"
+REGISTRY_FORMAT = 1
+
+#: Commands accepted as reads / writes (case-insensitive, gem5 + pintool
+#: + coreblocks spellings).
+READ_COMMANDS = {"r", "rd", "read", "readreq", "readexreq", "ld", "load"}
+WRITE_COMMANDS = {"w", "wr", "write", "writereq", "writebackdirty", "st",
+                  "store"}
+
+#: Registered names become path components and campaign cell ids.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+#: One gap unit per this many source ticks (gem5 defaults to picosecond
+#: ticks; 1000 ticks ~ 1 ns ~ a few cycles).
+DEFAULT_GAP_SCALE = 1000
+
+#: Gaps are clamped so one idle stretch in a capture cannot stall the
+#: simulated core for millions of cycles.
+DEFAULT_MAX_GAP = 10_000
+
+
+def file_sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def parse_gem5_trace(
+    lines: Iterable[str],
+    name: str,
+    block_bytes: int = 64,
+    gap_scale: int = DEFAULT_GAP_SCALE,
+    max_gap: int = DEFAULT_MAX_GAP,
+) -> Trace:
+    """Parse a gem5-style text trace into a :class:`Trace`.
+
+    Accepted line shape (``#``-to-end-of-line comments and blank lines are
+    ignored)::
+
+        <tick> <command> <address> [size]
+
+    separated by whitespace and/or commas, with an optional ``:`` after the
+    tick. Ticks must be non-decreasing; addresses may be hex (``0x...``) or
+    decimal bytes and are converted to ``block_bytes``-sized block
+    addresses; tick deltas shrink by ``gap_scale`` and clamp at ``max_gap``.
+    """
+    check_positive("block_bytes", block_bytes)
+    check_positive("gap_scale", gap_scale)
+    check_positive("max_gap", max_gap)
+    records: List[Tuple[int, bool, int]] = []
+    previous_tick: Optional[int] = None
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.replace(",", " ").split()
+        if len(fields) < 3:
+            raise ValueError(
+                f"{name}:{lineno}: truncated record {line!r} "
+                "(want: <tick> <command> <address>)"
+            )
+        tick_text, command, addr_text = fields[0], fields[1], fields[2]
+        try:
+            tick = int(tick_text.rstrip(":"), 10)
+        except ValueError:
+            raise ValueError(
+                f"{name}:{lineno}: bad tick {tick_text!r}"
+            ) from None
+        if tick < 0:
+            raise ValueError(f"{name}:{lineno}: negative tick {tick}")
+        if previous_tick is not None and tick < previous_tick:
+            raise ValueError(
+                f"{name}:{lineno}: tick {tick} goes back in time "
+                f"(previous {previous_tick})"
+            )
+        lowered = command.lower()
+        if lowered in READ_COMMANDS:
+            is_write = False
+        elif lowered in WRITE_COMMANDS:
+            is_write = True
+        else:
+            raise ValueError(
+                f"{name}:{lineno}: unknown command {command!r} "
+                f"(reads: {sorted(READ_COMMANDS)}, "
+                f"writes: {sorted(WRITE_COMMANDS)})"
+            )
+        try:
+            addr = int(addr_text, 0)
+        except ValueError:
+            raise ValueError(
+                f"{name}:{lineno}: bad address {addr_text!r}"
+            ) from None
+        if addr < 0:
+            raise ValueError(f"{name}:{lineno}: negative address {addr}")
+        if previous_tick is None:
+            gap = 0
+        else:
+            gap = min(max_gap, (tick - previous_tick) // gap_scale)
+        records.append((gap, is_write, addr // block_bytes))
+        previous_tick = tick
+    if not records:
+        raise ValueError(f"{name}: no records (empty or comment-only trace)")
+    return Trace(name=name, records=records)
+
+
+def detect_format(path: str) -> str:
+    """``"dbitrace"`` for native containers, ``"gem5"`` for text traces."""
+    with open(path, "rb") as handle:
+        head = handle.read(len(MAGIC))
+    return "dbitrace" if head == MAGIC else "gem5"
+
+
+def load_registry(registry_dir: str) -> Dict:
+    path = os.path.join(registry_dir, REGISTRY_NAME)
+    if not os.path.exists(path):
+        return {"format": REGISTRY_FORMAT, "traces": {}}
+    with open(path, "r", encoding="utf-8") as handle:
+        registry = json.load(handle)
+    if registry.get("format") != REGISTRY_FORMAT:
+        raise ValueError(
+            f"{path}: unsupported registry format {registry.get('format')!r}"
+        )
+    if not isinstance(registry.get("traces"), dict):
+        raise ValueError(f"{path}: malformed registry (no traces mapping)")
+    return registry
+
+
+def ingest_trace(
+    source: str,
+    registry_dir: str,
+    name: Optional[str] = None,
+    fmt: str = "auto",
+    block_bytes: int = 64,
+    gap_scale: int = DEFAULT_GAP_SCALE,
+    max_gap: int = DEFAULT_MAX_GAP,
+) -> Dict:
+    """Validate ``source``, convert it, and register it under ``name``.
+
+    Returns the registry entry. The DBITRACE bytes are the identity: the
+    manifest pins their sha256, and campaign resume refuses the trace if
+    the file on disk no longer hashes to the registered digest.
+    """
+    if name is None:
+        name = os.path.splitext(os.path.basename(source))[0]
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"trace name {name!r} is not registrable; use letters, digits, "
+            "dot, underscore or dash (it becomes a campaign cell id)"
+        )
+    if fmt == "auto":
+        fmt = detect_format(source)
+    if fmt == "dbitrace":
+        trace = load_trace(source)  # full validation pass
+        trace = Trace(name=name, records=trace.records)
+    elif fmt == "gem5":
+        with open(source, "r", encoding="utf-8") as handle:
+            trace = parse_gem5_trace(
+                handle, name,
+                block_bytes=block_bytes,
+                gap_scale=gap_scale,
+                max_gap=max_gap,
+            )
+    else:
+        raise ValueError(
+            f"unknown trace format {fmt!r} (choose auto, gem5 or dbitrace)"
+        )
+
+    os.makedirs(registry_dir, exist_ok=True)
+    filename = f"{name}.dbitrace"
+    final_path = os.path.join(registry_dir, filename)
+    staging = f"{final_path}.staging.{os.getpid()}"
+    try:
+        save_trace(trace, staging)
+        os.replace(staging, final_path)
+    except BaseException:
+        try:
+            os.unlink(staging)
+        except OSError:
+            pass
+        raise
+
+    entry = {
+        "file": filename,
+        "sha256": file_sha256(final_path),
+        "records": len(trace.records),
+        "source": os.path.basename(source),
+        "source_format": fmt,
+    }
+    registry = load_registry(registry_dir)
+    registry["traces"][name] = entry
+    atomic_write_json(
+        os.path.join(registry_dir, REGISTRY_NAME),
+        registry, indent=2, sort_keys=True,
+    )
+    return entry
+
+
+def registered_trace(
+    registry_dir: str, name: str, expect_sha: Optional[str] = None
+) -> Trace:
+    """Load a registered trace, refusing silent drift.
+
+    Verifies the on-disk bytes against the registry's sha256 and, when the
+    caller pinned one (campaign cells do), against ``expect_sha`` as well.
+    """
+    registry = load_registry(registry_dir)
+    entry = registry["traces"].get(name)
+    if entry is None:
+        raise ValueError(
+            f"trace {name!r} is not registered in {registry_dir} "
+            f"(registered: {sorted(registry['traces']) or 'none'})"
+        )
+    if expect_sha is not None and entry["sha256"] != expect_sha:
+        raise ValueError(
+            f"trace {name!r}: registry sha {entry['sha256'][:12]} does not "
+            f"match the campaign's pinned sha {expect_sha[:12]}; the trace "
+            "was re-ingested since the campaign was planned"
+        )
+    path = os.path.join(registry_dir, entry["file"])
+    actual = file_sha256(path)
+    if actual != entry["sha256"]:
+        raise ValueError(
+            f"{path}: trace bytes drifted (sha {actual[:12]} != registered "
+            f"{entry['sha256'][:12]}); re-ingest the source"
+        )
+    return load_trace(path)

@@ -10,6 +10,7 @@ the mix is multi-programmed, not multi-threaded.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass
 from typing import List, Sequence
@@ -23,6 +24,19 @@ from repro.workloads.spec import SPEC_PROFILES, BenchmarkProfile, generate_trace
 CORE_ADDRESS_STRIDE = 1 << 26
 
 INTENSITIES = ("low", "medium", "high")
+
+#: Paper Section 5: mixes evaluated per core count (102 / 259 / 120).
+PAPER_MIX_COUNTS = {2: 102, 4: 259, 8: 120}
+
+
+def paper_mix_count(num_cores: int) -> int:
+    """Number of mixes the paper evaluates at ``num_cores`` cores."""
+    if num_cores not in PAPER_MIX_COUNTS:
+        raise ValueError(
+            f"the paper has no {num_cores}-core mix table; core counts with "
+            f"full-width tables: {sorted(PAPER_MIX_COUNTS)}"
+        )
+    return PAPER_MIX_COUNTS[num_cores]
 
 
 @dataclass(frozen=True)
@@ -96,6 +110,73 @@ def make_mix(
     )
 
 
+@dataclass(frozen=True)
+class MixSpec:
+    """A mix's identity without its traces: cheap to enumerate at full width.
+
+    Planning the paper's complete 102/259/120 grids must not generate half a
+    billion trace records up front, so the benchmark draw (which consumes the
+    category rng) is separated from trace construction. ``mix_from_spec``
+    builds the traces for exactly one spec, reproducing what
+    :func:`category_mixes` would have produced at the same index.
+    """
+
+    name: str
+    index: int
+    benchmark_names: tuple
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.benchmark_names)
+
+
+def category_mix_specs(
+    num_cores: int, count: int, seed: int = 0xDB1
+) -> List[MixSpec]:
+    """The benchmark composition of ``count`` category-cycling mixes.
+
+    Consumes the derived rng exactly as :func:`category_mixes` does, so the
+    spec at index ``i`` names the same benchmarks the full generator would
+    assign to mix ``i``.
+    """
+    check_positive("num_cores", num_cores)
+    check_positive("count", count)
+    rng = DeterministicRng(seed).derive(f"mixes:{num_cores}")
+    grid = list(itertools.product(INTENSITIES, INTENSITIES))
+    specs: List[MixSpec] = []
+    for index in range(count):
+        read_intensity, write_intensity = grid[index % len(grid)]
+        pool = _profiles_matching(read_intensity, write_intensity)
+        names = tuple(rng.choice(pool).name for _ in range(num_cores))
+        specs.append(
+            MixSpec(
+                name=(
+                    f"{num_cores}c_r{read_intensity[0].upper()}"
+                    f"_w{write_intensity[0].upper()}_{index:03d}"
+                ),
+                index=index,
+                benchmark_names=names,
+            )
+        )
+    return specs
+
+
+def mix_from_spec(
+    spec: MixSpec,
+    refs_per_core: int,
+    seed: int = 0xDB1,
+    footprint_divisor: int = 1,
+) -> WorkloadMix:
+    """Materialize one spec's traces (identical to the full-table mix)."""
+    return make_mix(
+        spec.name,
+        [SPEC_PROFILES[name] for name in spec.benchmark_names],
+        refs_per_core,
+        seed=seed + spec.index,
+        footprint_divisor=footprint_divisor,
+    )
+
+
 def category_mixes(
     num_cores: int,
     count: int,
@@ -109,26 +190,54 @@ def category_mixes(
     (read, write) intensity, so the returned set spans interference-light
     through interference-heavy combinations, as in the paper's methodology.
     """
-    check_positive("num_cores", num_cores)
-    check_positive("count", count)
-    rng = DeterministicRng(seed).derive(f"mixes:{num_cores}")
-    grid = list(itertools.product(INTENSITIES, INTENSITIES))
-    mixes: List[WorkloadMix] = []
-    for index in range(count):
-        read_intensity, write_intensity = grid[index % len(grid)]
-        pool = _profiles_matching(read_intensity, write_intensity)
-        profiles = [rng.choice(pool) for _ in range(num_cores)]
-        name = (
-            f"{num_cores}c_r{read_intensity[0].upper()}"
-            f"_w{write_intensity[0].upper()}_{index:03d}"
+    check_positive("refs_per_core", refs_per_core)
+    return [
+        mix_from_spec(
+            spec, refs_per_core, seed=seed, footprint_divisor=footprint_divisor
         )
-        mixes.append(
-            make_mix(
-                name,
-                profiles,
-                refs_per_core,
-                seed=seed + index,
-                footprint_divisor=footprint_divisor,
-            )
+        for spec in category_mix_specs(num_cores, count, seed=seed)
+    ]
+
+
+def full_mix_specs(num_cores: int, seed: int = 0xDB1) -> List[MixSpec]:
+    """The paper's complete mix table for ``num_cores`` cores, as specs."""
+    return category_mix_specs(num_cores, paper_mix_count(num_cores), seed=seed)
+
+
+def full_mix_table(
+    num_cores: int,
+    refs_per_core: int,
+    seed: int = 0xDB1,
+    footprint_divisor: int = 1,
+) -> List[WorkloadMix]:
+    """The paper's complete mix table, traces included (102/259/120 mixes)."""
+    return [
+        mix_from_spec(
+            spec, refs_per_core, seed=seed, footprint_divisor=footprint_divisor
         )
-    return mixes
+        for spec in full_mix_specs(num_cores, seed=seed)
+    ]
+
+
+def mix_table_fingerprint(
+    specs: Sequence[MixSpec],
+    refs_per_core: int,
+    seed: int = 0xDB1,
+    footprint_divisor: int = 1,
+) -> str:
+    """A digest pinning a mix table's identity.
+
+    Covers every input that determines the generated traces — mix names,
+    benchmark composition, per-core trace length, seed and footprint scaling
+    — without materializing the traces, so campaign resume can cross-check
+    that the planned table still regenerates bit-identically.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"mixtable:v1:{refs_per_core}:{seed}:{footprint_divisor}"
+                  .encode())
+    for spec in specs:
+        digest.update(
+            f"|{spec.index}:{spec.name}:{','.join(spec.benchmark_names)}"
+            .encode()
+        )
+    return digest.hexdigest()

@@ -1,0 +1,209 @@
+"""Surface assembly: deterministic Figure 6/7/8 tables with Student-t CIs."""
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import pytest
+
+from repro.analysis.surfaces import (
+    assemble_surfaces,
+    write_surfaces,
+)
+from repro.sim.metrics import weighted_speedup
+
+
+@dataclass
+class FakeConfig:
+    scale: str = "quick"
+    mechanisms: Tuple[str, ...] = ("baseline", "dbi")
+    sensitivity_benchmarks: Tuple[str, ...] = ()
+
+
+@dataclass
+class FakeCell:
+    cell_id: str
+    mechanism: str
+    num_cores: int
+    category: str
+    workload: str
+    benchmark: Optional[str] = None
+    mix_name: Optional[str] = None
+    backend: Optional[str] = None
+    bandwidth: Optional[int] = None
+
+
+def _result(mechanism, trace_names, ipcs, stats=None):
+    cycles = [1000] * len(ipcs)
+    instructions = [int(ipc * 1000) for ipc in ipcs]
+    return {
+        "mechanism": mechanism,
+        "trace_names": list(trace_names),
+        "ipc": list(ipcs),
+        "cycles": cycles,
+        "instructions": instructions,
+        "total_instructions_issued": max(1, sum(instructions)),
+        "stats": dict(stats or {}),
+        "events_processed": 1,
+    }
+
+
+def _payload(cells_with_results):
+    return {
+        cell.cell_id: {"key": f"k-{cell.cell_id}", "result": result}
+        for cell, result in cells_with_results
+    }
+
+
+def _bench_grid():
+    """Two benchmarks x two mechanisms, plus alone/mix cells at 2 cores."""
+    config = FakeConfig()
+    pairs = []
+    for bench, base_ipc in (("lbm", 0.5), ("mcf", 0.3)):
+        for mech, boost in (("baseline", 1.0), ("dbi", 1.2)):
+            cell = FakeCell(
+                cell_id=f"1c/{bench}/{mech}", mechanism=mech, num_cores=1,
+                category="bench", workload=bench, benchmark=bench,
+            )
+            stats = {
+                "dram.write_row_hit_rate": 0.4 * boost,
+                "dram.read_row_hit_rate": 0.6,
+                "mech.tag_lookups": 900,
+                "dram.dram_writes_performed": 50,
+            }
+            pairs.append((cell, _result(mech, [bench], [base_ipc * boost],
+                                        stats)))
+    for bench, alone_ipc in (("lbm", 0.6), ("mcf", 0.4)):
+        cell = FakeCell(
+            cell_id=f"alone/2c/{bench}", mechanism="baseline", num_cores=2,
+            category="alone", workload=bench, benchmark=bench,
+        )
+        pairs.append((cell, _result("baseline", [bench], [alone_ipc])))
+    for mech, boost in (("baseline", 1.0), ("dbi", 1.25)):
+        cell = FakeCell(
+            cell_id=f"2c/mix0/{mech}", mechanism=mech, num_cores=2,
+            category="mix", workload="mix0", mix_name="mix0",
+        )
+        pairs.append(
+            (cell, _result(mech, ["lbm", "mcf"], [0.45 * boost, 0.25 * boost]))
+        )
+    cells = [cell for cell, _ in pairs]
+    return config, cells, _payload(pairs)
+
+
+class TestFigure6:
+    def test_values_and_summary_rows(self):
+        config, cells, payload = _bench_grid()
+        surfaces = assemble_surfaces(config, cells, payload)
+        fig6a = surfaces["fig6a"]
+        assert fig6a.headers == ["workload", "baseline", "dbi"]
+        by_label = {row[0]: row[1:] for row in fig6a.rows}
+        assert by_label["lbm"] == [0.5, pytest.approx(0.6)]
+        assert by_label["mcf"] == [0.3, pytest.approx(0.36)]
+        assert "gmean" in by_label
+        ci_cell = by_label["mean ±95% CI"][0]
+        assert "±" in ci_cell and "(n=2)" in ci_cell
+        assert surfaces["fig6b"].rows[0][1] == pytest.approx(0.4)
+
+    def test_missing_cells_render_as_none(self):
+        config, cells, payload = _bench_grid()
+        del payload["1c/mcf/dbi"]
+        fig6a = assemble_surfaces(config, cells, payload)["fig6a"]
+        by_label = {row[0]: row[1:] for row in fig6a.rows}
+        assert by_label["mcf"][1] is None
+
+
+class TestFigure7:
+    def test_weighted_speedup_from_alone_cells(self):
+        config, cells, payload = _bench_grid()
+        fig7 = assemble_surfaces(config, cells, payload)["fig7"]
+        assert fig7.headers == ["system", "baseline", "dbi"]
+        row = fig7.rows[0]
+        assert row[0] == "2-core"
+        expected = weighted_speedup([0.45, 0.25], [0.6, 0.4])
+        assert row[1].startswith(f"{expected:.4f}")
+        assert "(n=1)" in row[1]
+
+    def test_notes_when_alone_cells_absent(self):
+        config, cells, payload = _bench_grid()
+        cells = [c for c in cells if c.category != "alone"]
+        fig7 = assemble_surfaces(config, cells, payload)["fig7"]
+        assert "alone-IPC" in fig7.notes
+        assert fig7.rows[0][1] is None
+
+
+class TestFigure8:
+    def test_normalized_s_curve(self):
+        config, cells, payload = _bench_grid()
+        fig8 = assemble_surfaces(config, cells, payload)["fig8"]
+        assert fig8.headers == ["workload", "dbi/baseline"]
+        base = weighted_speedup([0.45, 0.25], [0.6, 0.4])
+        dbi = weighted_speedup([0.45 * 1.25, 0.25 * 1.25], [0.6, 0.4])
+        assert fig8.rows == [["mix0", pytest.approx(dbi / base)]]
+        assert "0/1 workloads degrade" in fig8.notes
+
+    def test_skips_without_baseline(self):
+        config, cells, payload = _bench_grid()
+        config.mechanisms = ("dbi",)
+        fig8 = assemble_surfaces(config, cells, payload)["fig8"]
+        assert fig8.rows == []
+        assert "baseline" in fig8.notes
+
+
+class TestSensitivity:
+    def test_rows_per_bandwidth_backend(self):
+        config = FakeConfig(sensitivity_benchmarks=("lbm",))
+        pairs = []
+        for backend in ("tag", "dbi"):
+            for bw in (1, 2):
+                cell = FakeCell(
+                    cell_id=f"sens/lbm/{backend}/bw{bw}",
+                    mechanism="baseline", num_cores=1, category="sens",
+                    workload="lbm", benchmark="lbm",
+                    backend=backend, bandwidth=bw,
+                )
+                stats = {
+                    "dramcache.reads": 100,
+                    "dramcache.read_hits": 60 // bw,
+                    "dramcache.offchip_writes": 10 * bw,
+                }
+                pairs.append((cell, _result("baseline", ["lbm"],
+                                            [0.5 / bw], stats)))
+        cells = [cell for cell, _ in pairs]
+        table = assemble_surfaces(config, cells, _payload(pairs))[
+            "sensitivity"
+        ]
+        rows = {(row[0], row[1]): row for row in table.rows}
+        assert ("1/1x", "tag") in rows and ("1/2x", "dbi") in rows
+        # Halved bandwidth doubles t_burst and worsens every mean.
+        assert rows[("1/2x", "tag")][2] == 2 * rows[("1/1x", "tag")][2]
+        assert rows[("1/2x", "tag")][4] < rows[("1/1x", "tag")][4]
+        assert rows[("1/2x", "tag")][5] < rows[("1/1x", "tag")][5]
+
+    def test_absent_without_sens_cells(self):
+        config, cells, payload = _bench_grid()
+        assert "sensitivity" not in assemble_surfaces(config, cells, payload)
+
+
+class TestWriteSurfaces:
+    def test_deterministic_files(self, tmp_path):
+        config, cells, payload = _bench_grid()
+        surfaces = assemble_surfaces(config, cells, payload)
+        out = write_surfaces(str(tmp_path), surfaces)
+        names = sorted(os.listdir(out))
+        assert names == [
+            "fig6a.txt", "fig6b.txt", "fig6c.txt", "fig6d.txt",
+            "fig6e.txt", "fig7.txt", "fig8.txt", "surfaces.json",
+        ]
+        first = {n: open(os.path.join(out, n)).read() for n in names}
+        write_surfaces(
+            str(tmp_path), assemble_surfaces(config, cells, payload)
+        )
+        second = {n: open(os.path.join(out, n)).read() for n in names}
+        assert first == second
+        doc = json.loads(first["surfaces.json"])
+        assert doc["format"] == 1
+        assert set(doc["surfaces"]) == {
+            "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig7", "fig8",
+        }

@@ -100,3 +100,95 @@ class TestFingerprint:
         assert plan_fingerprint(identity, base) != plan_fingerprint(
             identity, more
         )
+
+
+class TestFullWidthPlans:
+    def test_full_width_covers_paper_mix_table(self):
+        from repro.workloads.mix import paper_mix_count
+
+        cells = plan_cells(
+            QUICK, ["lbm"], ["baseline"], [2], full_width=True
+        )
+        mixes = [c for c in cells if c.category == "mix"]
+        assert len(mixes) == paper_mix_count(2)
+
+    def test_full_width_adds_alone_normalizers(self):
+        from repro.workloads.mix import paper_mix_count
+
+        cells = plan_cells(
+            QUICK, ["lbm"], ["baseline"], [2], full_width=True
+        )
+        alone = [c for c in cells if c.category == "alone"]
+        assert alone, "full-width plans schedule alone normalizers"
+        assert all(c.mechanism == "baseline" for c in alone)
+        specs = QUICK.mix_specs(2, paper_mix_count(2))
+        mix_benchmarks = {
+            name
+            for c in cells
+            if c.category == "mix"
+            for name in specs[c.mix_index].benchmark_names
+        }
+        assert {c.benchmark for c in alone} >= mix_benchmarks
+
+    def test_ingested_and_sensitivity_cells(self):
+        cells = plan_cells(
+            QUICK, ["lbm"], ["baseline", "dbi"], [1],
+            ingested=[("ext", "a" * 64)],
+            sensitivity=[1, 2],
+            sensitivity_benchmarks=["lbm"],
+        )
+        traces = [c for c in cells if c.category == "trace"]
+        assert [c.cell_id for c in traces] == [
+            "trace/ext/baseline", "trace/ext/dbi",
+        ]
+        assert all(c.trace_sha == "a" * 64 for c in traces)
+        sens = [c for c in cells if c.category == "sens"]
+        assert {(c.backend, c.bandwidth) for c in sens} == {
+            ("tag", 1), ("tag", 2), ("dbi", 1), ("dbi", 2),
+        }
+
+    def test_sensitivity_without_benchmarks_rejected(self):
+        with pytest.raises(ValueError, match="sensitivity"):
+            plan_cells(QUICK, ["lbm"], ["baseline"], [1], sensitivity=[2])
+
+    def test_kind_survives_roundtrip_without_journal_collision(self):
+        cells = plan_cells(
+            QUICK, ["lbm"], ["baseline"], [1],
+            ingested=[("ext", "b" * 64)],
+            sensitivity=[2], sensitivity_benchmarks=["lbm"],
+        )
+        for cell in cells:
+            data = cell.to_dict()
+            assert "kind" not in data  # reserved by the journal record type
+            assert CampaignCell.from_dict(data) == cell
+
+    def test_trace_cell_sha_drift_refused(self, tmp_path):
+        from repro.sim.ingest import ingest_trace
+
+        import os
+
+        fixture = os.path.join(
+            os.path.dirname(__file__), "..", "sim", "fixtures",
+            "gem5_sample.trace",
+        )
+        registry = str(tmp_path / "traces")
+        entry = ingest_trace(fixture, registry, name="ext")
+        cells = plan_cells(
+            QUICK, [], ["baseline"], [1],
+            ingested=[("ext", entry["sha256"])],
+        )
+        assert cell_traces(
+            QUICK, cells[0], ingest_dir=registry
+        )[0].name == "ext"
+        drifted = plan_cells(
+            QUICK, [], ["baseline"], [1], ingested=[("ext", "0" * 64)]
+        )
+        with pytest.raises(ValueError, match="sha"):
+            cell_traces(QUICK, drifted[0], ingest_dir=registry)
+
+    def test_trace_cell_needs_ingest_dir(self):
+        cells = plan_cells(
+            QUICK, [], ["baseline"], [1], ingested=[("ext", "c" * 64)]
+        )
+        with pytest.raises(ValueError, match="ingest"):
+            cell_traces(QUICK, cells[0])

@@ -1,0 +1,166 @@
+"""Within-run sharding: segment runs, stitching, and runner integration."""
+
+import pytest
+
+from repro.analysis.runner import SweepRunner, job_key
+from repro.analysis.scaling import SCALES
+from repro.checkpoint.shard import (
+    ShardSpec,
+    run_shard,
+    shard_estimates,
+    stitch_shards,
+)
+from repro.sim.system import SimulationResult, System
+
+QUICK = SCALES["quick"]
+
+
+def _config(mechanism="dbi", refs=3000, **kwargs):
+    return QUICK.system_config(mechanism, **kwargs)
+
+
+def _trace(bench="lbm", refs=3000):
+    return QUICK.benchmark_trace(bench, refs=refs)
+
+
+class TestShardSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardSpec(index=0, count=1)
+        with pytest.raises(ValueError):
+            ShardSpec(index=4, count=4)
+        with pytest.raises(ValueError):
+            ShardSpec(index=-1, count=2)
+
+    def test_key_and_roundtrip(self):
+        spec = ShardSpec(index=1, count=4)
+        assert spec.key() == "1/4"
+        assert ShardSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestRunShard:
+    def test_segments_cover_most_of_the_run(self):
+        config, trace = _config(), _trace()
+        full = System(config, [trace]).run()
+        shards = [
+            run_shard(config, [trace], ShardSpec(i, 4)) for i in range(4)
+        ]
+        covered = sum(sum(s.instructions) for s in shards)
+        assert covered >= 0.9 * sum(full.instructions)
+
+    def test_deterministic(self):
+        config, trace = _config(), _trace()
+        a = run_shard(config, [trace], ShardSpec(1, 3))
+        b = run_shard(config, [trace], ShardSpec(1, 3))
+        assert a.to_dict() == b.to_dict()
+
+
+
+class TestStitchShards:
+    def _shard(self, mechanism="dbi", stats=None, instructions=(100,),
+               cycles=(50,)):
+        return SimulationResult(
+            mechanism=mechanism,
+            trace_names=["lbm"],
+            ipc=[i / c for i, c in zip(instructions, cycles)],
+            cycles=list(cycles),
+            instructions=list(instructions),
+            total_instructions_issued=max(1, sum(instructions)),
+            stats=dict(stats or {}),
+            events_processed=10,
+        )
+
+    def test_counters_sum_and_ipc_recomputed(self):
+        a = self._shard(stats={"dram.reads": 5}, instructions=(100,),
+                        cycles=(50,))
+        b = self._shard(stats={"dram.reads": 7}, instructions=(60,),
+                        cycles=(30,))
+        merged = stitch_shards([a, b])
+        assert merged.stats["dram.reads"] == 12
+        assert merged.instructions == [160]
+        assert merged.cycles == [80]
+        assert merged.ipc == [2.0]
+
+    def test_rates_recomputed_from_components(self):
+        a = self._shard(stats={"dram.write_row_hit_rate": 0.5,
+                               "dram.write_row_hit_rate.hits": 1,
+                               "dram.write_row_hit_rate.total": 2})
+        b = self._shard(stats={"dram.write_row_hit_rate": 1.0,
+                               "dram.write_row_hit_rate.hits": 6,
+                               "dram.write_row_hit_rate.total": 6})
+        merged = stitch_shards([a, b])
+        assert merged.stats["dram.write_row_hit_rate"] == pytest.approx(7 / 8)
+
+    def test_dist_means_weighted_by_count(self):
+        a = self._shard(stats={"dram.batch.mean": 2.0,
+                               "dram.batch.count": 1})
+        b = self._shard(stats={"dram.batch.mean": 5.0,
+                               "dram.batch.count": 3})
+        merged = stitch_shards([a, b])
+        assert merged.stats["dram.batch.mean"] == pytest.approx(4.25)
+        assert merged.stats["dram.batch.count"] == 4
+
+    def test_refuses_mismatched_shards(self):
+        with pytest.raises(ValueError):
+            stitch_shards([])
+        with pytest.raises(ValueError):
+            stitch_shards([self._shard("dbi"), self._shard("baseline")])
+
+    def test_stitched_close_to_full_run(self):
+        config, trace = _config(), _trace()
+        full = System(config, [trace]).run()
+        stitched = stitch_shards(
+            [run_shard(config, [trace], ShardSpec(i, 4)) for i in range(4)]
+        )
+        assert stitched.ipc[0] == pytest.approx(full.ipc[0], rel=0.15)
+
+    def test_estimates_cover_metrics(self):
+        config, trace = _config(), _trace()
+        shards = [
+            run_shard(config, [trace], ShardSpec(i, 3)) for i in range(3)
+        ]
+        estimates = shard_estimates(shards)
+        assert "ipc" in estimates
+        est = estimates["ipc"]
+        assert est.samples == 3
+        assert est.ci_low <= est.mean <= est.ci_high
+
+
+class TestRunnerSharding:
+    def test_submit_sharded_matches_direct_stitch(self, tmp_path):
+        config, trace = _config(), _trace()
+        runner = SweepRunner(workers=0, cache_dir=str(tmp_path / "cache"))
+        future = runner.submit_sharded(config, [trace], 3)
+        direct = stitch_shards(
+            [run_shard(config, [trace], ShardSpec(i, 3)) for i in range(3)]
+        )
+        assert future.result().to_dict() == direct.to_dict()
+        assert future.job.key.startswith("stitched:")
+        assert "+stitched3" in future.job.label
+
+    def test_resume_answers_from_cache(self, tmp_path):
+        config, trace = _config(), _trace()
+        cache = str(tmp_path / "cache")
+        first = SweepRunner(workers=0, cache_dir=cache)
+        reference = first.submit_sharded(config, [trace], 3).result()
+        second = SweepRunner(workers=0, cache_dir=cache)
+        resumed = second.submit_sharded(config, [trace], 3).result()
+        assert resumed.to_dict() == reference.to_dict()
+        assert second.cache_hits == 3
+
+    def test_shard_key_distinct_from_whole_run(self):
+        config, trace = _config(), _trace()
+        whole = job_key(config, [trace])
+        sharded = job_key(config, [trace], shard="0/2")
+        other = job_key(config, [trace], shard="1/2")
+        assert len({whole, sharded, other}) == 3
+
+    def test_refuses_unshardable_runners(self):
+        config, trace = _config(), _trace()
+        checked = SweepRunner(workers=0, cache_dir=None, check="full")
+        with pytest.raises(ValueError):
+            checked.submit(config, [trace], shard=ShardSpec(0, 2))
+        with pytest.raises(ValueError):
+            SweepRunner(workers=0, cache_dir=None).submit(
+                config, [trace], max_events=100, shard=ShardSpec(0, 2)
+            )

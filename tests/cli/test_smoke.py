@@ -174,3 +174,55 @@ class TestTimeline:
     def test_timeline_without_inputs_is_an_error(self, capsys):
         assert main(["timeline"]) == 2
         assert "needs either" in capsys.readouterr().err
+
+
+class TestIngest:
+    FIXTURE = os.path.join(
+        os.path.dirname(__file__), "..", "sim", "fixtures",
+        "gem5_sample.trace",
+    )
+
+    def test_ingest_then_list(self, capsys, tmp_path):
+        registry = str(tmp_path / "traces")
+        code = main(["ingest", self.FIXTURE, "--registry", registry,
+                     "--name", "ext"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "registered ext" in out and "sha256" in out
+        assert main(["ingest", "--registry", registry, "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "ext" in out and "gem5" in out
+
+    def test_ingest_rejects_malformed_source(self, capsys, tmp_path):
+        bad = tmp_path / "bad.trace"
+        bad.write_text("1000 r 0\n500 r 0\n")
+        code = main(["ingest", str(bad), "--registry",
+                     str(tmp_path / "traces")])
+        assert code == 2
+        assert "ingest failed" in capsys.readouterr().err
+
+
+class TestCampaignTiers:
+    def test_plan_tier_quick(self, capsys, tmp_path):
+        code = main(["campaign", "plan", "--tier", "quick",
+                     "--dir", str(tmp_path / "c")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "quick tier" in out
+        # Full-width quick tier spans every cell kind.
+        for kind in ("bench", "mix", "alone", "sens"):
+            assert f" {kind} " in out
+
+    def test_plan_with_ingested_trace(self, capsys, tmp_path):
+        registry = str(tmp_path / "traces")
+        assert main(["ingest", TestIngest.FIXTURE, "--registry", registry,
+                     "--name", "ext"]) == 0
+        capsys.readouterr()
+        code = main([
+            "campaign", "plan", "--dir", str(tmp_path / "c"),
+            "--benchmarks", "lbm", "--mechanisms", "baseline",
+            "--ingest", "ext", "--ingest-dir", registry,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert " trace " in out and "ext" in out

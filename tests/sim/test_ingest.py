@@ -1,0 +1,141 @@
+"""External trace ingestion: parsing, registry, drift refusal, round-trip."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.scaling import SCALES
+from repro.sim.ingest import (
+    REGISTRY_NAME,
+    detect_format,
+    file_sha256,
+    ingest_trace,
+    load_registry,
+    parse_gem5_trace,
+    registered_trace,
+)
+from repro.sim.system import System
+from repro.sim.tracefile import load_trace, save_trace
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
+                       "gem5_sample.trace")
+
+
+class TestParseGem5:
+    def test_fixture_parses(self):
+        with open(FIXTURE) as handle:
+            trace = parse_gem5_trace(handle, "gem5_sample")
+        assert len(trace.records) == 96
+        assert trace.records[0][0] == 0  # first record carries no gap
+        assert any(is_write for _g, is_write, _a in trace.records)
+        assert any(not is_write for _g, is_write, _a in trace.records)
+
+    def test_addresses_become_blocks(self):
+        trace = parse_gem5_trace(
+            ["0 r 0x80", "1000 w 128", "2000 r 64"], "t", block_bytes=64
+        )
+        assert [addr for _g, _w, addr in trace.records] == [2, 2, 1]
+
+    def test_gap_scaling_and_clamp(self):
+        trace = parse_gem5_trace(
+            ["0 r 0", "5000 r 0", "100000000 r 0"],
+            "t", gap_scale=1000, max_gap=200,
+        )
+        assert [gap for gap, _w, _a in trace.records] == [0, 5, 200]
+
+    @pytest.mark.parametrize("lines,fragment", [
+        (["0 r"], "truncated"),
+        (["x r 0"], "bad tick"),
+        (["-5 r 0"], "negative tick"),
+        (["1000 r 0", "500 r 0"], "back in time"),
+        (["0 flush 0"], "unknown command"),
+        (["0 r zz"], "bad address"),
+        (["0 r -64"], "negative address"),
+        (["# only a comment"], "no records"),
+        ([], "no records"),
+    ])
+    def test_malformed_rejected(self, lines, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            parse_gem5_trace(lines, "t")
+
+    def test_errors_carry_line_numbers(self):
+        with pytest.raises(ValueError, match="t:3"):
+            parse_gem5_trace(["0 r 0", "10 w 0", "5 r 0"], "t")
+
+
+class TestIngest:
+    def test_round_trip_stats_identical(self, tmp_path):
+        """An ingested trace replays identically to a direct save/load."""
+        registry_dir = str(tmp_path / "registry")
+        entry = ingest_trace(FIXTURE, registry_dir, name="ext")
+        via_registry = registered_trace(registry_dir, "ext",
+                                        expect_sha=entry["sha256"])
+
+        with open(FIXTURE) as handle:
+            direct = parse_gem5_trace(handle, "ext")
+        direct_path = str(tmp_path / "direct.dbitrace")
+        save_trace(direct, direct_path)
+        via_file = load_trace(direct_path)
+
+        assert via_registry.records == via_file.records
+        config = SCALES["quick"].system_config("dbi")
+        a = System(config, [via_registry]).run()
+        b = System(config, [via_file]).run()
+        assert a.to_dict() == b.to_dict()
+
+    def test_detect_format(self, tmp_path):
+        assert detect_format(FIXTURE) == "gem5"
+        native = str(tmp_path / "native.dbitrace")
+        save_trace(parse_gem5_trace(["0 r 0"], "t"), native)
+        assert detect_format(native) == "dbitrace"
+
+    def test_dbitrace_source_revalidated(self, tmp_path):
+        native = str(tmp_path / "native.dbitrace")
+        save_trace(parse_gem5_trace(["0 r 0", "9000 w 64"], "orig"), native)
+        entry = ingest_trace(native, str(tmp_path / "reg"), name="renamed")
+        trace = registered_trace(str(tmp_path / "reg"), "renamed")
+        assert trace.name == "renamed"
+        assert entry["source_format"] == "dbitrace"
+
+    def test_truncated_container_rejected(self, tmp_path):
+        native = str(tmp_path / "broken.dbitrace")
+        save_trace(parse_gem5_trace(["0 r 0", "9000 w 64"], "t"), native)
+        data = open(native, "rb").read()
+        open(native, "wb").write(data[:-3])
+        with pytest.raises(ValueError):
+            ingest_trace(native, str(tmp_path / "reg"))
+
+    def test_bad_names_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="not registrable"):
+            ingest_trace(FIXTURE, str(tmp_path), name="../escape")
+
+    def test_registry_is_atomic_json(self, tmp_path):
+        registry_dir = str(tmp_path / "reg")
+        ingest_trace(FIXTURE, registry_dir, name="a")
+        ingest_trace(FIXTURE, registry_dir, name="b")
+        registry = load_registry(registry_dir)
+        assert sorted(registry["traces"]) == ["a", "b"]
+        raw = json.load(open(os.path.join(registry_dir, REGISTRY_NAME)))
+        assert raw["format"] == 1
+
+
+class TestDriftRefusal:
+    def test_unregistered_refused(self, tmp_path):
+        ingest_trace(FIXTURE, str(tmp_path), name="ext")
+        with pytest.raises(ValueError, match="not registered"):
+            registered_trace(str(tmp_path), "ghost")
+
+    def test_pinned_sha_mismatch_refused(self, tmp_path):
+        ingest_trace(FIXTURE, str(tmp_path), name="ext")
+        with pytest.raises(ValueError, match="pinned sha"):
+            registered_trace(str(tmp_path), "ext", expect_sha="0" * 64)
+
+    def test_byte_drift_refused(self, tmp_path):
+        entry = ingest_trace(FIXTURE, str(tmp_path), name="ext")
+        path = os.path.join(str(tmp_path), entry["file"])
+        with open(path, "ab") as handle:
+            handle.write(b"\x00")
+        assert file_sha256(path) != entry["sha256"]
+        with pytest.raises(ValueError, match="drifted"):
+            registered_trace(str(tmp_path), "ext")

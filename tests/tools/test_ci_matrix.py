@@ -1,0 +1,139 @@
+"""CI plumbing stays consistent: workflows reference real stages and the
+coverage ratchet only ever moves the floor up."""
+
+import json
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+REPO = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+CI_SH = os.path.join(REPO, "tools", "ci.sh")
+WORKFLOWS = [
+    os.path.join(REPO, ".github", "workflows", "ci.yml"),
+    os.path.join(REPO, ".github", "workflows", "nightly.yml"),
+]
+RATCHET = os.path.join(REPO, "tools", "coverage_ratchet.py")
+
+
+def script_stages():
+    """ALL_STAGES as declared in tools/ci.sh (possibly spanning lines)."""
+    text = open(CI_SH).read()
+    match = re.search(r"ALL_STAGES=\(([^)]*)\)", text)
+    assert match, "ALL_STAGES declaration not found in tools/ci.sh"
+    return match.group(1).split()
+
+
+def workflow_stage_references():
+    """Every stage token a workflow passes to tools/ci.sh."""
+    referenced = set()
+    for path in WORKFLOWS:
+        doc = yaml.safe_load(open(path))
+        for job in doc.get("jobs", {}).values():
+            for include in (
+                job.get("strategy", {}).get("matrix", {}).get("include", [])
+            ):
+                referenced.update(str(include.get("stages", "")).split())
+            for step in job.get("steps", []):
+                run = step.get("run") or ""
+                for line in run.splitlines():
+                    line = line.strip()
+                    if "ci.sh" not in line:
+                        continue
+                    tail = line.split("ci.sh", 1)[1]
+                    # Template expressions (${{ matrix.stages }}) are
+                    # covered by the matrix includes above.
+                    tail = re.sub(r"\$\{\{.*?\}\}", "", tail)
+                    for token in tail.split():
+                        if token.startswith("-"):
+                            continue
+                        referenced.add(token)
+    return referenced
+
+
+class TestWorkflowStageConsistency:
+    def test_referenced_stages_exist(self):
+        stages = set(script_stages())
+        referenced = workflow_stage_references()
+        assert referenced, "no stage references found in workflows"
+        unknown = referenced - stages
+        assert not unknown, f"workflows reference unknown stages: {unknown}"
+
+    def test_every_stage_is_referenced_somewhere(self):
+        stages = set(script_stages())
+        referenced = workflow_stage_references()
+        orphaned = stages - referenced
+        assert not orphaned, (
+            f"stages never run by any workflow: {orphaned}"
+        )
+
+    def test_list_flag_matches_declaration(self):
+        out = subprocess.run(
+            ["bash", CI_SH, "--list"], capture_output=True, text=True,
+            check=True, cwd=REPO,
+        )
+        assert out.stdout.split() == script_stages()
+
+    def test_no_duplicate_stages(self):
+        stages = script_stages()
+        assert len(stages) == len(set(stages))
+
+
+def run_ratchet(tmp_path, percent, floor):
+    coverage = tmp_path / "coverage.json"
+    coverage.write_text(
+        json.dumps({"totals": {"percent_covered": percent}})
+    )
+    floor_file = tmp_path / "floor.txt"
+    floor_file.write_text(f"{floor}\n")
+    proc = subprocess.run(
+        [sys.executable, RATCHET, "--coverage-json", str(coverage),
+         "--floor-file", str(floor_file)],
+        capture_output=True, text=True,
+    )
+    return proc, int(floor_file.read_text().strip())
+
+
+class TestCoverageRatchet:
+    def test_raises_floor_beyond_margin(self, tmp_path):
+        proc, floor = run_ratchet(tmp_path, percent=87.6, floor=80)
+        assert proc.returncode == 0
+        assert floor == 86  # int(87.6 - 1.0 margin)
+
+    def test_holds_within_margin(self, tmp_path):
+        proc, floor = run_ratchet(tmp_path, percent=80.9, floor=80)
+        assert proc.returncode == 0
+        assert floor == 80
+
+    def test_never_lowers(self, tmp_path):
+        proc, floor = run_ratchet(tmp_path, percent=70.0, floor=80)
+        assert proc.returncode == 0
+        assert floor == 80
+
+    def test_missing_report_is_a_noop(self, tmp_path):
+        floor_file = tmp_path / "floor.txt"
+        floor_file.write_text("80\n")
+        proc = subprocess.run(
+            [sys.executable, RATCHET,
+             "--coverage-json", str(tmp_path / "absent.json"),
+             "--floor-file", str(floor_file)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0
+        assert floor_file.read_text().strip() == "80"
+
+    def test_unreadable_report_fails(self, tmp_path):
+        coverage = tmp_path / "coverage.json"
+        coverage.write_text("{not json")
+        floor_file = tmp_path / "floor.txt"
+        floor_file.write_text("80\n")
+        proc = subprocess.run(
+            [sys.executable, RATCHET, "--coverage-json", str(coverage),
+             "--floor-file", str(floor_file)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 2

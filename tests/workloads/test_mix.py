@@ -4,9 +4,15 @@ import pytest
 
 from repro.workloads.mix import (
     CORE_ADDRESS_STRIDE,
+    PAPER_MIX_COUNTS,
     WorkloadMix,
+    category_mix_specs,
     category_mixes,
+    full_mix_specs,
     make_mix,
+    mix_from_spec,
+    mix_table_fingerprint,
+    paper_mix_count,
 )
 from repro.workloads.spec import SPEC_PROFILES
 
@@ -79,3 +85,49 @@ class TestCategoryMixes:
         first_round = [m for m in mixes if m.name.endswith("000")][0]
         second_round = [m for m in mixes if m.name.endswith("009")][0]
         assert first_round.name.split("_0")[0] == second_round.name.split("_0")[0]
+
+
+class TestMixSpecs:
+    def test_specs_match_legacy_generation(self):
+        # The spec path consumes the category rng exactly like the legacy
+        # all-at-once path, so a spec-built mix is bit-identical.
+        legacy = category_mixes(num_cores=2, count=9, refs_per_core=50, seed=5)
+        specs = category_mix_specs(num_cores=2, count=9, seed=5)
+        assert [s.name for s in specs] == [m.name for m in legacy]
+        for spec, mix in zip(specs, legacy):
+            rebuilt = mix_from_spec(spec, refs_per_core=50, seed=5)
+            assert rebuilt.benchmark_names == mix.benchmark_names
+            assert [t.records for t in rebuilt.traces] == [
+                t.records for t in mix.traces
+            ]
+
+    def test_paper_mix_counts(self):
+        assert PAPER_MIX_COUNTS == {2: 102, 4: 259, 8: 120}
+        assert paper_mix_count(4) == 259
+        with pytest.raises(ValueError):
+            paper_mix_count(3)
+
+    def test_full_tables_deterministic_and_complete(self):
+        for cores, count in PAPER_MIX_COUNTS.items():
+            a = full_mix_specs(cores)
+            b = full_mix_specs(cores)
+            assert len(a) == count
+            assert a == b
+            assert len({s.name for s in a}) == count
+            assert all(len(s.benchmark_names) == cores for s in a)
+
+    def test_fingerprint_pins_table_identity(self):
+        specs = full_mix_specs(2)
+        base = mix_table_fingerprint(specs, refs_per_core=100)
+        assert base == mix_table_fingerprint(full_mix_specs(2), 100)
+        assert base != mix_table_fingerprint(specs, refs_per_core=200)
+        assert base != mix_table_fingerprint(specs, 100, seed=0xDB2)
+        assert base != mix_table_fingerprint(specs, 100, footprint_divisor=2)
+        assert base != mix_table_fingerprint(specs[:-1], 100)
+
+    def test_spec_index_seeds_traces(self):
+        specs = category_mix_specs(num_cores=2, count=4, seed=7)
+        mixes = [mix_from_spec(s, refs_per_core=50, seed=7) for s in specs]
+        # Different indices produce different streams even when a
+        # benchmark repeats across mixes.
+        assert len({tuple(m.traces[0].records) for m in mixes}) > 1

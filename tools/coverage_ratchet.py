@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Coverage ratchet: the floor only moves up.
+
+Reads the coverage percentage from a ``coverage.json`` report (pytest-cov's
+``--cov-report=json``) and compares it against the committed floor in
+``tools/coverage_floor.txt`` — the value ``tools/ci.sh`` passes to
+``--cov-fail-under``. When measured coverage beats the floor by more than
+the margin (default 1 point), the floor is rewritten to ``measured -
+margin`` so future regressions trip CI at the new level. The floor never
+moves down: enforcing the old floor when coverage drops is pytest's job
+(``--cov-fail-under``), not this tool's.
+
+Exit status is 0 in every expected case — missing report (pytest-cov not
+installed), below-floor coverage, floor already tight — so the ratchet
+composes with the coverage stage rather than double-reporting its failure.
+Only an unreadable/garbled report exits 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_FLOOR_FILE = os.path.join(os.path.dirname(__file__),
+                                  "coverage_floor.txt")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--coverage-json", default="coverage.json",
+        help="pytest-cov JSON report (default: coverage.json)",
+    )
+    parser.add_argument(
+        "--floor-file", default=DEFAULT_FLOOR_FILE,
+        help="committed floor file (default: tools/coverage_floor.txt)",
+    )
+    parser.add_argument(
+        "--margin", type=float, default=1.0,
+        help="keep the floor this many points below measured coverage "
+             "(default: 1.0)",
+    )
+    args = parser.parse_args()
+
+    if not os.path.exists(args.coverage_json):
+        print(
+            f"coverage ratchet: no report at {args.coverage_json} "
+            "(pytest-cov not installed?); leaving the floor alone"
+        )
+        return 0
+    try:
+        with open(args.coverage_json, "r", encoding="utf-8") as handle:
+            measured = float(
+                json.load(handle)["totals"]["percent_covered"]
+            )
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"coverage ratchet: unreadable report: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with open(args.floor_file, "r", encoding="utf-8") as handle:
+            floor = int(handle.read().strip())
+    except (OSError, ValueError) as exc:
+        print(f"coverage ratchet: unreadable floor: {exc}", file=sys.stderr)
+        return 2
+
+    candidate = int(measured - args.margin)
+    if measured < floor:
+        # pytest --cov-fail-under already failed the stage; don't pile on.
+        print(
+            f"coverage ratchet: measured {measured:.2f}% is below the "
+            f"floor ({floor}%); floor unchanged"
+        )
+        return 0
+    if candidate <= floor:
+        print(
+            f"coverage ratchet: measured {measured:.2f}%, floor {floor}% "
+            f"is within {args.margin:g} point(s); floor unchanged"
+        )
+        return 0
+    with open(args.floor_file, "w", encoding="utf-8") as handle:
+        handle.write(f"{candidate}\n")
+    print(
+        f"coverage ratchet: measured {measured:.2f}% beats floor {floor}% "
+        f"by more than {args.margin:g} point(s); floor raised to "
+        f"{candidate}% — commit {os.path.relpath(args.floor_file)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,13 @@ probability, so the gate is deterministic: the same instant dies on
 every CI run. ``--quick`` runs only the two load-bearing points (torn
 append + warm build) for a faster smoke.
 
+``--tier`` instead proves a shrunken *quick-tier* campaign — full-width
+mix tables, alone-IPC normalizer cells and the sensitivity sweep — and
+byte-compares the Figure 6/7/8 surface files on top of the standard
+artifacts. Its kill seq is computed from the tier's actual plan length
+(the cell count depends on the mix tables), so it always lands
+mid-dispatch rather than at a hard-coded offset.
+
 Exit status 0 = every kill point recovered byte-identically, 1 = not.
 """
 
@@ -45,6 +52,47 @@ CHECKPOINT_POINTS = [
     KillPoint("kill-mid-warm-build", "warm_kill=1"),
 ]
 
+# The shrunken quick-tier grid the --tier proof runs: small enough for CI,
+# wide enough to exercise full-width mixes, alone cells and sens cells.
+# The sensitivity grid is cut to one divisor and one benchmark because
+# sens cells run SENSITIVITY_REFS_FLOOR refs regardless of --refs.
+TIER_BENCHMARKS = "lbm"
+TIER_MECHANISMS = "baseline,dbi"
+TIER_CORES = "1,2"
+TIER_REFS = 200
+TIER_SENSITIVITY = "2"
+TIER_SENS_BENCHMARKS = "lbm"
+
+
+def tier_kill_points() -> list:
+    """Kill points for the tier proof, placed from the actual plan length.
+
+    The tier plan's cell count depends on the full-width mix tables, so
+    the journal seq of "mid-dispatch" is computed, not hard-coded: after
+    the header (seq 0), ``n`` cell records and the planned record, the
+    first dispatch/done pairs start at seq ``n + 2``.
+    """
+    from repro.campaign.tiers import tier_config
+
+    cells = len(
+        tier_config(
+            "quick",
+            benchmarks=tuple(TIER_BENCHMARKS.split(",")),
+            mechanisms=tuple(TIER_MECHANISMS.split(",")),
+            core_counts=tuple(int(c) for c in TIER_CORES.split(",")),
+            refs=TIER_REFS,
+            sensitivity=tuple(
+                int(d) for d in TIER_SENSITIVITY.split(",")
+            ),
+            sensitivity_benchmarks=tuple(TIER_SENS_BENCHMARKS.split(",")),
+        ).plan()
+    )
+    mid = cells + 2 + 18  # 9 dispatch/done pairs into the grid
+    return [
+        KillPoint("tier-torn-mid-append", f"kill={mid},mode=torn"),
+        KillPoint("tier-kill-mid-dispatch", f"kill={mid + 1},mode=kill"),
+    ]
+
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -65,6 +113,12 @@ def main() -> int:
         default=None,
         help="run under DIR and keep the campaign directories for autopsy",
     )
+    parser.add_argument(
+        "--tier",
+        action="store_true",
+        help="prove a shrunken quick-tier campaign (full-width mixes, "
+             "surfaces) instead of the legacy variants",
+    )
     args = parser.parse_args()
 
     telemetry_points = TELEMETRY_POINTS[:1] if args.quick else TELEMETRY_POINTS
@@ -77,17 +131,39 @@ def main() -> int:
         context = tempfile.TemporaryDirectory(prefix="soak-gate-")
         base = context.name
 
+    if args.tier:
+        variants = [
+            (
+                "tier-quick",
+                tier_kill_points(),
+                {
+                    "tier": "quick",
+                    "benchmarks": TIER_BENCHMARKS,
+                    "mechanisms": TIER_MECHANISMS,
+                    "cores": TIER_CORES,
+                    "refs": TIER_REFS,
+                    "sensitivity": TIER_SENSITIVITY,
+                    "sensitivity_benchmarks": TIER_SENS_BENCHMARKS,
+                },
+            )
+        ]
+    else:
+        variants = [
+            ("telemetry", telemetry_points,
+             {"telemetry": True, "refs": args.refs}),
+            ("checkpoint", CHECKPOINT_POINTS,
+             {"checkpoint": True, "refs": args.refs}),
+        ]
+
     failed = False
+    total = 0
     try:
-        for variant, points, flags in (
-            ("telemetry", telemetry_points, {"telemetry": True}),
-            ("checkpoint", CHECKPOINT_POINTS, {"checkpoint": True}),
-        ):
+        for variant, points, flags in variants:
             report = kill_and_resume_proof(
-                base, variant=variant, kill_points=points,
-                refs=args.refs, **flags,
+                base, variant=variant, kill_points=points, **flags,
             )
             print(report.to_text())
+            total += len(points)
             if not report.ok:
                 failed = True
     finally:
@@ -98,7 +174,6 @@ def main() -> int:
         print("soak gate: FAIL — recovery diverged from the reference run",
               file=sys.stderr)
         return 1
-    total = len(telemetry_points) + len(CHECKPOINT_POINTS)
     print(f"soak gate: ok ({total} kill points recovered byte-identically)")
     return 0
 
