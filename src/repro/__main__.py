@@ -670,8 +670,8 @@ def _cmd_check_diff(args) -> int:
         scale.benchmark_trace(name.strip(), refs=args.refs)
         for name in benchmarks
     ]
-    # None lets run_check_diff pick the right default: every mechanism for
-    # the plain differential, the demand-only subset with --dram-cache.
+    # None = every mechanism family; oracle v2's drain-schedule replay makes
+    # all of them eligible with or without --dram-cache.
     mechanisms = (
         [m.strip() for m in args.mechanisms.split(",")]
         if args.mechanisms
@@ -686,6 +686,35 @@ def _cmd_check_diff(args) -> int:
         return 2
     print(report.to_text())
     return 0 if report.ok else 1
+
+
+def _cmd_conformance(args) -> int:
+    from repro.check.conformance import (
+        CampaignConfig,
+        replay_finding,
+        run_campaign,
+    )
+
+    if args.replay:
+        outcome = replay_finding(args.replay)
+        print(outcome.spec.describe())
+        if outcome.ok:
+            print("replay: clean (the finding no longer reproduces)")
+            return 0
+        for failure in outcome.failures:
+            print(f"  {failure}")
+        return 1
+
+    config = CampaignConfig(
+        trials=args.trials,
+        seed=args.seed,
+        shrink=not args.no_shrink,
+    )
+    if args.out:
+        config.out_dir = args.out
+    result = run_campaign(config)
+    print(result.to_text())
+    return 0 if result.ok else 1
 
 
 def _cmd_dramcache(args) -> int:
@@ -958,7 +987,35 @@ def main(argv=None) -> int:
         "--dram-cache", choices=("tag", "dbi"), default=None,
         help="attach a die-stacked DRAM-cache level with this dirty backend "
              "and also prove the level equivalent to the untimed reference "
-             "(restricts mechanisms to the demand-only subset)",
+             "(every mechanism family is eligible: the oracle replays the "
+             "recorded drain schedule)",
+    )
+
+    conf_parser = sub.add_parser(
+        "conformance",
+        help="coverage-guided random differential + invariant campaign",
+    )
+    conf_parser.add_argument(
+        "--trials", type=int, default=24,
+        help="trial budget for the campaign (default: 24)",
+    )
+    conf_parser.add_argument(
+        "--seed", type=lambda v: int(v, 0), default=0xC0F0,
+        help="campaign seed; same seed = same trials and coverage map "
+             "(default: 0xC0F0)",
+    )
+    conf_parser.add_argument(
+        "--out", default=None,
+        help="artifact directory for coverage.json and finding repro "
+             "scripts (default: results/conformance)",
+    )
+    conf_parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="write failing trials unshrunk (faster triage turnaround)",
+    )
+    conf_parser.add_argument(
+        "--replay", default=None, metavar="FINDING.json",
+        help="re-run one written finding instead of a campaign",
     )
 
     dc_parser = sub.add_parser(
@@ -1142,6 +1199,8 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "check-diff":
         return _cmd_check_diff(args)
+    if args.command == "conformance":
+        return _cmd_conformance(args)
     if args.command == "dramcache":
         return _cmd_dramcache(args)
     if args.command == "profile":

@@ -1,0 +1,517 @@
+"""Coverage-guided conformance campaign over the whole checked surface.
+
+``repro conformance`` sweeps configuration space — mechanism × geometry ×
+DRAM-cache backend × check level — and op-schedule space (seeded generator
+families with distinct access shapes), running two legs per trial:
+
+* the **differential leg**: the serialized timing stack vs. the oracle-v2
+  replay (:func:`repro.check.differential.diff_one_mechanism`), which
+  witnesses drain ordering and bypass fetches op by op;
+* the **engine leg**: a normally-timed :class:`repro.sim.system.System`
+  carrying the invariant engine at the trial's check level, so MSHR merges,
+  overlapping fills and core overshoot — everything serialization removes —
+  run under the 9-invariant sweep and the writeback ledger.
+
+The campaign tracks a structural **coverage map**: which invariants actually
+exercised state, which writeback causes appeared, which drain-interleaving
+shapes the schedules hit, and which config corners ran. New coverage feeds
+back into generation — generator families and mechanisms that recently
+uncovered new keys are weighted up (greybox-style energy), so the campaign
+spends its trial budget where the state space is still opening.
+
+Every trial is derived from one campaign seed, so a run is exactly
+reproducible and its coverage map is byte-stable. A failing trial is
+shrunk — per-core record lists are ddmin-reduced while the failure still
+reproduces — and written to ``results/conformance/`` as a replayable repro
+script (``repro conformance --replay <file>``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.check.differential import (
+    DiffGeometry,
+    DrainRecorder,
+    diff_one_mechanism,
+)
+from repro.check.errors import InvariantViolation
+from repro.mechanisms.registry import MECHANISM_NAMES
+from repro.sim.trace import Trace
+from repro.utils.rng import DeterministicRng
+
+#: Campaign-selectable machine shapes. Small and collision-prone on purpose:
+#: the differential needs evictions, displacements and drains to fire at
+#: hundreds-of-refs trace lengths, not millions.
+GEOMETRIES: Dict[str, DiffGeometry] = {
+    "default": DiffGeometry(),
+    "tiny-llc": DiffGeometry(llc_blocks=64, llc_associativity=2),
+    "fine-dbi": DiffGeometry(dbi_granularity=4, llc_blocks=128),
+    "tiny-level": DiffGeometry(
+        dramcache_blocks=16,
+        dramcache_associativity=2,
+        dramcache_dbi_granularity=4,
+    ),
+}
+
+#: Op-schedule generator families (each shapes addresses differently).
+FAMILIES = (
+    "uniform",
+    "row-burst",
+    "set-pingpong",
+    "dirty-heavy",
+    "region-thrash",
+)
+
+DRAM_CACHE_BACKENDS = (None, "tag", "dbi")
+CHECK_LEVELS = ("cheap", "full")
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """Everything needed to reproduce one trial from scratch."""
+
+    index: int
+    seed: int
+    family: str
+    mechanism: str
+    geometry: str
+    dram_cache: Optional[str]
+    check_level: str
+    cores: int
+    refs: int
+    footprint: int
+    write_fraction: float
+
+    def describe(self) -> str:
+        backend = self.dram_cache or "none"
+        return (
+            f"trial {self.index}: {self.family}/{self.mechanism} "
+            f"geometry={self.geometry} dram-cache={backend} "
+            f"check={self.check_level} cores={self.cores} refs={self.refs}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "seed": self.seed,
+            "family": self.family,
+            "mechanism": self.mechanism,
+            "geometry": self.geometry,
+            "dram_cache": self.dram_cache,
+            "check_level": self.check_level,
+            "cores": self.cores,
+            "refs": self.refs,
+            "footprint": self.footprint,
+            "write_fraction": self.write_fraction,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Op-schedule generators.
+
+
+def _generate_records(
+    family: str, rng: DeterministicRng, refs: int, footprint: int,
+    write_fraction: float,
+) -> List[Tuple[int, bool, int]]:
+    """One core's record list for a generator family."""
+    records: List[Tuple[int, bool, int]] = []
+    if family == "uniform":
+        for _ in range(refs):
+            records.append(
+                (3, rng.chance(write_fraction), rng.randint(0, footprint - 1))
+            )
+    elif family == "row-burst":
+        # Runs of sequential row-mate writes: the shape AWB and DAWB/VWQ
+        # probe rounds are built for.
+        while len(records) < refs:
+            base = rng.randint(0, max(0, footprint - 16))
+            for offset in range(rng.randint(2, 12)):
+                if len(records) >= refs:
+                    break
+                records.append((2, rng.chance(0.75), base + offset))
+    elif family == "set-pingpong":
+        # A handful of addresses striding the whole footprint: heavy set
+        # conflict, constant evictions of recently dirtied blocks.
+        stride = max(1, footprint // 8)
+        hot = [
+            rng.randint(0, stride - 1) + lane * stride for lane in range(8)
+        ]
+        for _ in range(refs):
+            records.append(
+                (1, rng.chance(write_fraction), rng.choice(hot))
+            )
+    elif family == "dirty-heavy":
+        # Saturate the dirty budget: DBI entry displacement pressure.
+        for _ in range(refs):
+            records.append(
+                (2, rng.chance(0.85), rng.randint(0, footprint // 2 - 1))
+            )
+    elif family == "region-thrash":
+        # Alternate between two working sets sized near the LLC: fills and
+        # writebacks chase each other through the hierarchy.
+        for index in range(refs):
+            half = (index // 32) % 2
+            low = half * (footprint // 2)
+            addr = low + rng.randint(0, footprint // 2 - 1)
+            records.append((3, rng.chance(write_fraction), addr))
+    else:
+        raise ValueError(f"unknown generator family {family!r}")
+    return records
+
+
+def build_traces(spec: TrialSpec) -> List[Trace]:
+    rng = DeterministicRng(spec.seed)
+    return [
+        Trace(
+            f"conf{spec.index}c{core}",
+            _generate_records(
+                spec.family,
+                rng.derive(f"core{core}"),
+                spec.refs,
+                spec.footprint,
+                spec.write_fraction,
+            ),
+        )
+        for core in range(spec.cores)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Trial execution.
+
+
+def _system_config(spec: TrialSpec):
+    """A small timed-System shape mirroring the trial's DiffGeometry."""
+    from repro.cache.config import CacheConfig
+    from repro.sim.system import SystemConfig
+
+    geometry = GEOMETRIES[spec.geometry]
+    llc = CacheConfig(
+        name="llc",
+        num_blocks=geometry.llc_blocks,
+        associativity=geometry.llc_associativity,
+        tag_latency=4,
+        data_latency=8,
+        serial_lookup=True,
+    )
+    l1 = CacheConfig(
+        name="l1", num_blocks=geometry.l1_blocks,
+        associativity=geometry.l1_associativity,
+        tag_latency=1, data_latency=1, mshr_entries=16,
+    )
+    l2 = CacheConfig(
+        name="l2", num_blocks=geometry.l2_blocks,
+        associativity=geometry.l2_associativity,
+        tag_latency=2, data_latency=2,
+    )
+    dram_cache = None
+    if spec.dram_cache is not None:
+        dram_cache = geometry.dram_cache_config(spec.dram_cache)
+    return SystemConfig(
+        num_cores=spec.cores,
+        mechanism=spec.mechanism,
+        l1=l1,
+        l2=l2,
+        llc=llc,
+        dram=geometry.dram_config(),
+        dbi_alpha=geometry.dbi_alpha,
+        dbi_granularity=geometry.dbi_granularity,
+        dram_cache=dram_cache,
+        predictor_epoch_cycles=geometry.predictor_epoch_cycles,
+        warmup_fraction=0.0,
+    )
+
+
+@dataclass
+class TrialOutcome:
+    """One trial's verdict plus the coverage it contributed."""
+
+    spec: TrialSpec
+    failures: List[str] = field(default_factory=list)
+    coverage: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _bump(coverage: Dict[str, int], key: str, count: int = 1) -> None:
+    coverage[key] = coverage.get(key, 0) + count
+
+
+def run_trial(spec: TrialSpec, traces: Optional[Sequence[Trace]] = None) -> TrialOutcome:
+    """Run both legs of one trial and collect failures + coverage."""
+    outcome = TrialOutcome(spec=spec)
+    coverage = outcome.coverage
+    traces = list(traces if traces is not None else build_traces(spec))
+    geometry = GEOMETRIES[spec.geometry]
+    _bump(coverage, f"family:{spec.family}")
+    _bump(
+        coverage,
+        f"config:{spec.mechanism}:{spec.dram_cache or 'none'}:"
+        f"{spec.check_level}:{spec.geometry}",
+    )
+
+    # Differential leg: oracle v2 witness replay.
+    recorder = DrainRecorder()
+    try:
+        report, _snapshot = diff_one_mechanism(
+            spec.mechanism, traces, geometry,
+            dram_cache=spec.dram_cache, recorder=recorder,
+        )
+        outcome.failures.extend(
+            f"differential: {failure}" for failure in report.failures
+        )
+    except InvariantViolation as violation:
+        outcome.failures.append(f"differential: {violation}")
+    for cause, count in recorder.cause_counts.items():
+        _bump(coverage, f"writeback-cause:{cause}", count)
+    for shape, count in recorder.schedule().interleaving_profile().items():
+        _bump(coverage, f"drain:{shape}", count)
+
+    # Engine leg: the full timed system under the invariant engine.
+    from repro.sim.system import System
+
+    try:
+        system = System(_system_config(spec), traces, check=spec.check_level)
+        system.run()
+    except InvariantViolation as violation:
+        outcome.failures.append(f"engine[{spec.check_level}]: {violation}")
+    else:
+        engine = system.check_engine
+        for name, count in engine.invariant_exercised.items():
+            _bump(coverage, f"invariant:{name}", count)
+        for ledger in (engine.ledger, engine.dramcache_ledger):
+            if ledger is None:
+                continue
+            for cause, count in ledger.causes.items():
+                _bump(coverage, f"writeback-cause:{cause}", count)
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Failure shrinking.
+
+
+def _still_fails(
+    spec: TrialSpec, record_lists: Sequence[List[Tuple[int, bool, int]]]
+) -> bool:
+    traces = [
+        Trace(f"shrink{core}", list(records))
+        for core, records in enumerate(record_lists)
+    ]
+    if not any(traces[core].records for core in range(len(traces))):
+        return False
+    return not run_trial(spec, traces=traces).ok
+
+
+def shrink_failure(
+    spec: TrialSpec, traces: Sequence[Trace], max_rounds: int = 12
+) -> List[List[Tuple[int, bool, int]]]:
+    """ddmin-lite: drop record chunks while the failure still reproduces."""
+    record_lists = [list(trace.records) for trace in traces]
+    for _ in range(max_rounds):
+        shrunk = False
+        for core in range(len(record_lists)):
+            records = record_lists[core]
+            chunk = max(1, len(records) // 4)
+            start = 0
+            while start < len(record_lists[core]):
+                candidate = [list(r) for r in record_lists]
+                candidate[core] = (
+                    records[:start] + records[start + chunk:]
+                )
+                if candidate[core] != records and _still_fails(spec, candidate):
+                    record_lists[core] = candidate[core]
+                    records = record_lists[core]
+                    shrunk = True
+                else:
+                    start += chunk
+        if not shrunk:
+            break
+    return record_lists
+
+
+# ---------------------------------------------------------------------------
+# The campaign.
+
+
+@dataclass
+class CampaignConfig:
+    trials: int = 24
+    seed: int = 0xC0F0
+    out_dir: str = os.path.join("results", "conformance")
+    shrink: bool = True
+
+
+@dataclass
+class CampaignResult:
+    config: CampaignConfig
+    outcomes: List[TrialOutcome]
+    coverage: Dict[str, int]
+    findings: List[dict]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_text(self) -> str:
+        lines = [
+            f"conformance campaign: {len(self.outcomes)} trials "
+            f"(seed {self.config.seed:#x})",
+            f"coverage: {len(self.coverage)} structural keys "
+            f"({sum(1 for k in self.coverage if k.startswith('invariant:'))} "
+            f"invariants, "
+            f"{sum(1 for k in self.coverage if k.startswith('writeback-cause:'))} "
+            f"writeback causes, "
+            f"{sum(1 for k in self.coverage if k.startswith('drain:'))} "
+            f"drain shapes)",
+        ]
+        if self.findings:
+            lines.append(f"FINDINGS: {len(self.findings)}")
+            for finding in self.findings:
+                lines.append(f"  - {finding['describe']}")
+                for failure in finding["failures"][:3]:
+                    lines.append(f"      {failure}")
+                lines.append(f"    repro: {finding['repro_path']}")
+        else:
+            lines.append("findings: none")
+        return "\n".join(lines)
+
+
+def _weighted_choice(
+    rng: DeterministicRng, items: Sequence[str], weights: Dict[str, float]
+) -> str:
+    total = sum(weights.get(item, 1.0) for item in items)
+    mark = rng.random() * total
+    acc = 0.0
+    for item in items:
+        acc += weights.get(item, 1.0)
+        if mark < acc:
+            return item
+    return items[-1]
+
+
+def _draw_spec(
+    index: int,
+    rng: DeterministicRng,
+    family_weights: Dict[str, float],
+    mechanism_weights: Dict[str, float],
+) -> TrialSpec:
+    if index < len(MECHANISM_NAMES):
+        # Stratified opening: visit every mechanism (and cycle the
+        # families) before the energy weights take over, so rare corners
+        # like skipcache's writethrough stream are always on the map.
+        family = FAMILIES[index % len(FAMILIES)]
+        mechanism = MECHANISM_NAMES[index]
+    else:
+        family = _weighted_choice(rng, FAMILIES, family_weights)
+        mechanism = _weighted_choice(rng, MECHANISM_NAMES, mechanism_weights)
+    dram_cache = rng.choice(DRAM_CACHE_BACKENDS)
+    geometry = rng.choice(
+        [name for name in GEOMETRIES if dram_cache or name != "tiny-level"]
+    )
+    return TrialSpec(
+        index=index,
+        seed=rng.derive(f"trial{index}").seed,
+        family=family,
+        mechanism=mechanism,
+        geometry=geometry,
+        dram_cache=dram_cache,
+        check_level=rng.choice(CHECK_LEVELS),
+        cores=rng.choice((1, 1, 2)),
+        refs=rng.choice((150, 250, 400)),
+        footprint=rng.choice((512, 1024, 2048)),
+        write_fraction=rng.choice((0.3, 0.5, 0.7)),
+    )
+
+
+def run_campaign(config: CampaignConfig) -> CampaignResult:
+    """Run the seeded, coverage-guided campaign and write artifacts."""
+    rng = DeterministicRng(config.seed)
+    coverage: Dict[str, int] = {}
+    outcomes: List[TrialOutcome] = []
+    findings: List[dict] = []
+    # Greybox energy: a family/mechanism that recently found new coverage
+    # keys gets proportionally more of the remaining trial budget.
+    family_weights = {family: 1.0 for family in FAMILIES}
+    mechanism_weights = {name: 1.0 for name in MECHANISM_NAMES}
+
+    os.makedirs(config.out_dir, exist_ok=True)
+    for index in range(config.trials):
+        spec = _draw_spec(index, rng, family_weights, mechanism_weights)
+        outcome = run_trial(spec)
+        outcomes.append(outcome)
+        # Config-corner keys are excluded from energy: a mechanism earning
+        # credit for every unvisited corner of *itself* is a feedback loop
+        # that starves the rest of the matrix.
+        new_keys = sum(
+            1
+            for key in outcome.coverage
+            if key not in coverage and not key.startswith("config:")
+        )
+        for key, count in outcome.coverage.items():
+            _bump(coverage, key, count)
+        if new_keys:
+            family_weights[spec.family] = (
+                family_weights.get(spec.family, 1.0) + new_keys
+            )
+            mechanism_weights[spec.mechanism] = (
+                mechanism_weights.get(spec.mechanism, 1.0) + new_keys
+            )
+        if not outcome.ok:
+            findings.append(
+                _write_finding(config, spec, outcome, len(findings))
+            )
+
+    coverage_path = os.path.join(config.out_dir, "coverage.json")
+    with open(coverage_path, "w") as handle:
+        json.dump(coverage, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return CampaignResult(
+        config=config, outcomes=outcomes, coverage=coverage, findings=findings
+    )
+
+
+def _write_finding(
+    config: CampaignConfig, spec: TrialSpec, outcome: TrialOutcome,
+    ordinal: int,
+) -> dict:
+    traces = build_traces(spec)
+    record_lists = [list(trace.records) for trace in traces]
+    if config.shrink:
+        record_lists = shrink_failure(spec, traces)
+    finding = {
+        "describe": spec.describe(),
+        "spec": spec.to_dict(),
+        "failures": outcome.failures,
+        "traces": record_lists,
+    }
+    path = os.path.join(config.out_dir, f"finding-{ordinal:03d}.json")
+    with open(path, "w") as handle:
+        json.dump(finding, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    finding["repro_path"] = path
+    return finding
+
+
+# ---------------------------------------------------------------------------
+# Replay.
+
+
+def replay_finding(path: str) -> TrialOutcome:
+    """Re-run a written finding's (possibly shrunk) trial exactly."""
+    with open(path) as handle:
+        finding = json.load(handle)
+    spec_dict = dict(finding["spec"])
+    spec = TrialSpec(**spec_dict)
+    traces = [
+        Trace(f"replay{core}", [tuple(record) for record in records])
+        for core, records in enumerate(finding["traces"])
+    ]
+    return run_trial(spec, traces=traces)

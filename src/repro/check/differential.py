@@ -15,6 +15,14 @@ interleaved reference stream replays through the untimed
 * total writeback traffic: mechanism writebacks, and DRAM writes performed
   plus coalesced.
 
+The timed side additionally records an op-relative
+:class:`~repro.check.schedule.DrainSchedule` — which background writebacks
+retired within each op, and which memory fetches timing-dependent bypasses
+issued — and the oracle replays against it (oracle v2): the oracle decides
+*what* is written back, the witness pins *when*, and any disagreement is a
+reported divergence. This is what makes every mechanism family checkable,
+including below a DRAM-cache level whose LRU state is order-sensitive.
+
 Replacement is pinned to LRU on both sides (TA-DIP's coin flips are
 exercised by the timing tests); all other datapaths run unmodified,
 including CLB bypasses and predictor training.
@@ -44,6 +52,7 @@ from repro.check.oracle import (
     RefDramCache,
     RefLruCache,
 )
+from repro.check.schedule import DrainRecorder, DrainSchedule
 from repro.core.config import DbiConfig
 from repro.dram.config import DramConfig
 from repro.dram.controller import MemoryController
@@ -192,8 +201,13 @@ def run_timing_serialized(
     traces: Sequence[Trace],
     geometry: DiffGeometry,
     dram_cache: Optional[str] = None,
+    recorder: Optional[DrainRecorder] = None,
 ) -> TimingSnapshot:
-    """Drive the real stack one reference at a time and snapshot its state."""
+    """Drive the real stack one reference at a time and snapshot its state.
+
+    With a ``recorder`` attached, the mechanism logs every memory writeback
+    (with cause) and fetch per op — the drain schedule the oracle replays.
+    """
     queue = EventQueue()
     memory = MemoryController(queue, geometry.dram_config())
     level = None
@@ -221,8 +235,12 @@ def run_timing_serialized(
     hierarchy = Hierarchy(
         queue, len(traces), geometry.l1_config(), geometry.l2_config(), mechanism
     )
+    if recorder is not None:
+        mechanism.recorder = recorder
 
-    for core_id, is_write, addr in _interleave(traces):
+    for op_index, (core_id, is_write, addr) in enumerate(_interleave(traces)):
+        if recorder is not None:
+            recorder.begin_op(op_index)
         if is_write:
             hierarchy.store(core_id, addr)
         else:
@@ -312,6 +330,7 @@ def run_oracle(
     traces: Sequence[Trace],
     geometry: DiffGeometry,
     dram_cache: Optional[str] = None,
+    schedule: Optional[DrainSchedule] = None,
 ) -> OracleSystem:
     """Replay the same interleaved stream through the reference model."""
     if mechanism_name == "skipcache":
@@ -341,7 +360,7 @@ def run_oracle(
         )
     mechanism = OracleMechanism(
         mechanism_name, llc, geometry.dram_row_blocks, dbi=dbi,
-        dram_cache=ref_level,
+        dram_cache=ref_level, schedule=schedule,
     )
     oracle = OracleSystem(
         len(traces),
@@ -433,12 +452,19 @@ def diff_one_mechanism(
     traces: Sequence[Trace],
     geometry: DiffGeometry,
     dram_cache: Optional[str] = None,
+    recorder: Optional[DrainRecorder] = None,
 ) -> Tuple[MechanismReport, TimingSnapshot]:
-    """Run both sides for one mechanism and compare architectural state."""
+    """Run both sides for one mechanism and compare architectural state.
+
+    A caller-supplied ``recorder`` keeps its witness log after the run —
+    ``repro conformance`` mines it for coverage (causes, interleavings).
+    """
     report = MechanismReport(mechanism=mechanism_name)
+    recorder = recorder if recorder is not None else DrainRecorder()
     try:
         snapshot = run_timing_serialized(
-            mechanism_name, traces, geometry, dram_cache=dram_cache
+            mechanism_name, traces, geometry, dram_cache=dram_cache,
+            recorder=recorder,
         )
     except AssertionError as error:
         report.failures.append(f"timing-side invariant failure: {error}")
@@ -446,10 +472,14 @@ def diff_one_mechanism(
             set(), set(), set(), {}, [], [], [], [], 0, 0, 0, 0, 0
         )
         return report, empty
-    oracle = run_oracle(mechanism_name, traces, geometry, dram_cache=dram_cache)
+    oracle = run_oracle(
+        mechanism_name, traces, geometry, dram_cache=dram_cache,
+        schedule=recorder.schedule(),
+    )
     reference = oracle.mechanism
 
     failures = report.failures
+    failures.extend(oracle.schedule_failures())
     for core_id in range(len(traces)):
         _compare_sets(
             failures, f"core{core_id} L1 contents",
@@ -557,15 +587,6 @@ def diff_one_mechanism(
     return report, snapshot
 
 
-#: Mechanisms eligible for the DRAM-cache differential. The oracle's
-#: ordering contract defers background work (AWB flushes, DBI-displacement
-#: writebacks, DAWB/VWQ probes) to the end of each op, while the timing side
-#: issues it inline — invisible at the LLC (final state is order-free) but
-#: visible one level down, where each write reorders the level's LRU stacks.
-#: Demand-only mechanisms produce identical level write sequences.
-DRAMCACHE_DIFF_MECHANISMS = ("baseline", "tadip")
-
-
 def run_check_diff(
     traces: Sequence[Trace],
     mechanisms: Optional[Sequence[str]] = None,
@@ -582,21 +603,12 @@ def run_check_diff(
     With ``dram_cache`` set to a dirty-backend name ("tag" or "dbi"), every
     run carries a die-stacked DRAM-cache level between the mechanism and
     off-chip DRAM, and the level's contents, dirty set, DBI entries and
-    off-chip write traffic must also match the untimed reference — restricted
-    to :data:`DRAMCACHE_DIFF_MECHANISMS` (see its note on ordering).
+    off-chip write traffic must also match the untimed reference. Every
+    mechanism family is eligible in both modes: the recorded drain schedule
+    gives the oracle the op-relative retire order of background writebacks
+    and timing-dependent bypass fetches (see :mod:`repro.check.schedule`).
     """
-    if dram_cache is None:
-        mechanisms = list(mechanisms or MECHANISM_NAMES)
-    else:
-        mechanisms = list(mechanisms or DRAMCACHE_DIFF_MECHANISMS)
-        unsupported = sorted(set(mechanisms) - set(DRAMCACHE_DIFF_MECHANISMS))
-        if unsupported:
-            raise ValueError(
-                f"mechanisms {unsupported} issue background writebacks whose "
-                f"op-relative order differs between the timing stack and the "
-                f"oracle; the DRAM-cache differential supports "
-                f"{list(DRAMCACHE_DIFF_MECHANISMS)}"
-            )
+    mechanisms = list(mechanisms or MECHANISM_NAMES)
     geometry = geometry or DiffGeometry()
     reports: List[MechanismReport] = []
     content_sets: Dict[str, Set[int]] = {}

@@ -22,7 +22,7 @@ so it cannot keep the queue alive).
 from __future__ import annotations
 
 import enum
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.check.errors import InvariantViolation
 from repro.check.invariants import INVARIANTS
@@ -81,8 +81,8 @@ class _LedgerTap:
     def on_dirty_invalidated(self, addr: int) -> None:
         self.ledger.on_dirty_discarded(addr)
 
-    def on_memory_writeback(self, addr: int) -> None:
-        self.ledger.on_memory_writeback(addr)
+    def on_memory_writeback(self, addr: int, cause: str = "evict") -> None:
+        self.ledger.on_memory_writeback(addr, cause)
 
 
 class CheckEngine:
@@ -107,6 +107,9 @@ class CheckEngine:
             raise ValueError("CheckEngine is never built for level 'off'")
         self.interval = interval or SWEEP_INTERVALS[self.level]
         self.sweeps = 0
+        #: invariant name -> number of sweeps that actually exercised it
+        #: (a registry fn returning False was vacuous for this system shape).
+        self.invariant_exercised: Dict[str, int] = {}
         self.ledger: Optional[WritebackLedger] = None
         self.dramcache_ledger: Optional[WritebackLedger] = None
 
@@ -169,8 +172,8 @@ class CheckEngine:
     def on_dirty_invalidated(self, addr: int) -> None:
         self.ledger.on_dirty_discarded(addr)
 
-    def on_memory_writeback(self, addr: int) -> None:
-        self.ledger.on_memory_writeback(addr)
+    def on_memory_writeback(self, addr: int, cause: str = "evict") -> None:
+        self.ledger.on_memory_writeback(addr, cause)
 
     # ------------------------------------------------------------- sweeps
 
@@ -188,7 +191,10 @@ class CheckEngine:
     def run_checks(self, where: str = "on demand") -> None:
         """One full sweep of the registry (plus ledger agreement in full)."""
         for invariant in INVARIANTS:
-            invariant.fn(self.system)
+            if invariant.fn(self.system):
+                self.invariant_exercised[invariant.name] = (
+                    self.invariant_exercised.get(invariant.name, 0) + 1
+                )
         if self.ledger is not None:
             self.ledger.assert_agrees(self._machine_dirty_blocks(), where)
         if self.dramcache_ledger is not None:

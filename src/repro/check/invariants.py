@@ -325,32 +325,42 @@ def check_core_bounds(core) -> None:
 
 @dataclass(frozen=True)
 class Invariant:
-    """One registered system-wide check."""
+    """One registered system-wide check.
+
+    ``fn`` returns True when the check actually examined state and False
+    when it was vacuous for this system shape (e.g. ``dbi-structure`` on a
+    mechanism without a DBI). The engine counts exercised sweeps per
+    invariant; ``repro conformance`` uses those counts as coverage.
+    """
 
     name: str
     description: str
-    fn: Callable[[object], None]
+    fn: Callable[[object], bool]
 
 
-def _sys_dbi_tag_agreement(system) -> None:
+def _sys_dbi_tag_agreement(system) -> bool:
     check_dbi_tag_agreement(system.mechanism, system.llc)
+    return True
 
 
-def _sys_dbi_structure(system) -> None:
+def _sys_dbi_structure(system) -> bool:
     dbi = getattr(system.mechanism, "dbi", None)
-    if dbi is not None:
-        check_dbi_structure(dbi)
+    if dbi is None:
+        return False
+    check_dbi_structure(dbi)
+    return True
 
 
-def _sys_cache_structure(system) -> None:
+def _sys_cache_structure(system) -> bool:
     check_cache_structure(system.llc)
     hierarchy = getattr(system, "hierarchy", None)
     if hierarchy is not None:
         for cache in list(hierarchy.l1s) + list(hierarchy.l2s):
             check_cache_structure(cache)
+    return True
 
 
-def _sys_recency_sanity(system) -> None:
+def _sys_recency_sanity(system) -> bool:
     check_policy_recency(system.llc.policy, "llc")
     dbi = getattr(system.mechanism, "dbi", None)
     if dbi is not None:
@@ -364,44 +374,54 @@ def _sys_recency_sanity(system) -> None:
         check_policy_recency(level.tags.policy, "dramcache")
         if level.dbi is not None:
             check_policy_recency(level.dbi.policy, "dramcache-dbi")
+    return True
 
 
-def _sys_dramcache_structure(system) -> None:
+def _sys_dramcache_structure(system) -> bool:
     level = getattr(system, "dram_cache", None)
     if level is None:
-        return
+        return False
     check_cache_structure(level.tags, "dramcache")
     if level.dbi is not None:
         check_dbi_structure(level.dbi)
+    return True
 
 
-def _sys_dramcache_dirty_domain(system) -> None:
+def _sys_dramcache_dirty_domain(system) -> bool:
     level = getattr(system, "dram_cache", None)
-    if level is not None:
-        check_dramcache_dirty_domain(level)
+    if level is None:
+        return False
+    check_dramcache_dirty_domain(level)
+    return True
 
 
-def _sys_mshr_bounds(system) -> None:
+def _sys_mshr_bounds(system) -> bool:
     hierarchy = getattr(system, "hierarchy", None)
-    if hierarchy is not None:
-        for index, mshr in enumerate(hierarchy.l1_mshrs):
-            check_mshr(mshr, f"l1mshr{index}")
+    if hierarchy is None:
+        return False
+    for index, mshr in enumerate(hierarchy.l1_mshrs):
+        check_mshr(mshr, f"l1mshr{index}")
+    return True
 
 
-def _sys_writebuffer_bounds(system) -> None:
+def _sys_writebuffer_bounds(system) -> bool:
     check_write_buffer(system.memory.write_buffer)
     level = getattr(system, "dram_cache", None)
     if level is not None:
         check_write_buffer(level.stacked.write_buffer)
+    return True
 
 
-def _sys_port_sanity(system) -> None:
+def _sys_port_sanity(system) -> bool:
     check_port_sanity(system.port)
+    return True
 
 
-def _sys_core_bounds(system) -> None:
-    for core in getattr(system, "cores", ()):
+def _sys_core_bounds(system) -> bool:
+    cores = tuple(getattr(system, "cores", ()))
+    for core in cores:
         check_core_bounds(core)
+    return bool(cores)
 
 
 #: Ordered registry swept by the engine (cheap mode and up).

@@ -41,6 +41,9 @@ class WritebackLedger:
         self.cleaned = 0
         self.discarded = 0
         self.writebacks = 0
+        #: writeback cause -> count (see repro.check.schedule.WRITEBACK_CAUSES);
+        #: a coverage surface for `repro conformance`, not a checked quantity.
+        self.causes: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Observer callbacks (see CheckEngine for the wiring).
@@ -66,8 +69,9 @@ class WritebackLedger:
         self.dirty.discard(addr)
         self.discarded += 1
 
-    def on_memory_writeback(self, addr: int) -> None:
+    def on_memory_writeback(self, addr: int, cause: str = "evict") -> None:
         self.writebacks += 1
+        self.causes[cause] = self.causes.get(cause, 0) + 1
         if self.write_through:
             return
         owed = self.pending.get(addr, 0)

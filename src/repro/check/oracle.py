@@ -15,14 +15,30 @@ Ordering contract mirrored from the timing stack (one trace record = "op"):
 3. background probes (DAWB/VWQ row probes, AWB flushes, DBI-entry-eviction
    writebacks) queue in FIFO order and drain at the end of the op.
 
+**Oracle v2 — scheduled replay.** With a
+:class:`~repro.check.schedule.DrainSchedule` attached (recorded from the
+timed run), the split of responsibilities is explicit: the oracle decides
+*what* happens architecturally — which blocks a probe round writes back,
+which reads miss — and the witness decides *when*: background writebacks
+are validated against the recorded per-op multiset and emitted downstream
+in the recorded order, and timing-dependent fetches the oracle cannot
+predict (CLB's bypassed-but-resident reads, Skip Cache's bypasses) are
+replayed from the recording. Any disagreement — a drain the timing side
+never performed, a recorded drain the oracle never decided, an unexpected
+fetch — lands in ``schedule_failures`` with the op index attached. This is
+what lets ``repro check-diff`` cover every mechanism family, including
+below a DRAM-cache level whose LRU state is order-sensitive.
+
 Replacement is LRU everywhere (the differential harness pins the timing
 side to LRU too, since TA-DIP's set-dueling is exercised elsewhere).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict, deque
+from collections import Counter, OrderedDict, deque
 from typing import Dict, List, Optional, Set, Tuple
+
+from repro.check.schedule import DrainSchedule
 
 
 class RefLruCache:
@@ -318,6 +334,7 @@ class OracleMechanism:
         row_blocks: int,
         dbi: Optional[RefDbi] = None,
         dram_cache: Optional[RefDramCache] = None,
+        schedule: Optional[DrainSchedule] = None,
     ) -> None:
         if name not in _KIND_OF:
             raise ValueError(f"unknown mechanism {name!r}")
@@ -328,6 +345,7 @@ class OracleMechanism:
         self.row_blocks = row_blocks
         self.dbi = dbi
         self.dram_cache = dram_cache
+        self.schedule = schedule
         if self.kind == "dbi" and dbi is None:
             raise ValueError(f"{name} needs a RefDbi")
         if llc is None and self.kind != "writethrough":
@@ -335,11 +353,22 @@ class OracleMechanism:
             # its content depends on timing-sensitive bypass decisions, but
             # its traffic counts do not.
             raise ValueError(f"{name} needs a RefLruCache")
+        if llc is None and schedule is None and dram_cache is not None:
+            raise ValueError(
+                f"{name} below a DRAM cache needs a drain schedule: its "
+                f"bypass fetches are timing-dependent and order-sensitive"
+            )
         self.read_requests = 0
         self.writeback_requests = 0
         self.writebacks = 0
+        self.op_index = -1
+        self.schedule_failures: List[str] = []
         self._background = deque()
         self._rows_in_flight: Set[int] = set()
+
+    def begin_op(self, op_index: int) -> None:
+        """Align with the witness: called before each trace record."""
+        self.op_index = op_index
 
     # ------------------------------------------------------ memory access
     # With a RefDramCache attached, every fetch and writeback the mechanism
@@ -347,6 +376,14 @@ class OracleMechanism:
     # plumbing System applies when config.dram_cache is set.
 
     def _memory_fetch(self, addr: int) -> None:
+        if self.schedule is not None:
+            recorded = self.schedule.take_fetch(self.op_index)
+            if recorded != addr:
+                self.schedule_failures.append(
+                    f"op {self.op_index}: oracle fetches {addr:#x} but the "
+                    f"timing run recorded "
+                    + (f"{recorded:#x}" if recorded is not None else "no fetch")
+                )
         if self.dram_cache is not None:
             self.dram_cache.read(addr)
 
@@ -360,8 +397,26 @@ class OracleMechanism:
     def read(self, addr: int) -> None:
         self.read_requests += 1
         if self.llc is None:
+            # Unmodelled LLC (skipcache): whether this read bypassed, hit or
+            # missed is timing-dependent, so replay whatever fetches the
+            # witness recorded for the op straight into the level below.
+            if self.schedule is not None:
+                for fetched in self.schedule.take_fetches(self.op_index):
+                    if self.dram_cache is not None:
+                        self.dram_cache.read(fetched)
             return
         if self.llc.lookup(addr):
+            # CLB's bypassed-but-resident path: the timing side skipped the
+            # tag lookup, fetched from memory anyway, and the fill merged
+            # into the already-present block. Content-neutral up here, but
+            # the fetch is real traffic below — replay it when recorded.
+            if (
+                self.schedule is not None
+                and self.schedule.peek_fetch(self.op_index) == addr
+            ):
+                self.schedule.take_fetch(self.op_index)
+                if self.dram_cache is not None:
+                    self.dram_cache.read(addr)
             return
         self._memory_fetch(addr)
         evicted = self.llc.insert(addr, dirty=False)
@@ -463,17 +518,27 @@ class OracleMechanism:
     # ----------------------------------------------------------- draining
 
     def drain_background(self) -> None:
-        """Run queued background work to completion (end of each op)."""
+        """Run queued background work to completion (end of each op).
+
+        The oracle decides *which* blocks get written back — probe hits,
+        AWB flushes, DBI drains — by evaluating the queue in FIFO order
+        against its own LLC state. Without a schedule the writes also go
+        downstream in that order (the serialized timing contract). With a
+        schedule, the decisions are checked exactly-once against the
+        witness's per-op multiset and then emitted in the *recorded* order,
+        so the DRAM-cache level below sees the timing run's traffic order.
+        """
+        intended: List[int] = []
         while self._background:
             item = self._background.popleft()
             op = item[0]
             if op == "write":
-                self._memory_write(item[1])
+                intended.append(item[1])
             elif op == "dawb_probe":
                 _, other, row, last = item
                 if self.llc.is_dirty(other):
                     self.llc.mark_clean(other)
-                    self._memory_write(other)
+                    intended.append(other)
                 if last:
                     self._rows_in_flight.discard(row)
             elif op == "vwq_probe":
@@ -483,9 +548,22 @@ class OracleMechanism:
                 )
                 if in_lru_half and self.llc.is_dirty(other):
                     self.llc.mark_clean(other)
-                    self._memory_write(other)
+                    intended.append(other)
                 if last:
                     self._rows_in_flight.discard(row)
+        emit = intended
+        if self.schedule is not None:
+            recorded = self.schedule.background_for_op(self.op_index)
+            if Counter(recorded) == Counter(intended):
+                emit = recorded
+            else:
+                self.schedule_failures.append(
+                    f"op {self.op_index}: oracle drains "
+                    f"{['%#x' % a for a in intended]} but the timing run "
+                    f"retired {['%#x' % a for a in recorded]}"
+                )
+        for addr in emit:
+            self._memory_write(addr)
 
 
 class OracleSystem:
@@ -506,8 +584,12 @@ class OracleSystem:
         self.l1s = [RefLruCache(*l1_geometry) for _ in range(num_cores)]
         self.l2s = [RefLruCache(*l2_geometry) for _ in range(num_cores)]
         self.mechanism = mechanism
+        self._op_index = -1
 
     def access(self, core_id: int, is_write: bool, addr: int) -> None:
+        self._op_index += 1
+        if self.mechanism is not None:
+            self.mechanism.begin_op(self._op_index)
         if is_write:
             self._store(core_id, addr)
         else:
@@ -546,6 +628,15 @@ class OracleSystem:
             self._writeback_to_l2(core_id, evicted[0])
         if store:
             self.l1s[core_id].mark_dirty(addr)
+
+    def schedule_failures(self) -> List[str]:
+        """Witness disagreements after a full replay (empty = conforming)."""
+        if self.mechanism is None:
+            return []
+        failures = list(self.mechanism.schedule_failures)
+        if self.mechanism.schedule is not None:
+            failures.extend(self.mechanism.schedule.leftovers())
+        return failures
 
     def _writeback_to_l2(self, core_id: int, addr: int) -> None:
         l2 = self.l2s[core_id]

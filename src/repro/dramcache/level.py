@@ -212,10 +212,10 @@ class DramCacheLevel:
             if demand:
                 self.stats.counter("dirty_evictions").increment()
                 for block in demand:
-                    self._writeback_block(block)
+                    self._writeback_block(block, "evict")
             for block in drains:
                 self.stats.counter("awb_drains").increment()
-                self._writeback_block(block)
+                self._writeback_block(block, "awb-drain")
         if dirty and not self.backend.tag_dirty:
             # Marking after the victim is resolved keeps the DBI's
             # cached-blocks-only invariant during the entry displacement.
@@ -225,19 +225,19 @@ class DramCacheLevel:
         """A displaced DBI entry's blocks: cleaned in place, data off-chip."""
         for block in blocks:
             self.stats.counter("dbi_forced_writebacks").increment()
-            self._writeback_block(block)
+            self._writeback_block(block, "dbi-displace")
 
-    def _writeback_block(self, addr: int) -> None:
+    def _writeback_block(self, addr: int, cause: str = "evict") -> None:
         """Move one dirty block's data from the stacked array to off-chip."""
         # The data must be read out of the stacked array first; the read is
         # fire-and-forget (it consumes stacked bandwidth, nothing waits).
         self.stats.counter("stacked_victim_reads").increment()
         self.stacked.enqueue_read(MemoryRequest(block_addr=addr, is_write=False))
-        self._send_offchip_write(addr)
+        self._send_offchip_write(addr, cause)
 
     # ------------------------------------------------------- memory writes
 
-    def _send_offchip_write(self, addr: int) -> None:
+    def _send_offchip_write(self, addr: int, cause: str = "evict") -> None:
         counter = self._c_offchip_writes
         if counter is None:
             counter = self._c_offchip_writes = self.stats.counter(
@@ -245,7 +245,7 @@ class DramCacheLevel:
             )
         counter.value += 1
         if self.checker is not None:
-            self.checker.on_memory_writeback(addr)
+            self.checker.on_memory_writeback(addr, cause)
         accepted = self.offchip.enqueue_write(
             MemoryRequest(block_addr=addr, is_write=True)
         )

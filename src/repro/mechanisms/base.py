@@ -59,6 +59,8 @@ class LlcMechanism:
     write_through = False
     #: Optional CheckEngine tap on memory writebacks (full checked mode).
     checker = None
+    #: Optional DrainRecorder witness (oracle-v2 differential runs only).
+    recorder = None
 
     def __init__(
         self,
@@ -139,6 +141,8 @@ class LlcMechanism:
             self.stats.counter("fill_merges").increment()
             return
         self._pending_fills[addr] = [on_data]
+        if self.recorder is not None:
+            self.recorder.on_memory_fetch(addr)
         self.memory.enqueue_read(
             MemoryRequest(
                 block_addr=addr,
@@ -163,6 +167,8 @@ class LlcMechanism:
         self, core_id: int, addr: int, on_data: Callable[[int], None]
     ) -> None:
         """Serve a bypassed read straight from memory, without LLC pollution."""
+        if self.recorder is not None:
+            self.recorder.on_memory_fetch(addr)
         self.memory.enqueue_read(
             MemoryRequest(
                 block_addr=addr,
@@ -220,8 +226,13 @@ class LlcMechanism:
 
     # ------------------------------------------------------- memory writes
 
-    def _send_memory_write(self, addr: int) -> None:
-        """Queue a block writeback to memory, retrying under back-pressure."""
+    def _send_memory_write(self, addr: int, cause: str = "evict") -> None:
+        """Queue a block writeback to memory, retrying under back-pressure.
+
+        ``cause`` is one of :data:`repro.check.schedule.WRITEBACK_CAUSES`;
+        the ledger counts it and the drain recorder uses it to tell demand
+        writebacks from background drains.
+        """
         counter = self._c_memory_writebacks
         if counter is None:
             counter = self._c_memory_writebacks = self.stats.counter(
@@ -229,7 +240,9 @@ class LlcMechanism:
             )
         counter.value += 1
         if self.checker is not None:
-            self.checker.on_memory_writeback(addr)
+            self.checker.on_memory_writeback(addr, cause)
+        if self.recorder is not None:
+            self.recorder.on_memory_writeback(addr, cause)
         accepted = self.memory.enqueue_write(
             MemoryRequest(block_addr=addr, is_write=True)
         )

@@ -54,7 +54,7 @@ class DawbMechanism(LlcMechanism):
         if block is not None and block.dirty:
             self.llc.mark_clean(addr)
             self.stats.counter("proactive_writebacks").increment()
-            self._send_memory_write(addr)
+            self._send_memory_write(addr, "dawb-probe")
         else:
             self.stats.counter("wasted_probes").increment()
         if last_of_round:

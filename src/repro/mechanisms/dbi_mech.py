@@ -163,14 +163,14 @@ class DbiMechanism(LlcMechanism):
             self.dbi.mark_clean(other)
             self.stats.counter("awb_writebacks").increment()
             self.port.request(
-                partial(self._writeback_probe, other),
+                partial(self._writeback_probe, other, "awb"),
                 PortPriority.BACKGROUND,
             )
 
-    def _writeback_probe(self, addr: int) -> None:
+    def _writeback_probe(self, addr: int, cause: str) -> None:
         """Background tag lookup that reads a dirty block's data out."""
         self._count_tag_lookup(-1)
-        self._send_memory_write(addr)
+        self._send_memory_write(addr, cause)
 
     # ------------------------------------------- DBI evictions (Sec 2.2.4)
 
@@ -187,7 +187,7 @@ class DbiMechanism(LlcMechanism):
         )
         for block in eviction.dirty_blocks:
             self.port.request(
-                partial(self._writeback_probe, block),
+                partial(self._writeback_probe, block, "dbi-displace"),
                 PortPriority.BACKGROUND,
             )
 

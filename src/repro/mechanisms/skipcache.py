@@ -57,11 +57,11 @@ class SkipCacheMechanism(LlcMechanism):
 
     def _mark_dirty(self, addr: int) -> None:
         """Write-through: the block stays clean; the data goes to memory."""
-        self._send_memory_write(addr)
+        self._send_memory_write(addr, "writethrough")
 
     def _insert_dirty(self, addr: int, core_id: int):
         evicted = self.llc.insert(addr, core_id=core_id, dirty=False)
-        self._send_memory_write(addr)
+        self._send_memory_write(addr, "writethrough")
         return evicted
 
     def check_invariants(self) -> None:

@@ -82,7 +82,7 @@ class VwqMechanism(LlcMechanism):
                 self.llc.mark_clean(addr)
                 found = True
                 self.stats.counter("proactive_writebacks").increment()
-                self._send_memory_write(addr)
+                self._send_memory_write(addr, "vwq-probe")
                 break
         if not found:
             self.stats.counter("wasted_probes").increment()

@@ -1,0 +1,218 @@
+"""Unit coverage of the conformance campaign machinery.
+
+The campaign's value rests on four properties tested here: trial generation
+is a pure function of the seed, a healthy stack yields a clean trial with
+real coverage, a failing trial is shrunk to a small replayable repro, and
+the coverage map is byte-stable across identical runs.
+"""
+
+import json
+import os
+
+import pytest
+
+import repro.check.conformance as conformance
+from repro.check.conformance import (
+    CampaignConfig,
+    FAMILIES,
+    GEOMETRIES,
+    TrialSpec,
+    build_traces,
+    replay_finding,
+    run_campaign,
+    run_trial,
+    shrink_failure,
+)
+from repro.mechanisms.registry import MECHANISM_NAMES
+from repro.utils.rng import DeterministicRng
+
+
+def spec(**overrides):
+    params = dict(
+        index=0,
+        seed=0xBEEF,
+        family="uniform",
+        mechanism="dbi+awb",
+        geometry="default",
+        dram_cache=None,
+        check_level="cheap",
+        cores=1,
+        refs=80,
+        footprint=512,
+        write_fraction=0.6,
+    )
+    params.update(overrides)
+    return TrialSpec(**params)
+
+
+class TestGeneration:
+    def test_traces_are_a_pure_function_of_the_spec(self):
+        first, second = build_traces(spec()), build_traces(spec())
+        assert [t.records for t in first] == [t.records for t in second]
+
+    def test_different_seeds_differ(self):
+        assert (
+            build_traces(spec())[0].records
+            != build_traces(spec(seed=0xF00D))[0].records
+        )
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_every_family_generates_runnable_traces(self, family):
+        traces = build_traces(spec(family=family, cores=2))
+        assert len(traces) == 2
+        for trace in traces:
+            assert len(trace.records) == 80
+            assert all(0 <= addr < 512 for _g, _w, addr in trace.records)
+
+    def test_unknown_family_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown generator family"):
+            build_traces(spec(family="nope"))
+
+    def test_draw_spec_covers_every_mechanism_in_the_opening(self):
+        rng = DeterministicRng(1)
+        weights_f = {f: 1.0 for f in FAMILIES}
+        weights_m = {m: 1.0 for m in MECHANISM_NAMES}
+        drawn = [
+            conformance._draw_spec(i, rng, weights_f, weights_m).mechanism
+            for i in range(len(MECHANISM_NAMES))
+        ]
+        assert drawn == list(MECHANISM_NAMES)
+
+    def test_drawn_specs_stay_in_the_declared_space(self):
+        rng = DeterministicRng(2)
+        weights_f = {f: 1.0 for f in FAMILIES}
+        weights_m = {m: 1.0 for m in MECHANISM_NAMES}
+        for index in range(30):
+            drawn = conformance._draw_spec(index, rng, weights_f, weights_m)
+            assert drawn.family in FAMILIES
+            assert drawn.mechanism in MECHANISM_NAMES
+            assert drawn.geometry in GEOMETRIES
+            # tiny-level only makes sense with a level attached.
+            if drawn.dram_cache is None:
+                assert drawn.geometry != "tiny-level"
+
+
+class TestTrials:
+    def test_healthy_trial_is_clean_and_covers(self):
+        outcome = run_trial(spec(dram_cache="dbi", check_level="full"))
+        assert outcome.ok
+        assert any(
+            key.startswith("invariant:") for key in outcome.coverage
+        )
+        assert any(
+            key.startswith("writeback-cause:") for key in outcome.coverage
+        )
+        assert "family:uniform" in outcome.coverage
+
+    def test_spec_roundtrips_through_dict(self):
+        original = spec(dram_cache="tag")
+        assert TrialSpec(**original.to_dict()) == original
+
+
+MAGIC = 0x2A
+
+
+def _sabotaged_diff(real_diff):
+    """A differential that fails whenever the magic address is written."""
+
+    def fake(mechanism_name, traces, geometry, dram_cache=None, recorder=None):
+        if any(
+            is_write and addr == MAGIC
+            for trace in traces
+            for _gap, is_write, addr in trace.records
+        ):
+            report, snapshot = real_diff(
+                mechanism_name, traces, geometry,
+                dram_cache=dram_cache, recorder=recorder,
+            )
+            report.failures.append("planted divergence at block 0x2a")
+            return report, snapshot
+        return real_diff(
+            mechanism_name, traces, geometry,
+            dram_cache=dram_cache, recorder=recorder,
+        )
+
+    return fake
+
+
+class TestShrinking:
+    def test_planted_failure_is_shrunk_and_replayable(
+        self, monkeypatch, tmp_path
+    ):
+        real_diff = conformance.diff_one_mechanism
+        monkeypatch.setattr(
+            conformance, "diff_one_mechanism", _sabotaged_diff(real_diff)
+        )
+        failing = spec(mechanism="baseline", refs=40)
+        traces = build_traces(failing)
+        # Plant the magic write mid-trace so there is fat to trim.
+        records = list(traces[0].records)
+        records[20] = (1, True, MAGIC)
+        traces[0] = type(traces[0])("planted", records)
+
+        outcome = run_trial(failing, traces=traces)
+        assert not outcome.ok
+
+        shrunk = shrink_failure(failing, traces)
+        total = sum(len(records) for records in shrunk)
+        assert total < 40
+        assert any(
+            addr == MAGIC and is_write
+            for records in shrunk
+            for _gap, is_write, addr in records
+        )
+
+        # The written-finding/replay loop reproduces the shrunk failure.
+        path = str(tmp_path / "finding.json")
+        with open(path, "w") as handle:
+            json.dump(
+                {"spec": failing.to_dict(), "traces": shrunk},
+                handle,
+            )
+        replayed = replay_finding(path)
+        assert not replayed.ok
+        assert any("planted divergence" in f for f in replayed.failures)
+
+
+class TestCampaign:
+    def test_quick_campaign_is_clean_and_byte_stable(self, tmp_path):
+        payloads = []
+        for leg in ("a", "b"):
+            out_dir = str(tmp_path / leg)
+            result = run_campaign(
+                CampaignConfig(trials=4, seed=0x5EED, out_dir=out_dir)
+            )
+            assert result.ok
+            assert len(result.outcomes) == 4
+            with open(os.path.join(out_dir, "coverage.json"), "rb") as handle:
+                payloads.append(handle.read())
+        assert payloads[0] == payloads[1]
+
+    def test_failing_campaign_writes_findings(self, monkeypatch, tmp_path):
+        real_diff = conformance.diff_one_mechanism
+
+        def always_fails(
+            mechanism_name, traces, geometry, dram_cache=None, recorder=None
+        ):
+            report, snapshot = real_diff(
+                mechanism_name, traces, geometry,
+                dram_cache=dram_cache, recorder=recorder,
+            )
+            report.failures.append("planted campaign failure")
+            return report, snapshot
+
+        monkeypatch.setattr(conformance, "diff_one_mechanism", always_fails)
+        out_dir = str(tmp_path / "conf")
+        result = run_campaign(
+            CampaignConfig(trials=2, seed=1, out_dir=out_dir, shrink=False)
+        )
+        assert not result.ok
+        assert len(result.findings) == 2
+        for ordinal, finding in enumerate(result.findings):
+            path = os.path.join(out_dir, f"finding-{ordinal:03d}.json")
+            assert finding["repro_path"] == path
+            with open(path) as handle:
+                payload = json.load(handle)
+            assert payload["failures"]
+            assert TrialSpec(**payload["spec"]).index == ordinal
+        assert "FINDINGS: 2" in result.to_text()

@@ -130,13 +130,14 @@ class TestDramCache:
         assert code == 0
         assert "OK" in capsys.readouterr().out
 
-    def test_check_diff_rejects_background_mechanisms(self, capsys):
+    def test_check_diff_with_level_and_background_writebacks(self, capsys):
+        """Formerly rejected; oracle v2's drain replay validates it."""
         code = main([
-            "check-diff", "--refs", "200", "--dram-cache", "dbi",
+            "check-diff", "--refs", "800", "--dram-cache", "dbi",
             "--mechanisms", "dbi+awb",
         ])
-        assert code == 2
-        assert "background" in capsys.readouterr().err
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
 
     def test_dramcache_experiment_command(self, capsys, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)
@@ -147,6 +148,35 @@ class TestDramCache:
         out = capsys.readouterr().out
         assert "dirty-tracking trade-off" in out
         assert "dbi wb row-hit" in out
+
+
+class TestConformance:
+    def test_quick_campaign_writes_coverage_map(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "conf")
+        code = main([
+            "conformance", "--trials", "5", "--seed", "0x5EED",
+            "--out", out_dir,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "conformance campaign: 5 trials" in out
+        assert "findings: none" in out
+        with open(os.path.join(out_dir, "coverage.json")) as handle:
+            coverage = json.load(handle)
+        assert any(key.startswith("invariant:") for key in coverage)
+        assert any(key.startswith("writeback-cause:") for key in coverage)
+
+    def test_same_seed_same_coverage_bytes(self, capsys, tmp_path):
+        payloads = []
+        for leg in ("a", "b"):
+            out_dir = str(tmp_path / leg)
+            assert main([
+                "conformance", "--trials", "4", "--out", out_dir,
+            ]) == 0
+            with open(os.path.join(out_dir, "coverage.json"), "rb") as handle:
+                payloads.append(handle.read())
+        capsys.readouterr()
+        assert payloads[0] == payloads[1]
 
 
 class TestTimeline:

@@ -29,6 +29,10 @@
 #                  backends vs the untimed oracle) plus the quick trade-off
 #                  sweep: DBI-backed aggressive writeback must beat the
 #                  tag-dirty backend's writeback row-hit rate everywhere.
+#   conformance  — seeded coverage-guided campaign (`repro conformance`):
+#                  random config/op-schedule trials through the differential
+#                  and the invariant engine, run twice; zero findings and a
+#                  byte-identical coverage map are required.
 #   sweep        — one figure runner through the SweepRunner with 2 workers
 #                  and a fresh cache, twice; the second pass must be answered
 #                  from the cache, byte-identically.
@@ -67,9 +71,9 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
 COV_FAIL_UNDER=${COV_FAIL_UNDER:-$(cat tools/coverage_floor.txt)}
-ALL_STAGES=(tier1 coverage slowfuzz differential checked dramcache sweep
-            chaos reliability telemetry checkpoint campaign campaignfull
-            perf)
+ALL_STAGES=(tier1 coverage slowfuzz differential checked dramcache
+            conformance sweep chaos reliability telemetry checkpoint
+            campaign campaignfull perf)
 
 if [ "${1:-}" = "--list" ]; then
     printf '%s\n' "${ALL_STAGES[@]}"
@@ -130,6 +134,23 @@ for bench, cells in result.raw.items():
     )
 print("ci: ok (DBI wb row-hit rate beats tag-dirty on every benchmark)")
 PY
+}
+
+stage_conformance() {
+    # Background-writeback mechanisms below the level: the corner oracle v2
+    # unlocked must stay covered explicitly.
+    python -m repro check-diff --refs 1500 --dram-cache dbi \
+        --mechanisms dbi+awb,dawb,skipcache
+    # Seeded campaign, twice: zero findings, byte-stable coverage map.
+    python -m repro conformance --trials 24 --out "$tmp/conf-a"
+    python -m repro conformance --trials 24 --out "$tmp/conf-b"
+    if ! cmp -s "$tmp/conf-a/coverage.json" "$tmp/conf-b/coverage.json"; then
+        echo "ci: FAIL — conformance coverage map is not byte-stable" >&2
+        diff "$tmp/conf-a/coverage.json" "$tmp/conf-b/coverage.json" >&2 || true
+        return 1
+    fi
+    keys=$(python -c "import json;print(len(json.load(open('$tmp/conf-a/coverage.json'))))")
+    echo "ci: ok (24 trials, 0 findings, $keys coverage keys, map byte-stable)"
 }
 
 sweep() {
